@@ -1,0 +1,68 @@
+// §7.2 extension: dynamic graphs. Edge property weights change between walk
+// batches; compares three strategies for keeping eRJS's bound valid:
+//   * full re-preprocess after every update batch (sound, expensive),
+//   * incremental h_MAX / h_SUM maintenance (WeightUpdater; sound because
+//     the maintained max only ever dominates),
+//   * eRVS-only fallback (what §7.1 prescribes absent this module).
+//
+// Expected shape: incremental maintenance costs a small fraction of full
+// re-preprocessing while retaining the adaptive engine's walk speed; the
+// eRVS-only fallback pays no maintenance but loses eRJS's wins.
+#include "bench/bench_util.h"
+#include "src/metrics/stats.h"
+#include "src/runtime/preprocess.h"
+#include "src/runtime/weight_updates.h"
+#include "src/walks/node2vec.h"
+
+int main() {
+  using namespace flexi;
+  PrintHeader("Dynamic graph weight updates", "Section 7.2 extension (dynamic graphs)");
+
+  const DatasetSpec& spec = DatasetByName("EU");
+  constexpr int kBatches = 8;
+
+  Table table({"updates/batch", "walk sim_ms", "incr. maint. ms", "full preproc ms",
+               "eRVS-only walk ms"});
+  for (size_t updates_per_batch : {1000ul, 10000ul, 100000ul}) {
+    Graph graph = LoadDataset(spec, WeightDistribution::kUniform);
+    Node2VecWalk walk(2.0, 0.5, 80);
+    auto starts = BenchStarts(graph, 1024);
+
+    // Shared preprocessed state maintained incrementally across batches.
+    DeviceContext maint_device(DeviceProfile::SimulatedGpu());
+    PreprocessPlan plan;
+    plan.need_h_max = true;
+    plan.need_h_sum = true;
+    PreprocessedData pre = RunPreprocess(graph, plan, maint_device);
+    maint_device.Reset();
+    WeightUpdater updater(graph, &pre, maint_device);
+
+    double walk_ms = 0.0;
+    double rvs_only_ms = 0.0;
+    double full_preproc_cost = 0.0;
+    for (int batch = 0; batch < kBatches; ++batch) {
+      FlexiWalkerOptions adaptive;
+      adaptive.edge_cost_ratio = 4.0;
+      walk_ms += FlexiWalkerEngine(adaptive).Run(graph, walk, starts, kBenchSeed + batch)
+                     .sim_ms;
+      FlexiWalkerOptions rvs_only = adaptive;
+      rvs_only.strategy = SelectionStrategy::kAlwaysRvs;
+      rvs_only_ms += FlexiWalkerEngine(rvs_only)
+                         .Run(graph, walk, starts, kBenchSeed + batch)
+                         .sim_ms;
+
+      auto updates = RandomWeightUpdates(graph, updates_per_batch, 9000 + batch);
+      updater.Apply(updates);
+
+      // Cost of the alternative: rebuild the reductions from scratch.
+      DeviceContext full_device(DeviceProfile::SimulatedGpu());
+      RunPreprocess(graph, plan, full_device);
+      full_preproc_cost += full_device.SimulatedMs();
+    }
+    table.AddRow({std::to_string(updates_per_batch), Table::Num(walk_ms),
+                  Table::Num(maint_device.SimulatedMs()), Table::Num(full_preproc_cost),
+                  Table::Num(rvs_only_ms)});
+  }
+  table.Print();
+  return 0;
+}

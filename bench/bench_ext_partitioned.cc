@@ -1,0 +1,52 @@
+// §7.2 extension: graph partitioning across devices for larger-than-VRAM
+// graphs. Compares the duplicated-graph mode (Fig. 15) with hash-partitioned
+// adjacency, where walkers migrate between devices on ownership crossings.
+//
+// Expected shape (the paper's own prediction): partitioning removes the
+// per-device memory multiplier but the I/O-bound walks pay "considerable
+// communication overhead" — migrations happen on (D-1)/D of the steps, so
+// partitioned scaling is far below the duplicated mode's near-linear curve.
+#include "bench/bench_util.h"
+#include "src/walker/multi_device.h"
+#include "src/walker/partitioned.h"
+#include "src/walks/deepwalk.h"
+
+int main() {
+  using namespace flexi;
+  PrintHeader("Partitioned multi-device execution", "Section 7.2 extension (larger graphs)");
+
+  Table table({"dataset", "devices", "duplicated speedup", "partitioned speedup",
+               "migration rate", "memory per device"});
+  for (const char* name : {"EU", "SK"}) {
+    const DatasetSpec& spec = DatasetByName(name);
+    Graph graph = LoadDataset(spec, WeightDistribution::kUniform);
+    DeepWalk walk(80);
+    auto starts = BenchStarts(graph, 2048);
+    InterconnectProfile link;
+
+    auto make_engine = [] {
+      FlexiWalkerOptions options;
+      options.edge_cost_ratio = 4.0;
+      return std::unique_ptr<Engine>(new FlexiWalkerEngine(options));
+    };
+    double dup_single =
+        RunMultiDevice(make_engine, graph, walk, starts, 1, QueryMapping::kHash, kBenchSeed)
+            .makespan_sim_ms;
+    double part_single = RunPartitioned(graph, walk, starts, 1, link, kBenchSeed)
+                             .makespan_sim_ms;
+
+    for (uint32_t devices : {2u, 4u}) {
+      auto dup = RunMultiDevice(make_engine, graph, walk, starts, devices,
+                                QueryMapping::kHash, kBenchSeed);
+      auto part = RunPartitioned(graph, walk, starts, devices, link, kBenchSeed);
+      double mem_fraction = 1.0 / static_cast<double>(devices);
+      table.AddRow({name, std::to_string(devices),
+                    Table::Num(dup.SpeedupOver(dup_single)) + "x",
+                    Table::Num(part_single / part.makespan_sim_ms) + "x",
+                    Table::Num(part.MigrationRate() * 100.0) + "%",
+                    Table::Num(mem_fraction * 100.0) + "% (dup: 100%)"});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 3: normalized execution time of the four base sampling methods
+// (ITS/C-SAW, ALS/Skywalker, RVS/FlowWalker, RJS/NextDoor) on unweighted
+// and weighted Node2Vec over YT, CP, OK, EU. Times are normalized to ITS.
+//
+// Paper shape to reproduce: ITS and ALS pay per-step table construction and
+// lose badly; RJS wins the unweighted case (compile-time max bound), RVS
+// wins the weighted case (RJS's per-step max reduce erases its advantage).
+#include "bench/bench_util.h"
+#include "src/walks/node2vec.h"
+
+namespace flexi {
+namespace {
+
+void RunVariant(const char* title, bool weighted) {
+  std::printf("-- %s Node2Vec --\n", title);
+  Table table({"dataset", "ITS (C-SAW)", "ALS (Skywalker)", "RVS (FlowWalker)",
+               "RJS (NextDoor)"});
+  for (const char* name : {"YT", "CP", "OK", "EU"}) {
+    const DatasetSpec& spec = DatasetByName(name);
+    Graph graph = LoadDataset(
+        spec, weighted ? WeightDistribution::kUniform : WeightDistribution::kUnweighted);
+    Node2VecWalk walk(2.0, 0.5, 80);
+    auto starts = BenchStarts(graph);
+
+    CSawEngine its;
+    SkywalkerEngine als;
+    FlowWalkerEngine rvs;
+    // Unweighted Node2Vec: NextDoor's compile-time max(1, 1/a, 1/b) = 2.
+    NextDoorEngine rjs(weighted ? std::optional<double>() : std::optional<double>(2.0));
+
+    double its_ms = its.Run(graph, walk, starts, kBenchSeed).sim_ms;
+    double als_ms = als.Run(graph, walk, starts, kBenchSeed).sim_ms;
+    double rvs_ms = rvs.Run(graph, walk, starts, kBenchSeed).sim_ms;
+    double rjs_ms = rjs.Run(graph, walk, starts, kBenchSeed).sim_ms;
+
+    table.AddRow({name, Table::Num(1.0), Table::Num(als_ms / its_ms),
+                  Table::Num(rvs_ms / its_ms), Table::Num(rjs_ms / its_ms)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace flexi
+
+int main() {
+  flexi::PrintHeader("Sampling method comparison", "Fig. 3 (a) unweighted, (b) weighted");
+  flexi::RunVariant("(a) Unweighted", /*weighted=*/false);
+  flexi::RunVariant("(b) Weighted", /*weighted=*/true);
+  return 0;
+}

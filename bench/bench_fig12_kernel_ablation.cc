@@ -1,0 +1,79 @@
+// Fig. 12: kernel-level ablations on uniform and skewed (alpha=1) weights
+// over YT, EU, AB, UK, SK with weighted Node2Vec.
+//
+//  (a) Reservoir: FlowWalker baseline vs +EXP (ES keys, no prefix sum) vs
+//      +EXP+JUMP (full eRVS). Paper: 1.27-1.60x from EXP, 1.44-1.82x total.
+//  (b) Rejection: NextDoor baseline (per-step max reduce) vs +Est.Max
+//      (eRJS's compiler-generated bound). Paper: 54x-1698x uniform, up to
+//      7.27x under skew (many rejected trials).
+#include "bench/bench_util.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/reservoir.h"
+#include "src/walks/node2vec.h"
+
+namespace flexi {
+namespace {
+
+// Minimal engines that pin one kernel, for the ablation columns.
+class ERvsScanOnlyEngine : public Engine {
+ public:
+  std::string name() const override { return "eRVS(+EXP)"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override {
+    return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
+                       [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                          KernelRng& rng) { return ERvsScanStep(ctx, l, q, rng); });
+  }
+};
+
+class ERvsJumpEngine : public Engine {
+ public:
+  std::string name() const override { return "eRVS(+EXP+JUMP)"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override {
+    return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
+                       [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                          KernelRng& rng) { return ERvsJumpStep(ctx, l, q, rng); });
+  }
+};
+
+void RunDistribution(const std::string& label, WeightDistribution dist, double alpha) {
+  std::printf("-- %s weights --\n", label.c_str());
+  Table rvs_table({"dataset", "FlowWalker", "+EXP", "+EXP+JUMP", "speedup"});
+  Table rjs_table({"dataset", "NextDoor", "+Est.Max (eRJS)", "speedup"});
+  for (const char* name : {"YT", "EU", "AB", "UK", "SK"}) {
+    const DatasetSpec& spec = DatasetByName(name);
+    Graph graph = LoadDataset(spec, dist, alpha);
+    Node2VecWalk walk(2.0, 0.5, 80);
+    auto starts = BenchStarts(graph, 2048);
+
+    double fw = FlowWalkerEngine().Run(graph, walk, starts, kBenchSeed).sim_ms;
+    double exp_only = ERvsScanOnlyEngine().Run(graph, walk, starts, kBenchSeed).sim_ms;
+    double jump = ERvsJumpEngine().Run(graph, walk, starts, kBenchSeed).sim_ms;
+    rvs_table.AddRow({name, Cell(fw), Cell(exp_only), Cell(jump),
+                      Table::Num(fw / jump) + "x"});
+
+    bool nd_oom = WouldOom(spec, NextDoorSortBytes(spec));
+    double nd = nd_oom ? 0.0 : NextDoorEngine().Run(graph, walk, starts, kBenchSeed).sim_ms;
+    FlexiWalkerOptions rjs_only;
+    rjs_only.strategy = SelectionStrategy::kAlwaysRjs;
+    double erjs = FlexiWalkerEngine(rjs_only).Run(graph, walk, starts, kBenchSeed).sim_ms;
+    rjs_table.AddRow({name, Cell(nd, nd_oom), Cell(erjs),
+                      nd_oom ? "-" : Table::Num(nd / erjs) + "x"});
+  }
+  std::printf("(a) reservoir kernel ablation:\n");
+  rvs_table.Print();
+  std::printf("(b) rejection kernel ablation:\n");
+  rjs_table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace flexi
+
+int main() {
+  flexi::PrintHeader("Kernel optimization ablations", "Fig. 12 (a)+(b)");
+  flexi::RunDistribution("uniform", flexi::WeightDistribution::kUniform, 0.0);
+  flexi::RunDistribution("skewed (alpha=1)", flexi::WeightDistribution::kPareto, 1.0);
+  return 0;
+}

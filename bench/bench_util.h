@@ -1,0 +1,78 @@
+// Shared helpers for the per-figure/per-table bench binaries.
+//
+// Every bench prints (a) the paper's rows/series measured on the scaled
+// stand-in datasets and (b) the flags (OOM) derived from full-scale
+// footprint formulas, so the *shape* of each figure — who wins, by what
+// factor, where crossovers fall — can be compared against the paper
+// directly. Simulated milliseconds come from the substrate's transaction
+// accounting (DESIGN.md §1), which is deterministic and
+// machine-independent; wall-clock on the host is reported alongside where
+// useful.
+#ifndef FLEXIWALKER_BENCH_BENCH_UTIL_H_
+#define FLEXIWALKER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/graph/datasets.h"
+#include "src/metrics/report.h"
+#include "src/walker/engine.h"
+#include "src/walker/flexiwalker_engine.h"
+
+namespace flexi {
+
+inline constexpr uint64_t kBenchSeed = 20260427;  // EuroSys'26 first day
+inline constexpr uint64_t kDeviceMemoryBytes = 48ull << 30;  // A6000 VRAM
+
+// Upper-bounds the number of walk queries per dataset so bench wall-clock
+// stays tractable on one host core; queries remain uniformly spread.
+inline std::vector<NodeId> BenchStarts(const Graph& graph, size_t max_queries = 4096) {
+  uint32_t stride =
+      static_cast<uint32_t>((graph.num_nodes() + max_queries - 1) / max_queries);
+  return StridedStarts(graph, std::max<uint32_t>(stride, 1));
+}
+
+// Full-scale OOM reproduction: the original dataset's resident footprint
+// plus an engine's auxiliary structures vs. device memory.
+inline bool WouldOom(const DatasetSpec& spec, uint64_t engine_extra_bytes) {
+  return FullScaleFootprintBytes(spec) + engine_extra_bytes > kDeviceMemoryBytes;
+}
+
+// NextDoor's transit-parallel sort keeps roughly one 8-byte key per edge of
+// sampling frontier at full scale (see baselines.h).
+inline uint64_t NextDoorSortBytes(const DatasetSpec& spec) {
+  return spec.paper_edges * 8;
+}
+
+// Formats a result cell: the simulated time, or an OOM sentinel.
+inline std::string Cell(double sim_ms, bool oom = false) {
+  if (oom) {
+    return "OOM";
+  }
+  return Table::Num(sim_ms);
+}
+
+// Peak-power model for Fig. 16: sustained bandwidth utilization (coalesced
+// traffic) drives a device toward its peak; random-access-heavy mixes leave
+// lanes stalled and draw less.
+inline double MaxWatts(const WalkResult& result, const DeviceProfile& profile) {
+  uint64_t total = result.cost.coalesced_transactions + result.cost.random_transactions;
+  double coalesced_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(result.cost.coalesced_transactions) /
+                       static_cast<double>(total);
+  return profile.idle_watts + (profile.peak_watts - profile.idle_watts) * coalesced_fraction;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("(sim_ms = substrate-accounted simulated milliseconds; see DESIGN.md)\n\n");
+}
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,268 @@
+// Command-line driver: run any workload on any engine over a generated
+// stand-in dataset or a user-supplied edge-list file, and print walk
+// statistics (optionally writing the paths).
+//
+//   $ ./flexiwalker_cli --dataset YT --workload node2vec --engine flexiwalker
+//   $ ./flexiwalker_cli --graph edges.txt --workload 2ndpr --queries 1000
+//   $ ./flexiwalker_cli --help
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/analysis/walk_analysis.h"
+#include "src/baselines/baselines.h"
+#include "src/graph/datasets.h"
+#include "src/graph/io.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walks/deepwalk.h"
+#include "src/walks/metapath.h"
+#include "src/walks/node2vec.h"
+#include "src/walks/ppr.h"
+#include "src/walks/second_order_pr.h"
+#include "src/walks/temporal.h"
+
+namespace flexi {
+namespace {
+
+struct CliOptions {
+  std::string dataset = "YT";
+  std::string graph_path;
+  std::string workload = "node2vec";
+  std::string engine = "flexiwalker";
+  std::string weights = "uniform";  // uniform|pareto|degree|none
+  double alpha = 2.0;
+  uint32_t length = 80;
+  size_t queries = 0;  // 0 = one per node
+  uint64_t seed = 2026;
+  std::string out_path;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "flexiwalker_cli — run dynamic random walks\n\n"
+      "  --dataset  <YT|CP|LJ|OK|EU|AB|UK|TW|SK|FS>   stand-in dataset (default YT)\n"
+      "  --graph    <path>        edge-list file instead of a dataset\n"
+      "  --workload <node2vec|metapath|2ndpr|deepwalk|ppr|temporal>\n"
+      "  --engine   <flexiwalker|flowwalker|nextdoor|csaw|skywalker|thunderrw|\n"
+      "              knightking|sowalker>\n"
+      "  --weights  <uniform|pareto|degree|none>       property weights (default uniform)\n"
+      "  --alpha    <float>       Pareto shape when --weights pareto (default 2.0)\n"
+      "  --length   <steps>       walk length (default 80)\n"
+      "  --queries  <n>           number of start nodes (default: every node)\n"
+      "  --seed     <n>           RNG seed (default 2026)\n"
+      "  --out      <path>        write walks, one per line\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  std::map<std::string, std::string*> string_flags = {
+      {"--dataset", &options.dataset},   {"--graph", &options.graph_path},
+      {"--workload", &options.workload}, {"--engine", &options.engine},
+      {"--weights", &options.weights},   {"--out", &options.out_path},
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return true;
+    }
+    auto needs_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (auto it = string_flags.find(arg); it != string_flags.end()) {
+      const char* value = needs_value(arg.c_str());
+      if (value == nullptr) {
+        return false;
+      }
+      *it->second = value;
+    } else if (arg == "--alpha") {
+      const char* value = needs_value("--alpha");
+      if (value == nullptr) {
+        return false;
+      }
+      options.alpha = std::atof(value);
+    } else if (arg == "--length") {
+      const char* value = needs_value("--length");
+      if (value == nullptr) {
+        return false;
+      }
+      options.length = static_cast<uint32_t>(std::atoi(value));
+    } else if (arg == "--queries") {
+      const char* value = needs_value("--queries");
+      if (value == nullptr) {
+        return false;
+      }
+      options.queries = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--seed") {
+      const char* value = needs_value("--seed");
+      if (value == nullptr) {
+        return false;
+      }
+      options.seed = static_cast<uint64_t>(std::atoll(value));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<WalkLogic> MakeWorkload(const CliOptions& options) {
+  if (options.workload == "node2vec") {
+    return std::make_unique<Node2VecWalk>(2.0, 0.5, options.length);
+  }
+  if (options.workload == "metapath") {
+    return std::make_unique<MetaPathWalk>(std::vector<uint8_t>{0, 1, 2, 3, 4});
+  }
+  if (options.workload == "2ndpr") {
+    return std::make_unique<SecondOrderPageRankWalk>(0.2, options.length);
+  }
+  if (options.workload == "deepwalk") {
+    return std::make_unique<DeepWalk>(options.length);
+  }
+  if (options.workload == "ppr") {
+    return std::make_unique<PersonalizedPageRankWalk>(0.15, options.length);
+  }
+  if (options.workload == "temporal") {
+    return std::make_unique<TemporalWalk>(options.length);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Engine> MakeEngine(const std::string& name) {
+  if (name == "flexiwalker") {
+    return std::make_unique<FlexiWalkerEngine>();
+  }
+  if (name == "flowwalker") {
+    return std::make_unique<FlowWalkerEngine>();
+  }
+  if (name == "nextdoor") {
+    return std::make_unique<NextDoorEngine>();
+  }
+  if (name == "csaw") {
+    return std::make_unique<CSawEngine>();
+  }
+  if (name == "skywalker") {
+    return std::make_unique<SkywalkerEngine>();
+  }
+  if (name == "thunderrw") {
+    return std::make_unique<ThunderRWEngine>();
+  }
+  if (name == "knightking") {
+    return std::make_unique<KnightKingEngine>();
+  }
+  if (name == "sowalker") {
+    return std::make_unique<SOWalkerEngine>();
+  }
+  return nullptr;
+}
+
+int Run(const CliOptions& options) {
+  WeightDistribution dist = WeightDistribution::kUniform;
+  if (options.weights == "pareto") {
+    dist = WeightDistribution::kPareto;
+  } else if (options.weights == "degree") {
+    dist = WeightDistribution::kDegreeBased;
+  } else if (options.weights == "none") {
+    dist = WeightDistribution::kUnweighted;
+  } else if (options.weights != "uniform") {
+    std::fprintf(stderr, "unknown --weights value: %s\n", options.weights.c_str());
+    return 1;
+  }
+
+  Graph graph;
+  if (!options.graph_path.empty()) {
+    graph = ReadEdgeListFile(options.graph_path);
+    if (!graph.weighted() && dist != WeightDistribution::kUnweighted) {
+      AssignWeights(graph, dist, options.alpha, options.seed + 1);
+    }
+    if (!graph.labeled()) {
+      AssignLabels(graph, 5, options.seed + 2);
+    }
+  } else {
+    graph = LoadDataset(DatasetByName(options.dataset), dist, options.alpha);
+  }
+  if (options.workload == "temporal" && !graph.temporal()) {
+    AssignTimestamps(graph, 1.0f, options.seed + 3);
+  }
+
+  std::unique_ptr<WalkLogic> workload = MakeWorkload(options);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown --workload: %s\n", options.workload.c_str());
+    return 1;
+  }
+  std::unique_ptr<Engine> engine = MakeEngine(options.engine);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "unknown --engine: %s\n", options.engine.c_str());
+    return 1;
+  }
+
+  std::vector<NodeId> starts = AllNodesAsStarts(graph);
+  if (options.queries != 0 && options.queries < starts.size()) {
+    starts.resize(options.queries);
+  }
+
+  std::printf("graph: %u nodes / %llu edges | workload: %s | engine: %s | queries: %zu\n",
+              graph.num_nodes(), static_cast<unsigned long long>(graph.num_edges()),
+              workload->name().c_str(), engine->name().c_str(), starts.size());
+  WalkResult result = engine->Run(graph, *workload, starts, options.seed);
+
+  uint64_t steps = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    for (size_t s = 1; s < path.size() && path[s] != kInvalidNode; ++s) {
+      ++steps;
+    }
+  }
+  auto freq = VisitFrequencies(result, graph.num_nodes());
+  NodeId hottest = 0;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (freq[v] > freq[hottest]) {
+      hottest = v;
+    }
+  }
+  std::printf("steps sampled : %llu\n", static_cast<unsigned long long>(steps));
+  std::printf("wall clock    : %.2f ms\n", result.wall_ms);
+  std::printf("simulated time: %.3f ms\n", result.sim_ms);
+  std::printf("energy        : %.4f J\n", result.joules);
+  std::printf("hottest node  : %u (%.3f%% of visits)\n", hottest, freq[hottest] * 100.0);
+
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path);
+    for (size_t qid = 0; qid < result.num_queries; ++qid) {
+      bool first = true;
+      for (NodeId node : result.Path(qid)) {
+        if (node == kInvalidNode) {
+          break;
+        }
+        out << (first ? "" : " ") << node;
+        first = false;
+      }
+      out << "\n";
+    }
+    std::printf("walks written : %s\n", options.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexi
+
+int main(int argc, char** argv) {
+  flexi::CliOptions options;
+  if (!flexi::ParseArgs(argc, argv, options)) {
+    return 1;
+  }
+  if (options.help) {
+    flexi::PrintUsage();
+    return 0;
+  }
+  return flexi::Run(options);
+}

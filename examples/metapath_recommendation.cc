@@ -1,0 +1,63 @@
+// Heterogeneous-graph MetaPath walks for recommendation-style analysis.
+//
+// Models a user-item-tag style heterogeneous network as a labeled graph
+// (edge labels = relation types) and runs schema-constrained MetaPath
+// walks. The schema ("user -> item -> user -> item") restricts which
+// relations each step may traverse — the workload metapath2vec popularized.
+//
+//   $ ./metapath_recommendation
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walks/metapath.h"
+
+int main() {
+  using namespace flexi;
+
+  // Relation types: 0 = purchases (user->item), 1 = purchased-by
+  // (item->user), 2 = tagged-as, 3 = tags.
+  Graph graph = GenerateRmat({12, 12, 0.57, 0.19, 0.19, 7});
+  AssignWeights(graph, WeightDistribution::kUniform, 0.0, 8);
+  AssignLabels(graph, /*num_labels=*/4, 9);
+
+  // Schema: purchases -> purchased-by -> purchases -> purchased-by, i.e.
+  // the collaborative-filtering metapath U-I-U-I.
+  std::vector<uint8_t> schema = {0, 1, 0, 1};
+  MetaPathWalk walk(schema);
+
+  FlexiWalkerEngine engine;
+  auto starts = AllNodesAsStarts(graph);
+  WalkResult result = engine.Run(graph, walk, starts, /*seed=*/77);
+
+  // Aggregate: how far along the schema do walks survive, and which
+  // co-visited endpoints surface most for a sample source node?
+  std::vector<uint64_t> depth_histogram(schema.size() + 1, 0);
+  std::map<NodeId, uint32_t> endpoints_for_node0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    size_t depth = 0;
+    while (depth + 1 < path.size() && path[depth + 1] != kInvalidNode) {
+      ++depth;
+    }
+    ++depth_histogram[depth];
+    if (path[0] == 0 && depth == schema.size()) {
+      ++endpoints_for_node0[path[depth]];
+    }
+  }
+
+  std::printf("schema (%zu relations): U-I-U-I collaborative metapath\n", schema.size());
+  std::printf("walks completing k schema steps:\n");
+  for (size_t k = 0; k < depth_histogram.size(); ++k) {
+    std::printf("  k=%zu : %llu\n", k,
+                static_cast<unsigned long long>(depth_histogram[k]));
+  }
+  std::printf("\nsampler mix: %.1f%% eRJS (MetaPath's zero-masked rows favor eRVS "
+              "when few edges match)\n",
+              result.selection.RjsRatio() * 100.0);
+  std::printf("simulated walk time: %.3f ms for %zu queries\n", result.sim_ms,
+              result.num_queries);
+  return 0;
+}

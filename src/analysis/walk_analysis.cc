@@ -1,0 +1,107 @@
+#include "src/analysis/walk_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace flexi {
+
+std::vector<uint64_t> VisitCounts(const WalkResult& result, NodeId num_nodes) {
+  std::vector<uint64_t> counts(num_nodes, 0);
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    for (NodeId node : result.Path(qid)) {
+      if (node == kInvalidNode) {
+        break;
+      }
+      if (node < num_nodes) {
+        ++counts[node];
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<double> VisitFrequencies(const WalkResult& result, NodeId num_nodes) {
+  std::vector<uint64_t> counts = VisitCounts(result, num_nodes);
+  uint64_t total = 0;
+  for (uint64_t c : counts) {
+    total += c;
+  }
+  std::vector<double> freq(num_nodes, 0.0);
+  if (total == 0) {
+    return freq;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    freq[v] = static_cast<double>(counts[v]) / static_cast<double>(total);
+  }
+  return freq;
+}
+
+TransitionCounts CountTransitions(const Graph& graph, const WalkResult& result) {
+  TransitionCounts tc;
+  tc.edge_counts.assign(graph.num_edges(), 0);
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    for (size_t s = 0; s + 1 < path.size() && path[s + 1] != kInvalidNode; ++s) {
+      NodeId v = path[s];
+      NodeId u = path[s + 1];
+      // Locate the edge in v's sorted adjacency.
+      auto neighbors = graph.Neighbors(v);
+      auto it = std::lower_bound(neighbors.begin(), neighbors.end(), u);
+      if (it != neighbors.end() && *it == u) {
+        EdgeId e = graph.EdgesBegin(v) + static_cast<EdgeId>(it - neighbors.begin());
+        ++tc.edge_counts[e];
+        ++tc.total_steps;
+      }
+    }
+  }
+  return tc;
+}
+
+uint64_t CountCooccurrences(const WalkResult& result, uint32_t window, size_t k,
+                            std::vector<NodePair>* top) {
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  uint64_t total = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    size_t len = 0;
+    while (len < path.size() && path[len] != kInvalidNode) {
+      ++len;
+    }
+    for (size_t i = 0; i < len; ++i) {
+      for (size_t j = i + 1; j <= i + window && j < len; ++j) {
+        uint64_t key = (static_cast<uint64_t>(path[i]) << 32) | path[j];
+        ++pair_counts[key];
+        ++total;
+      }
+    }
+  }
+  if (top != nullptr) {
+    std::vector<NodePair> pairs;
+    pairs.reserve(pair_counts.size());
+    for (const auto& [key, count] : pair_counts) {
+      pairs.push_back(NodePair{static_cast<NodeId>(key >> 32),
+                               static_cast<NodeId>(key & 0xFFFFFFFFu), count});
+    }
+    std::partial_sort(pairs.begin(), pairs.begin() + std::min(k, pairs.size()), pairs.end(),
+                      [](const NodePair& a, const NodePair& b) { return a.count > b.count; });
+    pairs.resize(std::min(k, pairs.size()));
+    *top = std::move(pairs);
+  }
+  return total;
+}
+
+std::vector<double> EstimatePprScores(const WalkResult& result, NodeId num_nodes) {
+  return VisitFrequencies(result, num_nodes);
+}
+
+double L1DistanceToDegreeStationary(const Graph& graph, const std::vector<double>& freq) {
+  double total_degree = static_cast<double>(graph.num_edges());
+  double l1 = 0.0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    double pi = static_cast<double>(graph.Degree(v)) / total_degree;
+    l1 += std::abs(pi - freq[v]);
+  }
+  return l1;
+}
+
+}  // namespace flexi

@@ -1,0 +1,58 @@
+// Downstream analysis of walk outputs — the consumers the paper's intro
+// motivates (embedding pipelines, proximity measures, PageRank estimation).
+//
+// All functions operate on WalkResult path buffers and are pure; they are
+// also the statistical cross-checks the integration tests lean on (e.g. an
+// unweighted first-order walk's visit frequencies must converge to the
+// degree-proportional stationary distribution).
+#ifndef FLEXIWALKER_SRC_ANALYSIS_WALK_ANALYSIS_H_
+#define FLEXIWALKER_SRC_ANALYSIS_WALK_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/walker/engine.h"
+
+namespace flexi {
+
+// Per-node visit counts over all recorded path positions (including starts).
+std::vector<uint64_t> VisitCounts(const WalkResult& result, NodeId num_nodes);
+
+// Normalized visit frequencies (empirical occupancy distribution).
+std::vector<double> VisitFrequencies(const WalkResult& result, NodeId num_nodes);
+
+// Empirical transition counts matrix in sparse per-source form:
+// counts[v] lists (neighbor index within N(v), count). Skips steps whose
+// traversed edge is not in the graph (never happens for valid results).
+struct TransitionCounts {
+  // Indexed by source node; same layout as the CSR adjacency.
+  std::vector<uint64_t> edge_counts;  // one counter per graph edge
+  uint64_t total_steps = 0;
+};
+TransitionCounts CountTransitions(const Graph& graph, const WalkResult& result);
+
+// Skip-gram style co-occurrence: for every path, counts ordered pairs of
+// nodes within `window` positions of each other. Returns the total pair
+// count and, through `top`, the `k` most frequent pairs.
+struct NodePair {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  uint64_t count = 0;
+};
+uint64_t CountCooccurrences(const WalkResult& result, uint32_t window, size_t k,
+                            std::vector<NodePair>* top);
+
+// Monte-Carlo PPR estimate from restart-walk outputs: the frequency of each
+// node across all recorded positions approximates its personalized PageRank
+// score for the (single) start node.
+std::vector<double> EstimatePprScores(const WalkResult& result, NodeId num_nodes);
+
+// L1 distance between an empirical occupancy distribution and the
+// degree-proportional stationary distribution pi(v) = d(v) / (2|E|)
+// (meaningful on symmetric graphs walked first-order & unweighted).
+double L1DistanceToDegreeStationary(const Graph& graph, const std::vector<double>& freq);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_ANALYSIS_WALK_ANALYSIS_H_

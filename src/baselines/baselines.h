@@ -1,0 +1,117 @@
+// Re-implementations of the six published baselines the paper compares
+// against (§6.1), each running its framework's sampling strategy on the
+// shared substrate so costs are directly comparable:
+//
+//   GPU baselines
+//   * C-SAW      — inverse transform sampling, warp-centric (Pandey, SC'20).
+//   * Skywalker  — alias sampling, per-step table build (Wang, PACT'21).
+//   * NextDoor   — rejection sampling + transit-parallel grouping (Jangda,
+//                  EuroSys'21). Supports a compile-time known max only for
+//                  unweighted Node2Vec; all other dynamic workloads require
+//                  a per-step max reduction (the paper's "faithful
+//                  extension").
+//   * FlowWalker — reservoir sampling with prefix sums (Mei, pVLDB'24),
+//                  the prior GPU state of the art for dynamic walks.
+//
+//   CPU baselines
+//   * ThunderRW  — in-memory CPU engine (Sun, pVLDB'21): RJS for unweighted
+//                  Node2Vec, ITS otherwise.
+//   * KnightKing — distributed CPU engine (Yang, SOSP'19): rejection
+//                  sampling for dynamic walks.
+//   * SOWalker   — out-of-core CPU engine (Wu, ATC'23): ITS + RJS with
+//                  block-granular I/O charged per step.
+#ifndef FLEXIWALKER_SRC_BASELINES_BASELINES_H_
+#define FLEXIWALKER_SRC_BASELINES_BASELINES_H_
+
+#include <optional>
+
+#include "src/graph/datasets.h"
+#include "src/walker/engine.h"
+
+namespace flexi {
+
+class CSawEngine : public Engine {
+ public:
+  std::string name() const override { return "C-SAW"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+};
+
+class SkywalkerEngine : public Engine {
+ public:
+  std::string name() const override { return "Skywalker"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+};
+
+class NextDoorEngine : public Engine {
+ public:
+  // `known_max`: compile-time transition-weight maximum, available only for
+  // unweighted Node2Vec (max(1, 1/a, 1/b)); otherwise NextDoor max-reduces
+  // the full weight list every step.
+  explicit NextDoorEngine(std::optional<double> known_max = std::nullopt)
+      : known_max_(known_max) {}
+
+  std::string name() const override { return "NextDoor"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+  // NextDoor's transit-parallel sorting keeps an O(#queries) auxiliary
+  // buffer per step; at full dataset scale this is what drives its OOM on
+  // SK (Fig. 10). Exposed for the benches' footprint accounting.
+  static uint64_t FullScaleExtraBytes(const DatasetSpec& spec);
+
+ private:
+  std::optional<double> known_max_;
+};
+
+class FlowWalkerEngine : public Engine {
+ public:
+  explicit FlowWalkerEngine(bool use_int8_weights = false)
+      : use_int8_weights_(use_int8_weights) {}
+  std::string name() const override { return "FlowWalker"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+ private:
+  bool use_int8_weights_;
+};
+
+class ThunderRWEngine : public Engine {
+ public:
+  explicit ThunderRWEngine(std::optional<double> known_max = std::nullopt, int threads = 32)
+      : known_max_(known_max), threads_(threads) {}
+  std::string name() const override { return "ThunderRW"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+ private:
+  std::optional<double> known_max_;
+  int threads_;
+};
+
+class KnightKingEngine : public Engine {
+ public:
+  explicit KnightKingEngine(int threads = 32) : threads_(threads) {}
+  std::string name() const override { return "KnightKing"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+ private:
+  int threads_;
+};
+
+class SOWalkerEngine : public Engine {
+ public:
+  explicit SOWalkerEngine(int threads = 32) : threads_(threads) {}
+  std::string name() const override { return "SOWalker"; }
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+ private:
+  int threads_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,73 @@
+#include "src/compiler/analyzer.h"
+
+namespace flexi {
+namespace {
+
+// Recursive dependency check of one expression tree (step 1-3 in Fig. 9c:
+// constants/hyperparameters are skipped, indexed and query-dependent terms
+// are marked). Returns false if an opaque node was found.
+bool CheckExpr(const WeightExpr& expr, BranchAnalysis& out) {
+  switch (expr.kind) {
+    case ExprKind::kConst:
+      return true;  // hyperparameters fold to constants — skipped
+    case ExprKind::kPropertyWeight:
+      out.uses_property_weight = true;
+      return true;
+    case ExprKind::kInvDegreeCur:
+      out.uses_degree_cur = true;
+      return true;
+    case ExprKind::kInvDegreePrev:
+      out.uses_degree_prev = true;
+      return true;
+    case ExprKind::kMaxDegreeCurPrev:
+      out.uses_degree_cur = true;
+      out.uses_degree_prev = true;
+      return true;
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+      return CheckExpr(*expr.left, out) && CheckExpr(*expr.right, out);
+    case ExprKind::kOpaque:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+AnalysisResult Analyzer::Analyze(const WeightProgram& program) const {
+  AnalysisResult result;
+  result.supported = true;
+  if (program.branches.empty()) {
+    result.supported = false;
+    result.warnings.push_back("empty get_weight program");
+    return result;
+  }
+  for (const WeightBranch& branch : program.branches) {
+    if (branch.cond == CondKind::kOpaque) {
+      result.supported = false;
+      result.warnings.push_back(
+          "unanalyzable control flow (data-dependent loop or recursion); "
+          "falling back to eRVS-only mode");
+      return result;
+    }
+    BranchAnalysis analysis;
+    analysis.return_expr = branch.expr;
+    analysis.selectivity = branch.selectivity;
+    if (!CheckExpr(branch.expr, analysis)) {
+      result.supported = false;
+      result.warnings.push_back("opaque expression in return value; falling back to eRVS-only");
+      return result;
+    }
+    result.uses_property_weight |= analysis.uses_property_weight;
+    result.uses_degrees |= analysis.uses_degree_cur || analysis.uses_degree_prev;
+    result.branches.push_back(std::move(analysis));
+  }
+  // Flag allocation: any indexed value (h) or query-dependent degree makes
+  // the bound step-specific (Fig. 9c step 3).
+  result.granularity = (result.uses_property_weight || result.uses_degrees)
+                           ? BoundGranularity::kPerStep
+                           : BoundGranularity::kPerKernel;
+  return result;
+}
+
+}  // namespace flexi

@@ -1,0 +1,53 @@
+// Flexi-Compiler code analyzer (Fig. 9b/9c): the dependency checker and
+// flag allocator.
+//
+// Walks every branch of a WeightProgram, collects the terms that influence
+// each return value (skipping guards and fixed hyperparameters, which fold
+// to constants), and allocates the bound-estimation granularity flag:
+//   PER_KERNEL — no indexed or query-dependent term appears; one bound
+//                estimation serves the whole kernel (unweighted Node2Vec).
+//   PER_STEP   — a return value reads h[edge] or a query-dependent degree;
+//                the bound must be re-estimated every step.
+// Programs containing Opaque nodes (data-dependent loops, recursion — §7.1)
+// are reported unsupported so the runtime falls back to eRVS-only mode.
+#ifndef FLEXIWALKER_SRC_COMPILER_ANALYZER_H_
+#define FLEXIWALKER_SRC_COMPILER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/weight_expr.h"
+
+namespace flexi {
+
+enum class BoundGranularity { kPerKernel, kPerStep };
+
+// One row of the analysis result table (Fig. 9c): the return expression of
+// a branch together with the dependencies the checker marked.
+struct BranchAnalysis {
+  WeightExpr return_expr;
+  bool uses_property_weight = false;
+  bool uses_degree_cur = false;
+  bool uses_degree_prev = false;
+  double selectivity = -1.0;
+};
+
+struct AnalysisResult {
+  // False when any branch is opaque; the generator then refuses to emit
+  // helpers and FlexiWalker disables eRJS for this workload.
+  bool supported = false;
+  BoundGranularity granularity = BoundGranularity::kPerKernel;
+  bool uses_property_weight = false;  // implies the h_MAX / h_SUM preprocess
+  bool uses_degrees = false;
+  std::vector<BranchAnalysis> branches;
+  std::vector<std::string> warnings;
+};
+
+class Analyzer {
+ public:
+  AnalysisResult Analyze(const WeightProgram& program) const;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_COMPILER_ANALYZER_H_

@@ -1,0 +1,161 @@
+#include "src/compiler/generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flexi {
+namespace {
+
+// Evaluates a branch expression with h substituted by `h_value` and degree
+// terms by their per-step values (Fig. 9d's dummy-variable substitution).
+double EvalExpr(const WeightExpr& expr, double h_value, double inv_deg_cur,
+                double inv_deg_prev, double max_deg) {
+  switch (expr.kind) {
+    case ExprKind::kConst:
+      return expr.value;
+    case ExprKind::kPropertyWeight:
+      return h_value;
+    case ExprKind::kInvDegreeCur:
+      return inv_deg_cur;
+    case ExprKind::kInvDegreePrev:
+      return inv_deg_prev;
+    case ExprKind::kMaxDegreeCurPrev:
+      return max_deg;
+    case ExprKind::kAdd:
+      return EvalExpr(*expr.left, h_value, inv_deg_cur, inv_deg_prev, max_deg) +
+             EvalExpr(*expr.right, h_value, inv_deg_cur, inv_deg_prev, max_deg);
+    case ExprKind::kMul:
+      return EvalExpr(*expr.left, h_value, inv_deg_cur, inv_deg_prev, max_deg) *
+             EvalExpr(*expr.right, h_value, inv_deg_cur, inv_deg_prev, max_deg);
+    case ExprKind::kOpaque:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+struct StepVars {
+  double inv_deg_cur = 1.0;
+  double inv_deg_prev = 1.0;
+  double max_deg = 1.0;
+};
+
+StepVars ComputeStepVars(const WalkContext& ctx, const QueryState& q) {
+  StepVars vars;
+  double dc = std::max<uint32_t>(ctx.graph->Degree(q.cur), 1);
+  vars.inv_deg_cur = 1.0 / dc;
+  if (q.prev != kInvalidNode) {
+    double dp = std::max<uint32_t>(ctx.graph->Degree(q.prev), 1);
+    vars.inv_deg_prev = 1.0 / dp;
+    vars.max_deg = std::max(dc, dp);
+  } else {
+    vars.inv_deg_prev = vars.inv_deg_cur;
+    vars.max_deg = dc;
+  }
+  return vars;
+}
+
+}  // namespace
+
+GeneratedHelpers Generator::Generate(const WeightProgram& program) const {
+  GeneratedHelpers helpers;
+  helpers.workload_name_ = program.workload_name;
+  Analyzer analyzer;
+  helpers.analysis_ = analyzer.Analyze(program);
+  helpers.valid_ = helpers.analysis_.supported;
+  if (helpers.valid_) {
+    helpers.plan_.need_h_max = helpers.analysis_.uses_property_weight;
+    helpers.plan_.need_h_sum = helpers.analysis_.uses_property_weight;
+  }
+  return helpers;
+}
+
+double GeneratedHelpers::WeightMax(const WalkContext& ctx, const QueryState& q) const {
+  StepVars vars = ComputeStepVars(ctx, q);
+  // h -> per-node maximum (preprocessed); 1.0 on unweighted graphs.
+  double h_max = 1.0;
+  if (plan_.need_h_max && ctx.preprocessed != nullptr && !ctx.preprocessed->empty()) {
+    h_max = ctx.preprocessed->h_max[q.cur];
+    // h_MAX and h_SUM are laid out as one packed float2 per node, so the
+    // selector's whole per-step estimate is a single 8-byte load; the
+    // companion WeightSum call rides on it. The load is issued alongside
+    // the step's first adjacency transaction and hides in its latency, so
+    // its marginal cost is one transaction of bandwidth, not a serialized
+    // random access.
+    ctx.mem().LoadCoalesced(1, 2 * sizeof(float));
+  }
+  double best = 0.0;
+  for (const BranchAnalysis& branch : analysis_.branches) {
+    double value = EvalExpr(branch.return_expr, h_max, vars.inv_deg_cur, vars.inv_deg_prev,
+                            vars.max_deg);
+    best = std::max(best, value);
+    ctx.mem().CountAlu(2);
+  }
+  // Kernels evaluate transition weights in float; pad by one float ulp-scale
+  // factor so the bound dominates the rounded weights too.
+  return best * (1.0 + 1e-6);
+}
+
+double GeneratedHelpers::WeightSum(const WalkContext& ctx, const QueryState& q) const {
+  StepVars vars = ComputeStepVars(ctx, q);
+  double degree = std::max<uint32_t>(ctx.graph->Degree(q.cur), 1);
+  double h_sum = 1.0;
+  bool per_step_h = plan_.need_h_sum && ctx.preprocessed != nullptr && !ctx.preprocessed->empty();
+  if (per_step_h) {
+    // Shares the packed float2 transaction charged by WeightMax.
+    h_sum = ctx.preprocessed->h_sum[q.cur];
+  }
+  // Accumulate possible return values. With known selectivities, weight each
+  // branch by its probability; otherwise divide by the number of unique
+  // return values (Fig. 9d).
+  double total = 0.0;
+  double uniform_share = 1.0 / static_cast<double>(analysis_.branches.size());
+  for (const BranchAnalysis& branch : analysis_.branches) {
+    double share = branch.selectivity >= 0.0 ? branch.selectivity : uniform_share;
+    // For PER_STEP h-indexed programs, h_SUM already aggregates over the
+    // degree, so the branch term contributes h_sum-scaled values directly.
+    double h_value = branch.uses_property_weight && per_step_h ? h_sum : 1.0;
+    double value = EvalExpr(branch.return_expr, h_value, vars.inv_deg_cur, vars.inv_deg_prev,
+                            vars.max_deg);
+    if (!branch.uses_property_weight || !per_step_h) {
+      // No h aggregation available: emulate the sum by multiplying the
+      // per-edge average by the degree (PER_KERNEL path in Fig. 9d).
+      value *= degree;
+    }
+    total += share * value;
+    ctx.mem().CountAlu(3);
+  }
+  return total;
+}
+
+std::string GeneratedHelpers::EmitSource() const {
+  std::ostringstream out;
+  out << "// generated by Flexi-Compiler for workload '" << workload_name_ << "'\n";
+  if (!valid_) {
+    out << "// program unsupported: eRVS-only fallback\n";
+    return out.str();
+  }
+  if (plan_.need_h_max || plan_.need_h_sum) {
+    out << "preprocess(graph) {\n";
+    if (plan_.need_h_max) {
+      out << "  h_MAX[] = per_node_max(h);\n";
+    }
+    if (plan_.need_h_sum) {
+      out << "  h_SUM[] = per_node_sum(h);\n";
+    }
+    out << "}\n";
+  }
+  out << "get_weight_max(curr, prev) {\n  max_val = 0;\n";
+  for (const BranchAnalysis& branch : analysis_.branches) {
+    out << "  max_val = max(max_val, " << branch.return_expr.ToString() << ");\n";
+  }
+  out << "  return max_val;  // h := h_MAX[curr]\n}\n";
+  out << "get_weight_sum(curr, prev) {\n  sum_val = 0;\n";
+  for (const BranchAnalysis& branch : analysis_.branches) {
+    out << "  sum_val += " << branch.return_expr.ToString() << ";\n";
+  }
+  out << "  sum_val /= " << analysis_.branches.size() << ";  // h := h_SUM[curr]\n"
+      << "  return sum_val;\n}\n";
+  return out.str();
+}
+
+}  // namespace flexi

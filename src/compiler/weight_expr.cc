@@ -1,0 +1,98 @@
+#include "src/compiler/weight_expr.h"
+
+#include <sstream>
+
+namespace flexi {
+namespace {
+
+std::shared_ptr<const WeightExpr> Box(WeightExpr e) {
+  return std::make_shared<const WeightExpr>(std::move(e));
+}
+
+}  // namespace
+
+WeightExpr WeightExpr::Const(double v) {
+  WeightExpr e;
+  e.kind = ExprKind::kConst;
+  e.value = v;
+  return e;
+}
+
+WeightExpr WeightExpr::PropertyWeight() {
+  WeightExpr e;
+  e.kind = ExprKind::kPropertyWeight;
+  return e;
+}
+
+WeightExpr WeightExpr::InvDegreeCur() {
+  WeightExpr e;
+  e.kind = ExprKind::kInvDegreeCur;
+  return e;
+}
+
+WeightExpr WeightExpr::InvDegreePrev() {
+  WeightExpr e;
+  e.kind = ExprKind::kInvDegreePrev;
+  return e;
+}
+
+WeightExpr WeightExpr::MaxDegreeCurPrev() {
+  WeightExpr e;
+  e.kind = ExprKind::kMaxDegreeCurPrev;
+  return e;
+}
+
+WeightExpr WeightExpr::Opaque() {
+  WeightExpr e;
+  e.kind = ExprKind::kOpaque;
+  return e;
+}
+
+WeightExpr WeightExpr::Add(WeightExpr l, WeightExpr r) {
+  WeightExpr e;
+  e.kind = ExprKind::kAdd;
+  e.left = Box(std::move(l));
+  e.right = Box(std::move(r));
+  return e;
+}
+
+WeightExpr WeightExpr::Mul(WeightExpr l, WeightExpr r) {
+  WeightExpr e;
+  e.kind = ExprKind::kMul;
+  e.left = Box(std::move(l));
+  e.right = Box(std::move(r));
+  return e;
+}
+
+std::string WeightExpr::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case ExprKind::kConst:
+      out << value;
+      break;
+    case ExprKind::kPropertyWeight:
+      out << "h[e]";
+      break;
+    case ExprKind::kInvDegreeCur:
+      out << "1/d(v)";
+      break;
+    case ExprKind::kInvDegreePrev:
+      out << "1/d(v')";
+      break;
+    case ExprKind::kMaxDegreeCurPrev:
+      out << "max(d(v),d(v'))";
+      break;
+    case ExprKind::kAdd:
+      out << "(" << left->ToString() << " + " << right->ToString() << ")";
+      break;
+    case ExprKind::kMul:
+      out << "(" << left->ToString() << " * " << right->ToString() << ")";
+      break;
+    case ExprKind::kOpaque:
+      out << "<opaque>";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace flexi

@@ -1,0 +1,85 @@
+// Flexi-Compiler input language: a restricted expression tree describing a
+// workload's get_weight() function.
+//
+// The paper's Flexi-Compiler statically analyzes user CUDA C++ with
+// Clang/LLVM to recover exactly two facts (Fig. 9): which indexed arrays and
+// runtime variables feed each return value, and the set of return
+// expressions per control-flow branch. Shipping LLVM is not possible here,
+// so users state the same information directly as a WeightProgram — a list
+// of (condition, expression) branches over a fixed vocabulary of terms. The
+// analyzer and code generator downstream are semantically identical to the
+// paper's: dependency checking, PER_KERNEL/PER_STEP flag allocation, and
+// generation of get_weight_max() / get_weight_sum() helpers plus the
+// preprocess() plan (h_MAX / h_SUM reductions).
+#ifndef FLEXIWALKER_SRC_COMPILER_WEIGHT_EXPR_H_
+#define FLEXIWALKER_SRC_COMPILER_WEIGHT_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flexi {
+
+enum class ExprKind {
+  kConst,             // literal or workload hyperparameter (a, b, gamma)
+  kPropertyWeight,    // h[edge] — indexed by the sampled edge (PER_STEP)
+  kInvDegreeCur,      // 1 / d(v) for the current node v
+  kInvDegreePrev,     // 1 / d(v') for the previously visited node
+  kMaxDegreeCurPrev,  // max(d(v), d(v'))
+  kAdd,               // left + right
+  kMul,               // left * right
+  kOpaque,            // anything the analyzer cannot reason about (§7.1)
+};
+
+// Immutable expression node. Trees are small (a handful of nodes per
+// workload branch), so shared_ptr sharing keeps value semantics simple.
+struct WeightExpr {
+  ExprKind kind = ExprKind::kConst;
+  double value = 0.0;  // for kConst
+  std::shared_ptr<const WeightExpr> left;
+  std::shared_ptr<const WeightExpr> right;
+
+  static WeightExpr Const(double v);
+  static WeightExpr PropertyWeight();
+  static WeightExpr InvDegreeCur();
+  static WeightExpr InvDegreePrev();
+  static WeightExpr MaxDegreeCurPrev();
+  static WeightExpr Opaque();
+  static WeightExpr Add(WeightExpr l, WeightExpr r);
+  static WeightExpr Mul(WeightExpr l, WeightExpr r);
+
+  std::string ToString() const;
+};
+
+// Branch guard kinds. The analyzer does not evaluate guards (they are
+// control flow, not data flow — Fig. 9c skips them); they are carried for
+// documentation and for selectivity hints used by the sum estimator.
+enum class CondKind {
+  kFirstStep,         // iter == 1
+  kPostEqualsPrev,    // candidate == previously visited node
+  kLinkedToPrev,      // candidate is a neighbor of the previous node
+  kNotLinkedToPrev,
+  kLabelMatchesSchema,  // edge label equals schema[step]
+  kTimestampAfterArrival,  // edge timestamp > the walker's arrival time
+  kOtherwise,
+  kOpaque,            // data-dependent loop exit / recursion (§7.1)
+};
+
+struct WeightBranch {
+  CondKind cond = CondKind::kOtherwise;
+  WeightExpr expr;
+  // Estimated probability that this branch is taken for a random neighbor;
+  // < 0 means unknown (branch-average fallback, as in Fig. 9d).
+  double selectivity = -1.0;
+};
+
+// A full get_weight() description: one branch per control-flow path.
+struct WeightProgram {
+  std::string workload_name;
+  std::vector<WeightBranch> branches;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_COMPILER_WEIGHT_EXPR_H_

@@ -1,0 +1,55 @@
+#include "src/graph/datasets.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace flexi {
+namespace {
+
+// Scale/edge-factor pairs chosen so that (a) node counts follow the
+// originals' ordering, (b) average degree tracks the originals (YT ~5.5,
+// OK ~76, TW ~57, ...), while keeping the largest stand-in tractable on a
+// single host core.
+constexpr uint32_t kScaleYT = 12, kScaleCP = 13, kScaleLJ = 13, kScaleOK = 13;
+constexpr uint32_t kScaleEU = 14, kScaleAB = 14, kScaleUK = 15, kScaleTW = 15;
+constexpr uint32_t kScaleSK = 15, kScaleFS = 15;
+
+const std::array<DatasetSpec, 10> kDatasets = {{
+    {"YT", "com-youtube", 1'100'000, 6'000'000, {kScaleYT, 6, 0.57, 0.19, 0.19, 101}},
+    {"CP", "cit-patents", 3'800'000, 33'000'000, {kScaleCP, 9, 0.57, 0.19, 0.19, 102}},
+    {"LJ", "LiveJournal", 4'800'000, 86'000'000, {kScaleLJ, 18, 0.57, 0.19, 0.19, 103}},
+    {"OK", "Orkut", 3'100'000, 234'000'000, {kScaleOK, 38, 0.57, 0.19, 0.19, 104}},
+    {"EU", "EU-2015", 11'000'000, 522'000'000, {kScaleEU, 24, 0.60, 0.18, 0.18, 105}},
+    {"AB", "Arabic-2005", 23'000'000, 1'100'000'000, {kScaleAB, 32, 0.60, 0.18, 0.18, 106}},
+    {"UK", "UK-2005", 39'000'000, 1'600'000'000, {kScaleUK, 24, 0.60, 0.18, 0.18, 107}},
+    {"TW", "Twitter", 42'000'000, 2'400'000'000, {kScaleTW, 28, 0.62, 0.17, 0.17, 108}},
+    {"SK", "SK-2005", 51'000'000, 3'600'000'000, {kScaleSK, 36, 0.62, 0.17, 0.17, 109}},
+    {"FS", "Friendster", 66'000'000, 3'600'000'000, {kScaleFS, 30, 0.57, 0.19, 0.19, 110}},
+}};
+
+}  // namespace
+
+std::span<const DatasetSpec> AllDatasets() { return kDatasets; }
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const auto& spec : kDatasets) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+Graph LoadDataset(const DatasetSpec& spec, WeightDistribution dist, double alpha) {
+  Graph graph = GenerateRmat(spec.rmat);
+  AssignWeights(graph, dist, alpha, spec.rmat.seed * 7919);
+  AssignLabels(graph, /*num_labels=*/5, spec.rmat.seed * 104729);
+  return graph;
+}
+
+uint64_t FullScaleFootprintBytes(const DatasetSpec& spec) {
+  return spec.paper_nodes * sizeof(EdgeId) + spec.paper_edges * sizeof(NodeId) +
+         spec.paper_edges * sizeof(float) + spec.paper_edges * sizeof(uint8_t);
+}
+
+}  // namespace flexi

@@ -1,0 +1,44 @@
+// Registry of scaled stand-ins for the paper's ten evaluation datasets.
+//
+// Each named dataset (Table 1 of the paper) maps to an R-MAT configuration
+// whose node/edge counts preserve the relative scale ordering of the
+// originals at roughly 1/4000 of the size, plus the original full-scale
+// counts so benches can reason about memory footprints (OOM reproduction).
+#ifndef FLEXIWALKER_SRC_GRAPH_DATASETS_H_
+#define FLEXIWALKER_SRC_GRAPH_DATASETS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+struct DatasetSpec {
+  std::string name;           // short code used in the paper (YT, CP, ...)
+  std::string full_name;      // original dataset name
+  uint64_t paper_nodes;       // node count of the original dataset
+  uint64_t paper_edges;       // edge count of the original dataset
+  RmatParams rmat;            // stand-in generator configuration
+};
+
+// All ten datasets in Table 1 order: YT, CP, LJ, OK, EU, AB, UK, TW, SK, FS.
+std::span<const DatasetSpec> AllDatasets();
+
+// Lookup by short code; throws std::out_of_range for unknown names.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+// Generates the stand-in graph with the requested weight distribution and
+// labels (labels are always assigned: 5 classes, matching the paper's
+// MetaPath schema of (0,1,2,3,4)).
+Graph LoadDataset(const DatasetSpec& spec, WeightDistribution dist, double alpha = 2.0);
+
+// Full-scale CSR footprint of the original dataset in bytes (row pointers +
+// adjacency + weights + labels), used to reproduce OOM outcomes.
+uint64_t FullScaleFootprintBytes(const DatasetSpec& spec);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_GRAPH_DATASETS_H_

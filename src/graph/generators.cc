@@ -1,0 +1,151 @@
+#include "src/graph/generators.h"
+
+#include <cmath>
+
+#include "src/rng/philox.h"
+
+namespace flexi {
+
+Graph GenerateRmat(const RmatParams& params) {
+  NodeId n = NodeId{1} << params.scale;
+  uint64_t target_edges = static_cast<uint64_t>(params.edge_factor) * n;
+  PhiloxStream rng(params.seed, /*subsequence=*/0xA11CE);
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    NodeId src = 0;
+    NodeId dst = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextUniform();
+      // Quadrant probabilities with a small noise term so the degree
+      // distribution is not exactly self-similar (standard practice).
+      double a = params.a;
+      double ab = a + params.b;
+      double abc = ab + params.c;
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src != dst) {
+      builder.AddEdge(src, dst);
+    }
+  }
+  // Give every node at least one out-edge so walk queries never start at a
+  // sink (the paper starts one query per node); wire v -> v+1.
+  Graph draft = builder.Build();
+  GraphBuilder fixup(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : draft.Neighbors(v)) {
+      fixup.AddEdge(v, u);
+    }
+    if (draft.Degree(v) == 0) {
+      fixup.AddEdge(v, (v + 1) % n);
+    }
+  }
+  return fixup.Build();
+}
+
+Graph GenerateErdosRenyi(NodeId num_nodes, double avg_degree, uint64_t seed) {
+  PhiloxStream rng(seed, /*subsequence=*/0xE12D05);
+  GraphBuilder builder(num_nodes);
+  uint64_t target_edges = static_cast<uint64_t>(avg_degree * num_nodes);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    NodeId src = rng.NextBounded(num_nodes);
+    NodeId dst = rng.NextBounded(num_nodes);
+    if (src != dst) {
+      builder.AddEdge(src, dst);
+    }
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    builder.AddEdge(v, (v + 1) % num_nodes);
+  }
+  return builder.Build();
+}
+
+Graph GenerateComplete(NodeId num_nodes) {
+  GraphBuilder builder(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      if (v != u) {
+        builder.AddEdge(v, u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateCycle(NodeId num_nodes) {
+  GraphBuilder builder(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    builder.AddEdge(v, (v + 1) % num_nodes);
+  }
+  return builder.Build();
+}
+
+Graph GenerateStar(NodeId num_leaves) {
+  GraphBuilder builder(num_leaves + 1);
+  for (NodeId leaf = 1; leaf <= num_leaves; ++leaf) {
+    builder.AddUndirectedEdge(0, leaf);
+  }
+  return builder.Build();
+}
+
+void AssignWeights(Graph& graph, WeightDistribution dist, double alpha, uint64_t seed) {
+  if (dist == WeightDistribution::kUnweighted) {
+    return;  // h = 1 is implicit; no weight array is stored.
+  }
+  PhiloxStream rng(seed, /*subsequence=*/0x3E16);
+  std::vector<float> weights(graph.num_edges());
+  switch (dist) {
+    case WeightDistribution::kUniform:
+      for (auto& w : weights) {
+        w = static_cast<float>(1.0 + 4.0 * rng.NextUniform());
+      }
+      break;
+    case WeightDistribution::kPareto:
+      for (auto& w : weights) {
+        w = static_cast<float>(1.0 + rng.NextPareto(alpha));
+      }
+      break;
+    case WeightDistribution::kDegreeBased: {
+      EdgeId e = 0;
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        for (NodeId u : graph.Neighbors(v)) {
+          weights[e++] = static_cast<float>(std::max<uint32_t>(graph.Degree(u), 1));
+        }
+      }
+      break;
+    }
+    case WeightDistribution::kUnweighted:
+      break;
+  }
+  graph.SetPropertyWeights(std::move(weights));
+}
+
+void AssignTimestamps(Graph& graph, float horizon, uint64_t seed) {
+  PhiloxStream rng(seed, /*subsequence=*/0x71AE);
+  std::vector<float> timestamps(graph.num_edges());
+  for (auto& t : timestamps) {
+    t = horizon * static_cast<float>(rng.NextUniform());
+  }
+  graph.SetEdgeTimestamps(std::move(timestamps));
+}
+
+void AssignLabels(Graph& graph, uint8_t num_labels, uint64_t seed) {
+  PhiloxStream rng(seed, /*subsequence=*/0x1A8E15);
+  std::vector<uint8_t> labels(graph.num_edges());
+  for (auto& label : labels) {
+    label = static_cast<uint8_t>(rng.NextBounded(num_labels));
+  }
+  graph.SetEdgeLabels(std::move(labels), num_labels);
+}
+
+}  // namespace flexi

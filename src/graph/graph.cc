@@ -1,0 +1,83 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace flexi {
+
+Graph::Graph(std::vector<EdgeId> row_ptr, std::vector<NodeId> col_idx)
+    : row_ptr_(std::move(row_ptr)), col_idx_(std::move(col_idx)) {
+  if (row_ptr_.empty() || row_ptr_.back() != col_idx_.size()) {
+    throw std::invalid_argument("Graph: row_ptr does not index col_idx");
+  }
+  for (NodeId v = 0; v + 1 < row_ptr_.size(); ++v) {
+    max_degree_ = std::max(max_degree_, Degree(v));
+  }
+}
+
+bool Graph::HasEdge(NodeId v, NodeId u) const {
+  auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[v]);
+  auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[v + 1]);
+  return std::binary_search(begin, end, u);
+}
+
+void Graph::SetPropertyWeights(std::vector<float> weights) {
+  if (weights.size() != col_idx_.size()) {
+    throw std::invalid_argument("Graph: weight count != edge count");
+  }
+  weights_ = std::move(weights);
+}
+
+void Graph::SetEdgeLabels(std::vector<uint8_t> labels, uint8_t num_labels) {
+  if (labels.size() != col_idx_.size()) {
+    throw std::invalid_argument("Graph: label count != edge count");
+  }
+  labels_ = std::move(labels);
+  num_labels_ = num_labels;
+}
+
+void Graph::SetEdgeTimestamps(std::vector<float> timestamps) {
+  if (timestamps.size() != col_idx_.size()) {
+    throw std::invalid_argument("Graph: timestamp count != edge count");
+  }
+  timestamps_ = std::move(timestamps);
+}
+
+size_t Graph::MemoryFootprintBytes() const {
+  size_t bytes = row_ptr_.size() * sizeof(EdgeId) + col_idx_.size() * sizeof(NodeId);
+  bytes += weights_.size() * sizeof(float) + labels_.size() * sizeof(uint8_t);
+  bytes += timestamps_.size() * sizeof(float);
+  return bytes;
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst) {
+  assert(src < num_nodes_ && dst < num_nodes_);
+  edges_.emplace_back(src, dst);
+}
+
+void GraphBuilder::AddUndirectedEdge(NodeId src, NodeId dst) {
+  AddEdge(src, dst);
+  if (src != dst) {
+    AddEdge(dst, src);
+  }
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeId> row_ptr(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<NodeId> col_idx;
+  col_idx.reserve(edges_.size());
+  for (const auto& [src, dst] : edges_) {
+    ++row_ptr[src + 1];
+    col_idx.push_back(dst);
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    row_ptr[v + 1] += row_ptr[v];
+  }
+  return Graph(std::move(row_ptr), std::move(col_idx));
+}
+
+}  // namespace flexi

@@ -1,0 +1,99 @@
+// Compressed-sparse-row directed graph with optional edge property weights
+// (h in the paper's Eq. (1)) and edge labels (for MetaPath).
+#ifndef FLEXIWALKER_SRC_GRAPH_GRAPH_H_
+#define FLEXIWALKER_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flexi {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// Immutable CSR graph. Adjacency lists are sorted by destination so that
+// membership queries (Node2Vec's dist(v', u) test) are O(log d).
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeId> row_ptr, std::vector<NodeId> col_idx);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(row_ptr_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(col_idx_.size()); }
+
+  uint32_t Degree(NodeId v) const {
+    return static_cast<uint32_t>(row_ptr_[v + 1] - row_ptr_[v]);
+  }
+  EdgeId EdgesBegin(NodeId v) const { return row_ptr_[v]; }
+
+  // i-th out-neighbor of v (0 <= i < Degree(v)).
+  NodeId Neighbor(NodeId v, uint32_t i) const { return col_idx_[row_ptr_[v] + i]; }
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {col_idx_.data() + row_ptr_[v], Degree(v)};
+  }
+
+  // Binary search over the sorted adjacency of v; true iff edge (v,u) exists.
+  bool HasEdge(NodeId v, NodeId u) const;
+
+  // Edge property weight h(e); 1.0 for unweighted graphs.
+  float PropertyWeight(EdgeId e) const { return weights_.empty() ? 1.0f : weights_[e]; }
+  bool weighted() const { return !weights_.empty(); }
+  std::span<const float> property_weights() const { return weights_; }
+
+  // Edge label for MetaPath-style schema walks; 0 for unlabeled graphs.
+  uint8_t EdgeLabel(EdgeId e) const { return labels_.empty() ? 0 : labels_[e]; }
+  bool labeled() const { return !labels_.empty(); }
+  uint8_t num_labels() const { return num_labels_; }
+
+  // Edge timestamp for temporal (CTDNE-style) walks; 0 when absent.
+  float EdgeTimestamp(EdgeId e) const { return timestamps_.empty() ? 0.0f : timestamps_[e]; }
+  bool temporal() const { return !timestamps_.empty(); }
+  void SetEdgeTimestamps(std::vector<float> timestamps);
+
+  void SetPropertyWeights(std::vector<float> weights);
+
+  // Overwrites one property weight in place (dynamic-graph updates, §7.2).
+  // Requires the graph to be weighted.
+  void UpdatePropertyWeight(EdgeId e, float weight) { weights_.at(e) = weight; }
+  void SetEdgeLabels(std::vector<uint8_t> labels, uint8_t num_labels);
+
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  // Bytes required for the CSR arrays at this graph's actual size. Used by
+  // benches to extrapolate the memory footprint of the full-scale datasets
+  // that the named stand-ins represent.
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  std::vector<EdgeId> row_ptr_{0};
+  std::vector<NodeId> col_idx_;
+  std::vector<float> weights_;
+  std::vector<uint8_t> labels_;
+  std::vector<float> timestamps_;
+  uint8_t num_labels_ = 0;
+  uint32_t max_degree_ = 0;
+};
+
+// Accumulates directed edges, deduplicates, sorts adjacency, emits a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  void AddEdge(NodeId src, NodeId dst);
+  // Adds both (src,dst) and (dst,src).
+  void AddUndirectedEdge(NodeId src, NodeId dst);
+
+  Graph Build();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,26 @@
+#include "src/graph/int8_weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexi {
+
+Int8WeightStore Int8WeightStore::Quantize(const Graph& graph) {
+  Int8WeightStore store;
+  if (!graph.weighted() || graph.num_edges() == 0) {
+    return store;
+  }
+  auto weights = graph.property_weights();
+  float lo = *std::min_element(weights.begin(), weights.end());
+  float hi = *std::max_element(weights.begin(), weights.end());
+  store.offset_ = lo;
+  store.scale_ = (hi > lo) ? (hi - lo) / 255.0f : 1.0f;
+  store.codes_.resize(weights.size());
+  for (size_t e = 0; e < weights.size(); ++e) {
+    float code = std::round((weights[e] - store.offset_) / store.scale_);
+    store.codes_[e] = static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
+  }
+  return store;
+}
+
+}  // namespace flexi

@@ -1,0 +1,43 @@
+// Low-precision (INT8) edge property weight store — the §7.2 extension.
+//
+// Weights are quantized to 8-bit codes against a per-graph affine scale.
+// Reads cost 1 byte instead of 4, cutting the memory traffic of weight scans
+// by 4x at a small quantization error. Benches compare the walk throughput
+// of FlexiWalker and FlowWalker with float vs. INT8 stores.
+#ifndef FLEXIWALKER_SRC_GRAPH_INT8_WEIGHTS_H_
+#define FLEXIWALKER_SRC_GRAPH_INT8_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+class Int8WeightStore {
+ public:
+  Int8WeightStore() = default;
+
+  // Quantizes the graph's float property weights; the graph keeps its float
+  // array, this store holds the compressed copy.
+  static Int8WeightStore Quantize(const Graph& graph);
+
+  // Dequantized weight of edge e.
+  float Weight(EdgeId e) const {
+    return offset_ + scale_ * static_cast<float>(codes_[e]);
+  }
+  bool empty() const { return codes_.empty(); }
+  size_t size_bytes() const { return codes_.size(); }
+
+  float scale() const { return scale_; }
+  float offset() const { return offset_; }
+
+ private:
+  std::vector<uint8_t> codes_;
+  float scale_ = 1.0f;
+  float offset_ = 0.0f;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_GRAPH_INT8_WEIGHTS_H_

@@ -1,0 +1,39 @@
+// Graph serialization: SNAP-style edge-list text files (the format the
+// paper's datasets ship in) and a fast binary CSR container for repeated
+// runs.
+//
+// Text format, one edge per line, '#'-prefixed comment lines ignored:
+//     src dst [weight [label]]
+// Binary format: a fixed header (magic, counts, flags) followed by the raw
+// CSR arrays; round-trips weights and labels exactly.
+#ifndef FLEXIWALKER_SRC_GRAPH_IO_H_
+#define FLEXIWALKER_SRC_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+// Parses an edge-list stream. Node ids may be sparse; they are remapped
+// densely in first-appearance order unless `num_nodes` is given, in which
+// case ids must already be < num_nodes. Throws std::runtime_error on
+// malformed input.
+Graph ReadEdgeList(std::istream& in, NodeId num_nodes = 0);
+Graph ReadEdgeListFile(const std::string& path, NodeId num_nodes = 0);
+
+// Writes the graph as an edge list (with weight and label columns when
+// present).
+void WriteEdgeList(const Graph& graph, std::ostream& out);
+void WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+// Binary CSR round trip.
+void WriteBinary(const Graph& graph, std::ostream& out);
+void WriteBinaryFile(const Graph& graph, const std::string& path);
+Graph ReadBinary(std::istream& in);
+Graph ReadBinaryFile(const std::string& path);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_GRAPH_IO_H_

@@ -1,0 +1,34 @@
+// Graph transforms used by preprocessing pipelines and tests: reversal,
+// symmetrization, induced subgraphs, and degree-descending relabeling (the
+// locality trick CSR walk engines commonly apply before sharding).
+// All transforms carry property weights, labels, and timestamps through.
+#ifndef FLEXIWALKER_SRC_GRAPH_TRANSFORMS_H_
+#define FLEXIWALKER_SRC_GRAPH_TRANSFORMS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+// All edges (v, u) become (u, v).
+Graph ReverseGraph(const Graph& graph);
+
+// Adds the reverse of every edge (attributes copied from the forward edge;
+// existing reverse edges keep their own attributes).
+Graph SymmetrizeGraph(const Graph& graph);
+
+// Subgraph induced by `nodes` (deduplicated); node ids are compacted in the
+// given order. Returns the subgraph and fills `old_to_new` (kInvalidNode
+// for dropped nodes) when non-null.
+Graph InducedSubgraph(const Graph& graph, std::span<const NodeId> nodes,
+                      std::vector<NodeId>* old_to_new = nullptr);
+
+// Relabels nodes in descending out-degree order (ties by original id) and
+// fills `old_to_new` when non-null.
+Graph DegreeSortedRelabel(const Graph& graph, std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_GRAPH_TRANSFORMS_H_

@@ -1,0 +1,61 @@
+#include "src/metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace flexi {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value) {
+  char buf[64];
+  if (value != 0.0 && (value < 0.01 || value >= 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  } else if (value >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+  }
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace flexi

@@ -1,0 +1,32 @@
+// Plain-text table formatting for bench binaries. Every bench prints the
+// rows/series of its paper table or figure through this helper so output is
+// uniform and diffable.
+#ifndef FLEXIWALKER_SRC_METRICS_REPORT_H_
+#define FLEXIWALKER_SRC_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace flexi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column alignment; numeric-looking cells right-align.
+  std::string ToString() const;
+  void Print() const;
+
+  // Formats a double with 3 significant-ish decimals, or "OOM"/"OOT" pass-
+  // through for sentinel strings.
+  static std::string Num(double value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_METRICS_REPORT_H_

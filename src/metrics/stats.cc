@@ -1,0 +1,107 @@
+#include "src/metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexi {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::CoefficientOfVariationPct() const {
+  if (mean_ == 0.0) {
+    return 0.0;
+  }
+  return stddev() / std::abs(mean_) * 100.0;
+}
+
+double ChiSquareCriticalValue(size_t degrees_of_freedom) {
+  // Wilson-Hilferty: chi2_k(p) ~ k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3,
+  // with z_0.999 ~ 3.0902.
+  double k = static_cast<double>(degrees_of_freedom);
+  if (k == 0.0) {
+    return 0.0;
+  }
+  double z = 3.0902;
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(std::span<const uint64_t> observed,
+                                       std::span<const double> probabilities) {
+  ChiSquareResult result;
+  uint64_t total = 0;
+  for (uint64_t o : observed) {
+    total += o;
+  }
+  if (total == 0 || observed.size() != probabilities.size()) {
+    return result;
+  }
+
+  // Pool adjacent bins until every pooled bin has expected count >= 5.
+  double pooled_expected = 0.0;
+  uint64_t pooled_observed = 0;
+  size_t effective_bins = 0;
+  double statistic = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    pooled_expected += probabilities[i] * static_cast<double>(total);
+    pooled_observed += observed[i];
+    bool last = (i + 1 == observed.size());
+    if (pooled_expected >= 5.0 || last) {
+      if (pooled_expected > 0.0) {
+        double diff = static_cast<double>(pooled_observed) - pooled_expected;
+        statistic += diff * diff / pooled_expected;
+        ++effective_bins;
+      }
+      pooled_expected = 0.0;
+      pooled_observed = 0;
+    }
+  }
+  result.statistic = statistic;
+  result.degrees_of_freedom = effective_bins > 1 ? effective_bins - 1 : 0;
+  result.consistent = statistic <= ChiSquareCriticalValue(result.degrees_of_freedom);
+  return result;
+}
+
+Histogram::Histogram(double min, double max, size_t bins)
+    : min_(min), max_(max), counts_(bins, 0) {}
+
+void Histogram::Add(double value) {
+  double span = max_ - min_;
+  double pos = (value - min_) / span * static_cast<double>(counts_.size());
+  auto bin = static_cast<int64_t>(std::floor(pos));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinUpperEdge(size_t i) const {
+  double width = (max_ - min_) / static_cast<double>(counts_.size());
+  return min_ + width * static_cast<double>(i + 1);
+}
+
+double GeometricMean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace flexi

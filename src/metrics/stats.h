@@ -1,0 +1,75 @@
+// Statistics helpers shared by tests and benches: streaming moments,
+// coefficient of variation (Fig. 7b), chi-square goodness-of-fit used by the
+// sampler distribution-correctness property tests, and simple histograms.
+#ifndef FLEXIWALKER_SRC_METRICS_STATS_H_
+#define FLEXIWALKER_SRC_METRICS_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flexi {
+
+// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  // Coefficient of variation in percent (std/mean*100), the metric the paper
+  // uses to quantify runtime weight variation (Fig. 7b). Returns 0 when the
+  // mean is 0.
+  double CoefficientOfVariationPct() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Pearson chi-square statistic for observed counts vs expected probabilities.
+// `probabilities` must sum to ~1; bins with expected count < 5 are pooled
+// into their neighbor to keep the test valid.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  size_t degrees_of_freedom = 0;
+  // True when the statistic is below the critical value at significance
+  // level ~0.001 for the resulting degrees of freedom.
+  bool consistent = false;
+};
+
+ChiSquareResult ChiSquareGoodnessOfFit(std::span<const uint64_t> observed,
+                                       std::span<const double> probabilities);
+
+// Approximate upper critical value of the chi-square distribution at
+// significance 0.001 using the Wilson-Hilferty transformation.
+double ChiSquareCriticalValue(size_t degrees_of_freedom);
+
+// Fixed-width histogram over [min, max); values outside clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double min, double max, size_t bins);
+
+  void Add(double value);
+  uint64_t BinCount(size_t i) const { return counts_[i]; }
+  double BinUpperEdge(size_t i) const;
+  size_t bins() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+
+ private:
+  double min_;
+  double max_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Geometric mean of a set of strictly positive ratios; returns 0 on empty.
+double GeometricMean(std::span<const double> values);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_METRICS_STATS_H_

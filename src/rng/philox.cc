@@ -1,0 +1,87 @@
+#include "src/rng/philox.h"
+
+#include <cmath>
+
+namespace flexi {
+namespace {
+
+inline void MulHiLo(uint32_t a, uint32_t b, uint32_t* hi, uint32_t* lo) {
+  uint64_t p = static_cast<uint64_t>(a) * b;
+  *hi = static_cast<uint32_t>(p >> 32);
+  *lo = static_cast<uint32_t>(p);
+}
+
+inline Philox4x32::Counter Round(Philox4x32::Counter c, Philox4x32::Key k) {
+  uint32_t hi0;
+  uint32_t lo0;
+  uint32_t hi1;
+  uint32_t lo1;
+  MulHiLo(Philox4x32::kMul0, c[0], &hi0, &lo0);
+  MulHiLo(Philox4x32::kMul1, c[2], &hi1, &lo1);
+  return {hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::Block(Counter ctr, Key key) {
+  for (int round = 0; round < 10; ++round) {
+    ctr = Round(ctr, key);
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return ctr;
+}
+
+PhiloxStream::PhiloxStream(uint64_t seed, uint64_t subsequence, uint64_t offset)
+    : seed_(seed), subsequence_(subsequence), offset_(0) {
+  SeekTo(offset);
+}
+
+void PhiloxStream::SeekTo(uint64_t offset) {
+  offset_ = offset;
+  buffered_ = 0;
+}
+
+void PhiloxStream::Refill() {
+  // The counter encodes (block index, subsequence); the key encodes the seed.
+  uint64_t block = offset_ / 4;
+  Philox4x32::Counter ctr = {
+      static_cast<uint32_t>(block), static_cast<uint32_t>(block >> 32),
+      static_cast<uint32_t>(subsequence_), static_cast<uint32_t>(subsequence_ >> 32)};
+  Philox4x32::Key key = {static_cast<uint32_t>(seed_), static_cast<uint32_t>(seed_ >> 32)};
+  buffer_ = Philox4x32::Block(ctr, key);
+  buffered_ = 4 - static_cast<uint32_t>(offset_ % 4);
+}
+
+uint32_t PhiloxStream::Next() {
+  if (buffered_ == 0) {
+    Refill();
+  }
+  uint32_t value = buffer_[4 - buffered_];
+  --buffered_;
+  ++offset_;
+  return value;
+}
+
+double PhiloxStream::NextUniform() {
+  return static_cast<double>(Next()) * 0x1.0p-32;
+}
+
+double PhiloxStream::NextUniformOpen() {
+  return (static_cast<double>(Next()) + 1.0) * 0x1.0p-32;
+}
+
+uint32_t PhiloxStream::NextBounded(uint32_t bound) {
+  uint64_t product = static_cast<uint64_t>(Next()) * bound;
+  return static_cast<uint32_t>(product >> 32);
+}
+
+double PhiloxStream::NextExponential() {
+  return -std::log(NextUniformOpen());
+}
+
+double PhiloxStream::NextPareto(double alpha) {
+  return std::pow(NextUniformOpen(), -1.0 / alpha) - 1.0;
+}
+
+}  // namespace flexi

@@ -1,0 +1,84 @@
+// Counter-based Philox4x32-10 pseudo-random generator.
+//
+// FlexiWalker's kernels (and the cuRAND library the paper builds on) rely on
+// counter-based generators: every lane of a warp owns an independent,
+// arbitrarily seekable stream. Seekability is what makes the eRVS "jump"
+// optimization sound — a lane can skip ahead over neighbors it never
+// evaluates without desynchronizing its stream from the sequential oracle.
+//
+// Reference: Salmon et al., "Parallel random numbers: as easy as 1, 2, 3"
+// (SC'11). This is a from-scratch implementation of the 4x32-10 variant.
+#ifndef FLEXIWALKER_SRC_RNG_PHILOX_H_
+#define FLEXIWALKER_SRC_RNG_PHILOX_H_
+
+#include <array>
+#include <cstdint>
+
+namespace flexi {
+
+// Raw Philox4x32-10 block function: maps a 128-bit counter and 64-bit key to
+// four 32-bit outputs. Stateless and pure; all stream classes wrap this.
+struct Philox4x32 {
+  using Counter = std::array<uint32_t, 4>;
+  using Key = std::array<uint32_t, 2>;
+
+  static constexpr uint32_t kMul0 = 0xD2511F53u;
+  static constexpr uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  static Counter Block(Counter ctr, Key key);
+};
+
+// A seekable stream of uniform random numbers, analogous to a cuRAND Philox
+// state: (seed, subsequence, offset). Each call consumes one 32-bit output;
+// four outputs are produced per block evaluation and buffered.
+class PhiloxStream {
+ public:
+  PhiloxStream() : PhiloxStream(0, 0, 0) {}
+  PhiloxStream(uint64_t seed, uint64_t subsequence, uint64_t offset = 0);
+
+  // Repositions the stream to an absolute offset (in units of 32-bit draws)
+  // within the same (seed, subsequence). O(1), like curand skipahead.
+  void SeekTo(uint64_t offset);
+
+  // Advances by `n` draws without generating them.
+  void Skip(uint64_t n) { SeekTo(offset_ + n); }
+
+  uint64_t offset() const { return offset_; }
+  uint64_t subsequence() const { return subsequence_; }
+  uint64_t seed() const { return seed_; }
+
+  // Next raw 32-bit output.
+  uint32_t Next();
+
+  // Uniform double in [0, 1) with 32 bits of randomness. One draw.
+  double NextUniform();
+
+  // Uniform double in (0, 1]: never returns 0, which makes it safe as the
+  // argument of log() in exponential/key transforms. One draw.
+  double NextUniformOpen();
+
+  // Uniform integer in [0, bound) via 64-bit multiply-shift. One draw.
+  uint32_t NextBounded(uint32_t bound);
+
+  // Exponential(1) variate: -log(U) with U in (0,1]. One draw.
+  double NextExponential();
+
+  // Pareto variate with shape `alpha` and scale 1: (U)^(-1/alpha) - 1 is the
+  // numpy convention (np.random.pareto), returning values in [0, inf).
+  double NextPareto(double alpha);
+
+ private:
+  uint64_t seed_;
+  uint64_t subsequence_;
+  uint64_t offset_;
+  Philox4x32::Counter buffer_{};
+  uint32_t buffered_ = 0;  // number of valid outputs remaining in buffer_
+
+  void Refill();
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_RNG_PHILOX_H_

@@ -1,0 +1,103 @@
+#include "src/runtime/cost_model.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace flexi {
+
+bool SamplerSelector::PreferRjs(const WalkContext& ctx, const QueryState& q, double* bound_out,
+                                PhiloxStream& selector_rng) {
+  bool rjs = false;
+  double bound = 0.0;
+  bool helpers_ok = helpers_ != nullptr && helpers_->valid();
+  switch (strategy_) {
+    case SelectionStrategy::kAlwaysRvs:
+      rjs = false;
+      break;
+    case SelectionStrategy::kAlwaysRjs:
+      rjs = helpers_ok;
+      break;
+    case SelectionStrategy::kRandom:
+      rjs = helpers_ok && (selector_rng.Next() & 1u) != 0;
+      break;
+    case SelectionStrategy::kDegreeThreshold:
+      rjs = helpers_ok && ctx.graph->Degree(q.cur) >= params_.degree_threshold;
+      break;
+    case SelectionStrategy::kCostModel: {
+      if (!helpers_ok) {
+        rjs = false;
+        break;
+      }
+      bound = helpers_->WeightMax(ctx, q);
+      double sum = helpers_->WeightSum(ctx, q);
+      ctx.mem().CountAlu(2);
+      // Eq. (11): prefer RJS when ratio * max̂ < Σ̂.
+      rjs = bound > 0.0 && params_.edge_cost_ratio * bound < sum;
+      break;
+    }
+  }
+  if (rjs && bound == 0.0 && helpers_ok) {
+    bound = helpers_->WeightMax(ctx, q);
+  }
+  if (bound_out != nullptr) {
+    *bound_out = bound;
+  }
+  if (rjs) {
+    ++counters_.chose_rjs;
+  } else {
+    ++counters_.chose_rvs;
+  }
+  return rjs;
+}
+
+double ProfileEdgeCostRatio(const Graph& graph, const WalkLogic& logic, DeviceContext& device,
+                            uint32_t sample_nodes, uint32_t neighbors_per_node, uint64_t seed) {
+  // Two mini-kernels over the same node sample: one touches neighbors in
+  // random order (RJS access pattern), one scans them sequentially (RVS
+  // pattern). The ratio of their weighted costs calibrates Eq. (11); by
+  // running on the actual graph and workload it indirectly absorbs
+  // hardware-specific effects (cache behavior, weight-function cost).
+  PhiloxStream rng(seed, /*subsequence=*/0x0C057);
+  WalkContext ctx{&graph, &device, nullptr, nullptr};
+
+  CostCounters before = device.mem().counters();
+  volatile float sink = 0.0f;
+  for (uint32_t s = 0; s < sample_nodes; ++s) {
+    NodeId v = rng.NextBounded(graph.num_nodes());
+    QueryState q;
+    q.cur = v;
+    q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
+    uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
+    for (uint32_t t = 0; t < count; ++t) {
+      uint32_t i = rng.NextBounded(std::max<uint32_t>(graph.Degree(v), 1));
+      device.mem().LoadRandom(sizeof(NodeId) + sizeof(float));
+      sink = sink + logic.TransitionWeight(ctx, q, i);
+    }
+  }
+  CostCounters random_cost = device.mem().counters() - before;
+
+  before = device.mem().counters();
+  PhiloxStream rng2(seed, /*subsequence=*/0x0C058);
+  for (uint32_t s = 0; s < sample_nodes; ++s) {
+    NodeId v = rng2.NextBounded(graph.num_nodes());
+    QueryState q;
+    q.cur = v;
+    q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
+    uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
+    device.mem().LoadCoalesced(1, static_cast<size_t>(count) * (sizeof(NodeId) + sizeof(float)));
+    for (uint32_t i = 0; i < count; ++i) {
+      sink = sink + logic.TransitionWeight(ctx, q, i);
+    }
+  }
+  CostCounters sequential_cost = device.mem().counters() - before;
+
+  double random_per_edge = random_cost.WeightedCost();
+  double sequential_per_edge = sequential_cost.WeightedCost();
+  if (sequential_per_edge <= 0.0) {
+    return 4.0;
+  }
+  double ratio = random_per_edge / sequential_per_edge;
+  return std::clamp(ratio, 1.0, 64.0);
+}
+
+}  // namespace flexi

@@ -1,0 +1,22 @@
+// Preprocessing kernels: materialize the per-node h_MAX / h_SUM reductions
+// demanded by the compiler-generated preprocess() plan (Fig. 9d). Run once
+// per (graph, workload); the paper reports their cost in Table 3 and notes
+// the results are reusable across runs.
+#ifndef FLEXIWALKER_SRC_RUNTIME_PREPROCESS_H_
+#define FLEXIWALKER_SRC_RUNTIME_PREPROCESS_H_
+
+#include "src/compiler/generator.h"
+#include "src/walks/walk_context.h"
+
+namespace flexi {
+
+// Computes the reductions listed in `plan` over the graph's property
+// weights, charging the scan to `device`. For unweighted graphs the arrays
+// are filled with the implicit h = 1 values so downstream estimators remain
+// branch-free.
+PreprocessedData RunPreprocess(const Graph& graph, const PreprocessPlan& plan,
+                               DeviceContext& device);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_RUNTIME_PREPROCESS_H_

@@ -1,0 +1,67 @@
+#include "src/runtime/weight_updates.h"
+
+#include <algorithm>
+
+#include "src/rng/philox.h"
+
+namespace flexi {
+
+WeightUpdateStats WeightUpdater::Apply(std::span<const WeightUpdate> updates) {
+  WeightUpdateStats stats;
+  for (const WeightUpdate& update : updates) {
+    NodeId v = update.src;
+    if (v >= graph_.num_nodes() || update.edge_index >= graph_.Degree(v)) {
+      continue;
+    }
+    EdgeId e = graph_.EdgesBegin(v) + update.edge_index;
+    float old_weight = graph_.PropertyWeight(e);
+    graph_.UpdatePropertyWeight(e, update.new_weight);
+    device_.mem().StoreRandom(sizeof(float));
+    ++stats.applied;
+
+    if (preprocessed_ == nullptr || preprocessed_->empty()) {
+      continue;
+    }
+    // h_SUM: exact delta maintenance.
+    preprocessed_->h_sum[v] += update.new_weight - old_weight;
+    device_.mem().StoreRandom(sizeof(float));
+    // h_MAX: increases are absorbed monotonically; a shrinking previous
+    // maximum forces an exact rescan of the row to avoid drifting the
+    // bound arbitrarily far above the true maximum.
+    float& h_max = preprocessed_->h_max[v];
+    if (update.new_weight >= h_max) {
+      h_max = update.new_weight;
+    } else if (old_weight >= h_max) {
+      float rescanned = 0.0f;
+      uint32_t degree = graph_.Degree(v);
+      for (uint32_t i = 0; i < degree; ++i) {
+        rescanned = std::max(rescanned, graph_.PropertyWeight(graph_.EdgesBegin(v) + i));
+      }
+      device_.mem().LoadCoalesced(1, static_cast<size_t>(degree) * sizeof(float));
+      h_max = degree > 0 ? rescanned : 1.0f;
+      ++stats.max_rescans;
+    }
+  }
+  return stats;
+}
+
+std::vector<WeightUpdate> RandomWeightUpdates(const Graph& graph, size_t count,
+                                              uint64_t seed) {
+  PhiloxStream rng(seed, /*subsequence=*/0x0DDD);
+  std::vector<WeightUpdate> updates;
+  updates.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    WeightUpdate update;
+    update.src = rng.NextBounded(graph.num_nodes());
+    uint32_t degree = graph.Degree(update.src);
+    if (degree == 0) {
+      continue;
+    }
+    update.edge_index = rng.NextBounded(degree);
+    update.new_weight = static_cast<float>(1.0 + 4.0 * rng.NextUniform());
+    updates.push_back(update);
+  }
+  return updates;
+}
+
+}  // namespace flexi

@@ -1,0 +1,60 @@
+// Dynamic-graph weight updates — the first §7.2 future extension.
+//
+// The paper notes that runtime updates to edge property weights invalidate
+// the preprocessed h_MAX / h_SUM arrays eRJS's bound relies on (§7.1).
+// WeightUpdater applies batched edge-weight updates to a graph and
+// *incrementally maintains* the preprocessed per-node reductions:
+//   * h_SUM is adjusted exactly by the delta;
+//   * h_MAX grows monotonically on increases; a decrease of the previous
+//     maximum triggers an exact rescan of that node's row.
+// The maintained arrays therefore always dominate the true values, which is
+// the only property eRJS's correctness needs.
+#ifndef FLEXIWALKER_SRC_RUNTIME_WEIGHT_UPDATES_H_
+#define FLEXIWALKER_SRC_RUNTIME_WEIGHT_UPDATES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/simt/device.h"
+#include "src/walks/walk_context.h"
+
+namespace flexi {
+
+struct WeightUpdate {
+  NodeId src = 0;
+  uint32_t edge_index = 0;  // index within src's adjacency row
+  float new_weight = 1.0f;
+};
+
+struct WeightUpdateStats {
+  uint64_t applied = 0;
+  uint64_t max_rescans = 0;  // rows rescanned because the old max shrank
+};
+
+class WeightUpdater {
+ public:
+  // `graph` and `preprocessed` must outlive the updater; preprocessed may
+  // be null when no eRJS bound data is maintained.
+  WeightUpdater(Graph& graph, PreprocessedData* preprocessed, DeviceContext& device)
+      : graph_(graph), preprocessed_(preprocessed), device_(device) {}
+
+  // Applies a batch of updates; returns per-batch statistics. Charges the
+  // random stores for the weight writes and any rescan traffic.
+  WeightUpdateStats Apply(std::span<const WeightUpdate> updates);
+
+ private:
+  Graph& graph_;
+  PreprocessedData* preprocessed_;
+  DeviceContext& device_;
+};
+
+// Generates a random update batch: `count` uniformly chosen edges get new
+// uniform [1, 5) weights. For tests and the dynamic-graph bench.
+std::vector<WeightUpdate> RandomWeightUpdates(const Graph& graph, size_t count,
+                                              uint64_t seed);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_RUNTIME_WEIGHT_UPDATES_H_

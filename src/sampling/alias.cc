@@ -1,0 +1,86 @@
+#include "src/sampling/alias.h"
+
+#include <vector>
+
+namespace flexi {
+
+AliasTable BuildAliasTable(std::span<const float> weights) {
+  AliasTable table;
+  size_t n = weights.size();
+  if (n == 0) {
+    return table;
+  }
+  double total = 0.0;
+  for (float w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return table;
+  }
+  table.prob.resize(n);
+  table.alias.resize(n);
+  // Scaled probabilities; classic small/large two-stack pairing.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = static_cast<double>(weights[i]) * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    table.prob[s] = static_cast<float>(scaled[s]);
+    table.alias[s] = l;
+    scaled[l] = scaled[l] - (1.0 - scaled[s]);
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) {
+    table.prob[i] = 1.0f;
+    table.alias[i] = i;
+  }
+  for (uint32_t i : small) {
+    table.prob[i] = 1.0f;  // numerical leftovers
+    table.alias[i] = i;
+  }
+  return table;
+}
+
+uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng) {
+  uint32_t slot = rng.Bounded(static_cast<uint32_t>(table.size()));
+  double u = rng.Uniform();
+  return u < table.prob[slot] ? slot : table.alias[slot];
+}
+
+StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                     KernelRng& rng) {
+  uint32_t degree = ctx.graph->Degree(q.cur);
+  StepResult result;
+  if (degree == 0) {
+    result.dead_end = true;
+    return result;
+  }
+  // Full weight scan (adjacency + h) plus workload weight per edge.
+  ChargeWeightScan(ctx, degree);
+  std::vector<float> weights(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    weights[i] = logic.TransitionWeight(ctx, q, i);
+  }
+  // Mean reduction + table build: two passes over the weights, and the
+  // table itself (prob + alias, 8 bytes/entry) is written then read back.
+  ctx.mem().CountAlu(3ull * degree);
+  ctx.mem().CountCollective(5);
+  ctx.mem().StoreCoalesced(1, static_cast<size_t>(degree) * 8);
+  AliasTable table = BuildAliasTable(weights);
+  if (table.empty()) {
+    result.dead_end = true;
+    return result;
+  }
+  ctx.mem().LoadRandom(8);  // the 2D lookup hits one random table slot
+  result.index = SampleAliasTable(table, rng);
+  return result;
+}
+
+}  // namespace flexi

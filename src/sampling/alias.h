@@ -1,0 +1,39 @@
+// Alias sampling (Walker '77) — the ALS base method used by Skywalker.
+//
+// Builds the alias table per sampling step (for dynamic walks the table
+// cannot be cached: the weights depend on the walker's history), then draws
+// the next node with two random numbers. The per-step table construction is
+// exactly the overhead the paper's Fig. 3 attributes to ALS.
+#ifndef FLEXIWALKER_SRC_SAMPLING_ALIAS_H_
+#define FLEXIWALKER_SRC_SAMPLING_ALIAS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+// Standalone alias table over arbitrary non-negative weights.
+struct AliasTable {
+  std::vector<float> prob;     // acceptance threshold per slot
+  std::vector<uint32_t> alias; // alternative index per slot
+
+  bool empty() const { return prob.empty(); }
+  size_t size() const { return prob.size(); }
+};
+
+// Two-stack construction; returns an empty table when all weights are zero.
+AliasTable BuildAliasTable(std::span<const float> weights);
+
+// Draws one index from the table (2 uniform draws).
+uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng);
+
+// One dynamic-walk step with per-step table construction, charging the scan,
+// the mean reduction, the table build traffic and the lookup.
+StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                     KernelRng& rng);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_ALIAS_H_

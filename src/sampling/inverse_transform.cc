@@ -1,0 +1,53 @@
+#include "src/sampling/inverse_transform.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace flexi {
+
+uint32_t InvertCdf(std::span<const double> inclusive_prefix, double target) {
+  auto it = std::upper_bound(inclusive_prefix.begin(), inclusive_prefix.end(), target);
+  if (it == inclusive_prefix.end()) {
+    return static_cast<uint32_t>(inclusive_prefix.size()) - 1;
+  }
+  return static_cast<uint32_t>(it - inclusive_prefix.begin());
+}
+
+StepResult InverseTransformStep(const WalkContext& ctx, const WalkLogic& logic,
+                                const QueryState& q, KernelRng& rng) {
+  uint32_t degree = ctx.graph->Degree(q.cur);
+  StepResult result;
+  if (degree == 0) {
+    result.dead_end = true;
+    return result;
+  }
+  ChargeWeightScan(ctx, degree);
+  std::vector<double> prefix(degree);
+  double running = 0.0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    running += logic.TransitionWeight(ctx, q, i);
+    prefix[i] = running;
+  }
+  if (running <= 0.0) {
+    result.dead_end = true;
+    return result;
+  }
+  // The normalized cumulative array is materialized in global memory
+  // (written, then re-read by the binary search): d float writes + reads,
+  // a normalization divide per element, a scan's collectives, then the
+  // log(d) random probes of the search itself.
+  ctx.mem().CountAlu(2ull * degree);
+  ctx.mem().CountCollective(5);
+  ctx.mem().StoreCoalesced(1, static_cast<size_t>(degree) * sizeof(float));
+  ctx.mem().LoadCoalesced(1, static_cast<size_t>(degree) * sizeof(float));
+  double u = rng.Uniform();
+  uint32_t probes = std::bit_width(degree);
+  for (uint32_t p = 0; p < probes; ++p) {
+    ctx.mem().LoadRandom(sizeof(float));
+  }
+  result.index = InvertCdf(prefix, u * running);
+  return result;
+}
+
+}  // namespace flexi

@@ -1,0 +1,26 @@
+// Inverse transform sampling (ITS) — the base method of C-SAW.
+//
+// Builds the normalized cumulative distribution by a prefix-sum over the
+// transition weights, then inverts one uniform draw with a binary search.
+// Like ALS, the per-step construction cost is what makes it unattractive
+// for dynamic walks (Fig. 3).
+#ifndef FLEXIWALKER_SRC_SAMPLING_INVERSE_TRANSFORM_H_
+#define FLEXIWALKER_SRC_SAMPLING_INVERSE_TRANSFORM_H_
+
+#include <span>
+
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+// One ITS walk step: prefix-sum construction + binary-search inversion.
+StepResult InverseTransformStep(const WalkContext& ctx, const WalkLogic& logic,
+                                const QueryState& q, KernelRng& rng);
+
+// Inverts `u * total` over an inclusive prefix-sum array; returns the least
+// index whose cumulative weight exceeds the target. Exposed for tests.
+uint32_t InvertCdf(std::span<const double> inclusive_prefix, double target);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_INVERSE_TRANSFORM_H_

@@ -1,0 +1,42 @@
+// Rejection sampling (RJS) — the base method of NextDoor, and this paper's
+// optimized eRJS variant (§3.3).
+//
+// Baseline RJS first max-reduces the full transition-weight list to size the
+// proposal box, then repeats (x, y) trials until y lands under w̃(x). eRJS
+// replaces the exact max with an upper bound supplied by the generated
+// get_weight_max() helper, eliminating the full scan: memory is touched only
+// for the edges the x-coordinate selects. The paper proves (Eqs. 5-8) that
+// any bound c >= max w̃ leaves the accepted distribution exactly p.
+#ifndef FLEXIWALKER_SRC_SAMPLING_REJECTION_H_
+#define FLEXIWALKER_SRC_SAMPLING_REJECTION_H_
+
+#include <optional>
+
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+struct RejectionStats {
+  uint64_t trials = 0;
+  uint64_t fallback_scans = 0;
+};
+
+// Baseline RJS step (NextDoor). If `known_max` is set (e.g. unweighted
+// Node2Vec where max w = max(1, 1/a, 1/b) is a compile-time constant), the
+// max reduction is skipped — NextDoor's partial dynamic support.
+StepResult RejectionStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                         KernelRng& rng, std::optional<double> known_max,
+                         RejectionStats* stats = nullptr);
+
+// eRJS step: trials against a caller-supplied upper bound. The bound comes
+// from Flexi-Compiler's generated helper; it must satisfy bound >= max w̃
+// or the sampled distribution is clipped (tests enforce the invariant).
+// After `max(64, 8*degree)` failed trials the kernel falls back to one full
+// scan (detecting the all-zero dead-end case, e.g. MetaPath with no
+// schema-matching edge) and samples by inversion.
+StepResult ERjsStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                    KernelRng& rng, double bound, RejectionStats* stats = nullptr);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_REJECTION_H_

@@ -1,0 +1,49 @@
+// Weighted reservoir sampling (RVS) — FlowWalker's base method — and this
+// paper's optimized eRVS kernels (§3.2).
+//
+// Baseline (FlowWalker): maintain a single candidate; neighbor i replaces it
+// with probability w̃_i / W_i (W_i = inclusive prefix sum). Parallelized by
+// materializing the prefix sums so all comparisons are independent, then a
+// max-reduction picks the surviving (largest) successful index. Costs: two
+// full passes over the weights (scan + prefix sum) and one RNG draw per
+// neighbor.
+//
+// eRVS-EXP: statistically equivalent Efraimidis–Spirakis formulation
+// (Algorithm 1): key_i = u_i^(1/w̃_i), select argmax key. No prefix sum —
+// one pass over the weights, still one RNG draw per neighbor.
+//
+// eRVS-JUMP (the full eRVS): exponential-jump variant (A-ExpJ). With the
+// current max key k, the next candidate update happens at the first
+// neighbor m whose running weight sum reaches T = ln(u)/ln(k) (Eq. 4);
+// all neighbors before m need no RNG or pow. Expected RNG draws drop from
+// degree to O(log degree).
+#ifndef FLEXIWALKER_SRC_SAMPLING_RESERVOIR_H_
+#define FLEXIWALKER_SRC_SAMPLING_RESERVOIR_H_
+
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+struct ReservoirStats {
+  uint64_t keys_generated = 0;  // explicit key computations (RNG + pow)
+  uint64_t neighbors_scanned = 0;
+};
+
+// Baseline RVS step (FlowWalker).
+StepResult ReservoirStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                         KernelRng& rng, ReservoirStats* stats = nullptr);
+
+// eRVS with only the memory-access optimization (EXP): ES keys, no jump.
+// Used by the Fig. 12a ablation.
+StepResult ERvsScanStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                        KernelRng& rng, ReservoirStats* stats = nullptr);
+
+// Full eRVS: ES keys + exponential jumps, warp-strided (Fig. 4b): lanes own
+// strided neighbor subsets, seed a shared global max key with a first-round
+// reduction, jump independently, and a final reduction picks the winner.
+StepResult ERvsJumpStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                        KernelRng& rng, ReservoirStats* stats = nullptr);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_RESERVOIR_H_

@@ -1,0 +1,23 @@
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kAlias:
+      return "ALS";
+    case SamplerKind::kInverseTransform:
+      return "ITS";
+    case SamplerKind::kRejection:
+      return "RJS";
+    case SamplerKind::kReservoir:
+      return "RVS";
+    case SamplerKind::kERjs:
+      return "eRJS";
+    case SamplerKind::kERvs:
+      return "eRVS";
+  }
+  return "?";
+}
+
+}  // namespace flexi

@@ -1,0 +1,84 @@
+// Common types for one-step neighbor sampling kernels.
+//
+// Every kernel answers the same question: at the query's current node v,
+// draw neighbor index i with probability w̃(i) / Σ w̃ where w̃ = w * h
+// (Eq. 1). Kernels differ in their auxiliary structures, memory traffic and
+// RNG consumption — precisely the trade-offs the paper studies (§2.2, §3).
+#ifndef FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
+#define FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/rng/philox.h"
+#include "src/simt/memory_model.h"
+#include "src/walks/walk_context.h"
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+inline constexpr uint32_t kNoIndex = std::numeric_limits<uint32_t>::max();
+
+enum class SamplerKind {
+  kAlias,             // ALS — Skywalker
+  kInverseTransform,  // ITS — C-SAW
+  kRejection,         // RJS — NextDoor
+  kReservoir,         // RVS — FlowWalker
+  kERjs,              // eRJS — this paper, §3.3
+  kERvs,              // eRVS — this paper, §3.2
+};
+
+const char* SamplerKindName(SamplerKind kind);
+
+struct StepResult {
+  uint32_t index = kNoIndex;  // selected neighbor index, kNoIndex if none
+  bool dead_end = false;      // all transition weights were zero
+
+  bool ok() const { return index != kNoIndex; }
+};
+
+// RNG adapter that charges every draw to the device so kernels cannot forget
+// to account for random-number generation.
+class KernelRng {
+ public:
+  KernelRng(PhiloxStream& stream, MemoryModel& mem) : stream_(stream), mem_(mem) {}
+
+  double Uniform() {
+    mem_.CountRng(1);
+    return stream_.NextUniform();
+  }
+  double UniformOpen() {
+    mem_.CountRng(1);
+    return stream_.NextUniformOpen();
+  }
+  uint32_t Bounded(uint32_t bound) {
+    mem_.CountRng(1);
+    return stream_.NextBounded(bound);
+  }
+  double Exponential() {
+    mem_.CountRng(1);
+    return stream_.NextExponential();
+  }
+
+  PhiloxStream& stream() { return stream_; }
+
+ private:
+  PhiloxStream& stream_;
+  MemoryModel& mem_;
+};
+
+// Charges the memory traffic of one full scan over the adjacency and
+// property weights of `count` neighbors (coalesced CSR access).
+inline void ChargeWeightScan(const WalkContext& ctx, uint32_t count) {
+  ctx.mem().LoadCoalesced(1, static_cast<size_t>(count) * (sizeof(NodeId) + ctx.HBytes()));
+}
+
+// Charges one random (uncoalesced) access to a single adjacency entry and
+// its property weight — the per-trial cost of rejection sampling.
+inline void ChargeRandomEdgeLoad(const WalkContext& ctx) {
+  ctx.mem().LoadRandom(sizeof(NodeId) + ctx.HBytes());
+}
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_

@@ -1,0 +1,91 @@
+#include "src/sampling/warp_its.h"
+
+#include <vector>
+
+#include "src/simt/warp.h"
+
+namespace flexi {
+
+StepResult WarpInverseTransformStep(const WalkContext& ctx, const WalkLogic& logic,
+                                    const QueryState& q, KernelRng& rng) {
+  uint32_t degree = ctx.graph->Degree(q.cur);
+  StepResult result;
+  if (degree == 0) {
+    result.dead_end = true;
+    return result;
+  }
+  MemoryModel& mem = ctx.mem();
+  uint32_t num_tiles = (degree + kWarpSize - 1) / kWarpSize;
+
+  // Pass 1: per-tile lockstep weight computation + warp scan; the per-tile
+  // totals (the coarse CDF) live in per-warp shared memory.
+  std::vector<double> tile_totals(num_tiles);
+  double running_total = 0.0;
+  for (uint32_t tile = 0; tile < num_tiles; ++tile) {
+    uint32_t base = tile * kWarpSize;
+    uint32_t active_lanes = std::min<uint32_t>(kWarpSize, degree - base);
+    uint32_t mask = active_lanes == kWarpSize ? kFullMask : ((1u << active_lanes) - 1);
+    mem.LoadCoalesced(active_lanes, sizeof(NodeId) + ctx.HBytes());
+
+    LaneArray<double> weights{};
+    for (uint32_t lane = 0; lane < active_lanes; ++lane) {
+      weights[lane] = logic.TransitionWeight(ctx, q, base + lane);
+    }
+    LaneArray<double> scanned = InclusiveScan(mem, mask, weights);
+    double tile_total = Shuffle(mem, scanned, active_lanes - 1);
+    running_total += tile_total;
+    tile_totals[tile] = running_total;
+    mem.StoreCoalesced(1, sizeof(float));  // tile CDF entry
+  }
+  if (running_total <= 0.0) {
+    result.dead_end = true;
+    return result;
+  }
+
+  // Invert: lane 0 draws u, broadcast; the coarse tile is found by a
+  // ballot over per-lane comparisons against the tile CDF, then the fine
+  // position by a second lockstep scan of that tile.
+  double target = rng.Uniform() * running_total;
+  uint32_t tile = 0;
+  {
+    LaneArray<bool> exceeds{};
+    for (uint32_t t = 0; t < num_tiles; t += kWarpSize) {
+      uint32_t lanes = std::min<uint32_t>(kWarpSize, num_tiles - t);
+      uint32_t mask = lanes == kWarpSize ? kFullMask : ((1u << lanes) - 1);
+      mem.LoadCoalesced(lanes, sizeof(float));
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        exceeds[lane] = tile_totals[t + lane] > target;
+      }
+      uint32_t hit = Ballot(mem, mask, exceeds);
+      if (hit != 0) {
+        tile = t + FirstLane(hit);
+        break;
+      }
+    }
+  }
+
+  // Fine scan inside the selected tile (weights recomputed in lockstep, as
+  // C-SAW does rather than storing the full fine CDF).
+  double tile_base = tile == 0 ? 0.0 : tile_totals[tile - 1];
+  uint32_t base = tile * kWarpSize;
+  uint32_t active_lanes = std::min<uint32_t>(kWarpSize, degree - base);
+  uint32_t mask = active_lanes == kWarpSize ? kFullMask : ((1u << active_lanes) - 1);
+  mem.LoadCoalesced(active_lanes, sizeof(NodeId) + ctx.HBytes());
+  LaneArray<double> weights{};
+  for (uint32_t lane = 0; lane < active_lanes; ++lane) {
+    weights[lane] = logic.TransitionWeight(ctx, q, base + lane);
+  }
+  LaneArray<double> scanned = InclusiveScan(mem, mask, weights);
+  LaneArray<bool> exceeds{};
+  for (uint32_t lane = 0; lane < active_lanes; ++lane) {
+    exceeds[lane] = tile_base + scanned[lane] > target;
+  }
+  uint32_t hit = Ballot(mem, mask, exceeds);
+  // Numerical edge: target can land a hair past the last lane's cumulative
+  // value; clamp to the tile's final neighbor.
+  uint32_t lane = hit != 0 ? FirstLane(hit) : active_lanes - 1;
+  result.index = base + lane;
+  return result;
+}
+
+}  // namespace flexi

@@ -1,0 +1,25 @@
+// Warp-cooperative inverse transform sampling, written against the SIMT
+// substrate's collectives (Ballot / InclusiveScan / Shuffle) in the exact
+// lockstep structure C-SAW's warp-centric kernel uses:
+//
+//   tile loop: each of the 32 lanes computes the transition weight of one
+//   neighbor; an inclusive warp scan produces the running CDF tile; the
+//   tile's total is broadcast and accumulated. A second pass re-scans the
+//   tiles to invert one uniform draw.
+//
+// Statistically identical to the sequential InverseTransformStep (the
+// distribution tests verify both); the point of this variant is that the
+// warp-level data flow is real, not just charged.
+#ifndef FLEXIWALKER_SRC_SAMPLING_WARP_ITS_H_
+#define FLEXIWALKER_SRC_SAMPLING_WARP_ITS_H_
+
+#include "src/sampling/sampler.h"
+
+namespace flexi {
+
+StepResult WarpInverseTransformStep(const WalkContext& ctx, const WalkLogic& logic,
+                                    const QueryState& q, KernelRng& rng);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SAMPLING_WARP_ITS_H_

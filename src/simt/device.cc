@@ -1,0 +1,43 @@
+#include "src/simt/device.h"
+
+namespace flexi {
+
+DeviceProfile DeviceProfile::SimulatedGpu() {
+  DeviceProfile p;
+  p.name = "sim-gpu";
+  // An A6000-class device: 84 SMs x 4 warps resident ~ 10k effective lanes
+  // for memory-bound kernels is far beyond what matters here; what matters
+  // is the ratio to the CPU profile (~two orders of magnitude), matching the
+  // paper's CPU-vs-GPU gap.
+  p.parallel_lanes = 8192.0;
+  p.unit_rate = 1.0;
+  p.joules_per_cost_unit = 3.0e-8;
+  p.idle_watts = 60.0;
+  p.peak_watts = 300.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::SimulatedCpu(int threads) {
+  DeviceProfile p;
+  p.name = "sim-cpu";
+  p.parallel_lanes = static_cast<double>(threads);
+  p.unit_rate = 2.0;  // higher per-lane rate (big cores, large caches)
+  p.joules_per_cost_unit = 8.0e-8;
+  p.idle_watts = 50.0;
+  p.peak_watts = 200.0;
+  return p;
+}
+
+double DeviceContext::SimulatedMs() const {
+  double cost = mem_.counters().WeightedCost();
+  return cost / (profile_.parallel_lanes * profile_.unit_rate);
+}
+
+double DeviceContext::SimulatedJoules() const {
+  double cost = mem_.counters().WeightedCost();
+  double dynamic = cost * profile_.joules_per_cost_unit;
+  double idle = profile_.idle_watts * (SimulatedMs() / 1000.0);
+  return dynamic + idle;
+}
+
+}  // namespace flexi

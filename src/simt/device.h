@@ -1,0 +1,57 @@
+// Simulated device context: a named accounting domain for kernels.
+//
+// A DeviceContext stands in for one GPU (or one CPU socket for the CPU
+// baselines). It owns the MemoryModel that kernels record into and the
+// device profile used to convert accumulated counters into simulated time.
+#ifndef FLEXIWALKER_SRC_SIMT_DEVICE_H_
+#define FLEXIWALKER_SRC_SIMT_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/simt/memory_model.h"
+
+namespace flexi {
+
+// Throughput profile of a simulated device class. `parallel_lanes` is the
+// effective number of concurrently serviced lanes: wide for a GPU, narrow
+// for a CPU. Simulated time = WeightedCost / (parallel_lanes * unit_rate).
+struct DeviceProfile {
+  std::string name;
+  double parallel_lanes = 1.0;
+  // Weighted-cost units retired per lane per simulated millisecond.
+  double unit_rate = 1000.0;
+  // Activity-proportional energy model (Fig. 16): joules per weighted-cost
+  // unit, plus idle power integrated over the run.
+  double joules_per_cost_unit = 1e-9;
+  double idle_watts = 30.0;
+  double peak_watts = 300.0;
+
+  static DeviceProfile SimulatedGpu();
+  static DeviceProfile SimulatedCpu(int threads);
+};
+
+class DeviceContext {
+ public:
+  explicit DeviceContext(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  MemoryModel& mem() { return mem_; }
+  const MemoryModel& mem() const { return mem_; }
+  const DeviceProfile& profile() const { return profile_; }
+
+  // Simulated milliseconds for everything recorded so far.
+  double SimulatedMs() const;
+
+  // Simulated energy in joules for everything recorded so far.
+  double SimulatedJoules() const;
+
+  void Reset() { mem_.Reset(); }
+
+ private:
+  DeviceProfile profile_;
+  MemoryModel mem_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SIMT_DEVICE_H_

@@ -1,0 +1,66 @@
+#include "src/simt/memory_model.h"
+
+namespace flexi {
+
+CostCounters& CostCounters::operator+=(const CostCounters& other) {
+  coalesced_transactions += other.coalesced_transactions;
+  random_transactions += other.random_transactions;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  rng_draws += other.rng_draws;
+  alu_ops += other.alu_ops;
+  warp_collectives += other.warp_collectives;
+  return *this;
+}
+
+CostCounters CostCounters::operator-(const CostCounters& other) const {
+  CostCounters d;
+  d.coalesced_transactions = coalesced_transactions - other.coalesced_transactions;
+  d.random_transactions = random_transactions - other.random_transactions;
+  d.bytes_read = bytes_read - other.bytes_read;
+  d.bytes_written = bytes_written - other.bytes_written;
+  d.rng_draws = rng_draws - other.rng_draws;
+  d.alu_ops = alu_ops - other.alu_ops;
+  d.warp_collectives = warp_collectives - other.warp_collectives;
+  return d;
+}
+
+double CostCounters::WeightedCost() const {
+  // Relative charges: a random transaction wastes most of its 128-byte line,
+  // so it costs ~4x a coalesced one for 4-8 byte payloads. Philox RNG and
+  // scalar ALU are cheap relative to DRAM on a GPU-class device;
+  // collectives cost a few synchronized ALU steps each.
+  return 1.0 * static_cast<double>(coalesced_transactions) +
+         4.0 * static_cast<double>(random_transactions) +
+         0.02 * static_cast<double>(rng_draws) +
+         0.01 * static_cast<double>(alu_ops) +
+         0.20 * static_cast<double>(warp_collectives);
+}
+
+void MemoryModel::LoadCoalesced(uint32_t lanes, size_t bytes_per_lane) {
+  size_t bytes = static_cast<size_t>(lanes) * bytes_per_lane;
+  counters_.coalesced_transactions += (bytes + kTransactionBytes - 1) / kTransactionBytes;
+  counters_.bytes_read += bytes;
+}
+
+void MemoryModel::LoadRandom(size_t bytes) {
+  counters_.random_transactions += 1;
+  counters_.bytes_read += bytes;
+}
+
+void MemoryModel::StoreCoalesced(uint32_t lanes, size_t bytes_per_lane) {
+  size_t bytes = static_cast<size_t>(lanes) * bytes_per_lane;
+  counters_.coalesced_transactions += (bytes + kTransactionBytes - 1) / kTransactionBytes;
+  counters_.bytes_written += bytes;
+}
+
+void MemoryModel::StoreRandom(size_t bytes) {
+  counters_.random_transactions += 1;
+  counters_.bytes_written += bytes;
+}
+
+void MemoryModel::CountCollective(uint64_t ops) {
+  counters_.warp_collectives += ops;
+}
+
+}  // namespace flexi

@@ -1,0 +1,76 @@
+// Memory-traffic and work accounting for the simulated SIMT substrate.
+//
+// The paper's performance arguments (Sections 3-4) are stated in terms of
+// memory transactions: how many edge-weight words a kernel touches, whether
+// lanes of a warp coalesce their loads, how many random numbers are drawn,
+// and how many reduction steps run. On real hardware those quantities map
+// almost linearly onto runtime for these memory-bound kernels. The substrate
+// therefore counts them explicitly; benches report both wall-clock and a
+// simulated time derived from these counters so the figures' shapes are
+// machine-independent and deterministic.
+#ifndef FLEXIWALKER_SRC_SIMT_MEMORY_MODEL_H_
+#define FLEXIWALKER_SRC_SIMT_MEMORY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flexi {
+
+// Raw activity counters. Plain aggregate so snapshots/deltas are cheap.
+struct CostCounters {
+  // 128-byte memory transactions issued to (simulated) DRAM. Coalesced:
+  // lanes of a warp touching consecutive addresses share transactions.
+  // Random: each access pays a full transaction.
+  uint64_t coalesced_transactions = 0;
+  uint64_t random_transactions = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  // Random-number draws (32-bit Philox outputs consumed).
+  uint64_t rng_draws = 0;
+  // Arithmetic steps attributed to warp-level reductions/scans and to
+  // per-edge weight computation.
+  uint64_t alu_ops = 0;
+  // Warp-level collective operations (ballot / shuffle / reduce / scan).
+  uint64_t warp_collectives = 0;
+
+  CostCounters& operator+=(const CostCounters& other);
+  CostCounters operator-(const CostCounters& other) const;
+
+  // Scalar cost used by the first-order simulated-time model. Random
+  // transactions are charged more than coalesced ones (no spatial reuse),
+  // mirroring EdgeCost_RJS > EdgeCost_RVS in the paper's Eq. (9)-(10).
+  double WeightedCost() const;
+};
+
+// Per-device accounting sink. One instance per simulated device; kernels
+// record into the device they run on. Not thread-safe by design: the
+// substrate executes one simulated device per host thread.
+class MemoryModel {
+ public:
+  // `lanes` lanes each read `bytes_per_lane` consecutive bytes from a common
+  // base (e.g. a warp scanning a CSR adjacency segment).
+  void LoadCoalesced(uint32_t lanes, size_t bytes_per_lane);
+
+  // A single lane reads `bytes` from an arbitrary address (e.g. a rejection
+  // trial indexing one random neighbor).
+  void LoadRandom(size_t bytes);
+
+  void StoreCoalesced(uint32_t lanes, size_t bytes_per_lane);
+  void StoreRandom(size_t bytes);
+
+  void CountRng(uint64_t draws) { counters_.rng_draws += draws; }
+  void CountAlu(uint64_t ops) { counters_.alu_ops += ops; }
+  void CountCollective(uint64_t ops);
+
+  const CostCounters& counters() const { return counters_; }
+  void Reset() { counters_ = CostCounters{}; }
+
+  static constexpr size_t kTransactionBytes = 128;
+
+ private:
+  CostCounters counters_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SIMT_MEMORY_MODEL_H_

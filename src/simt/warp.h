@@ -1,0 +1,115 @@
+// Warp-level collective primitives for the simulated SIMT substrate.
+//
+// Kernels in this repo are written in "array-of-lanes" style: per-lane state
+// lives in std::array<T, kWarpSize> registers and the collectives below
+// replace CUDA's __ballot_sync / __shfl_sync / warp reductions / scans. The
+// algorithms are the literal lockstep algorithms of the paper's kernels; the
+// substrate merely executes the 32 lanes on one host thread and charges the
+// collective's log-depth ALU cost to the owning MemoryModel.
+#ifndef FLEXIWALKER_SRC_SIMT_WARP_H_
+#define FLEXIWALKER_SRC_SIMT_WARP_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "src/simt/memory_model.h"
+
+namespace flexi {
+
+inline constexpr uint32_t kWarpSize = 32;
+inline constexpr uint32_t kFullMask = 0xFFFFFFFFu;
+
+template <typename T>
+using LaneArray = std::array<T, kWarpSize>;
+
+inline bool LaneActive(uint32_t mask, uint32_t lane) {
+  return (mask >> lane) & 1u;
+}
+
+// __ballot_sync: returns a bitmask of active lanes whose predicate is true.
+inline uint32_t Ballot(MemoryModel& mem, uint32_t mask, const LaneArray<bool>& pred) {
+  mem.CountCollective(1);
+  uint32_t result = 0;
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (LaneActive(mask, lane) && pred[lane]) {
+      result |= 1u << lane;
+    }
+  }
+  return result;
+}
+
+// __shfl_sync: every active lane reads `values[src_lane]`.
+template <typename T>
+T Shuffle(MemoryModel& mem, const LaneArray<T>& values, uint32_t src_lane) {
+  mem.CountCollective(1);
+  return values[src_lane % kWarpSize];
+}
+
+// Warp max-reduction over active lanes; returns the max value and, through
+// `arg_lane`, the lowest lane index achieving it. log2(32) = 5 steps.
+template <typename T>
+T ReduceMax(MemoryModel& mem, uint32_t mask, const LaneArray<T>& values,
+            uint32_t* arg_lane = nullptr) {
+  mem.CountCollective(5);
+  bool found = false;
+  T best{};
+  uint32_t best_lane = 0;
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (!LaneActive(mask, lane)) {
+      continue;
+    }
+    if (!found || values[lane] > best) {
+      best = values[lane];
+      best_lane = lane;
+      found = true;
+    }
+  }
+  if (arg_lane != nullptr) {
+    *arg_lane = best_lane;
+  }
+  return best;
+}
+
+// Warp sum-reduction over active lanes.
+template <typename T>
+T ReduceSum(MemoryModel& mem, uint32_t mask, const LaneArray<T>& values) {
+  mem.CountCollective(5);
+  T sum{};
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (LaneActive(mask, lane)) {
+      sum += values[lane];
+    }
+  }
+  return sum;
+}
+
+// Inclusive prefix sum across the full warp (inactive lanes contribute 0
+// but still receive their prefix). Matches a shfl-based Hillis-Steele scan.
+template <typename T>
+LaneArray<T> InclusiveScan(MemoryModel& mem, uint32_t mask, const LaneArray<T>& values) {
+  mem.CountCollective(5);
+  LaneArray<T> out{};
+  T running{};
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (LaneActive(mask, lane)) {
+      running += values[lane];
+    }
+    out[lane] = running;
+  }
+  return out;
+}
+
+// Population count of a ballot mask (host-side helper, free).
+inline uint32_t PopCount(uint32_t mask) {
+  return static_cast<uint32_t>(__builtin_popcount(mask));
+}
+
+// Index of the lowest set bit; mask must be nonzero (mirrors __ffs - 1).
+inline uint32_t FirstLane(uint32_t mask) {
+  return static_cast<uint32_t>(__builtin_ctz(mask));
+}
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_SIMT_WARP_H_

@@ -1,0 +1,21 @@
+#include "src/walker/engine.h"
+
+namespace flexi {
+
+std::vector<NodeId> AllNodesAsStarts(const Graph& graph) {
+  std::vector<NodeId> starts(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    starts[v] = v;
+  }
+  return starts;
+}
+
+std::vector<NodeId> StridedStarts(const Graph& graph, uint32_t stride) {
+  std::vector<NodeId> starts;
+  for (NodeId v = 0; v < graph.num_nodes(); v += stride) {
+    starts.push_back(v);
+  }
+  return starts;
+}
+
+}  // namespace flexi

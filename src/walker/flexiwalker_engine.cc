@@ -1,0 +1,182 @@
+#include "src/walker/flexiwalker_engine.h"
+
+#include <array>
+#include <chrono>
+
+#include "src/simt/warp.h"
+#include "src/sampling/rejection.h"
+#include "src/walker/query_queue.h"
+#include "src/sampling/reservoir.h"
+
+namespace flexi {
+
+FlexiWalkerEngine::FlexiWalkerEngine(FlexiWalkerOptions options)
+    : options_(std::move(options)) {}
+
+std::string FlexiWalkerEngine::name() const {
+  switch (options_.strategy) {
+    case SelectionStrategy::kCostModel:
+      return "FlexiWalker";
+    case SelectionStrategy::kRandom:
+      return "FlexiWalker(random)";
+    case SelectionStrategy::kDegreeThreshold:
+      return "FlexiWalker(degree)";
+    case SelectionStrategy::kAlwaysRvs:
+      return "FlexiWalker(eRVS-only)";
+    case SelectionStrategy::kAlwaysRjs:
+      return "FlexiWalker(eRJS-only)";
+  }
+  return "FlexiWalker";
+}
+
+WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
+                                  std::span<const NodeId> starts, uint64_t seed) {
+  DeviceContext device(options_.device);
+
+  // --- Compile time: analyze the workload and generate helpers (§4.2). ---
+  Generator generator;
+  helpers_ = generator.Generate(logic.program());
+
+  // --- Profiling kernels (§5.1): calibrate the EdgeCost ratio. ---
+  CostModelParams params;
+  params.degree_threshold = options_.degree_threshold;
+  double profile_sim_ms = 0.0;
+  if (options_.edge_cost_ratio.has_value()) {
+    params.edge_cost_ratio = *options_.edge_cost_ratio;
+    last_profiled_ratio_ = params.edge_cost_ratio;
+  } else {
+    CostCounters before = device.mem().counters();
+    params.edge_cost_ratio = ProfileEdgeCostRatio(graph, logic, device);
+    last_profiled_ratio_ = params.edge_cost_ratio;
+    CostCounters delta = device.mem().counters() - before;
+    profile_sim_ms = delta.WeightedCost() /
+                     (options_.device.parallel_lanes * options_.device.unit_rate);
+  }
+
+  // --- Preprocessing: h_MAX / h_SUM reductions when the plan needs them
+  // and the graph actually stores property weights. ---
+  PreprocessedData preprocessed;
+  double preprocess_sim_ms = 0.0;
+  if (helpers_.valid() && graph.weighted()) {
+    CostCounters before = device.mem().counters();
+    preprocessed = RunPreprocess(graph, helpers_.plan(), device);
+    CostCounters delta = device.mem().counters() - before;
+    preprocess_sim_ms = delta.WeightedCost() /
+                        (options_.device.parallel_lanes * options_.device.unit_rate);
+  }
+
+  Int8WeightStore int8_store;
+  if (options_.use_int8_weights && graph.weighted()) {
+    int8_store = Int8WeightStore::Quantize(graph);
+  }
+
+  // Reset so the result's cost covers the main walk only; profile and
+  // preprocess costs are reported separately (Table 3).
+  device.Reset();
+
+  WalkContext ctx{&graph, &device, preprocessed.empty() ? nullptr : &preprocessed,
+                  int8_store.empty() ? nullptr : &int8_store};
+  SamplerSelector selector(options_.strategy, params, &helpers_);
+  PhiloxStream selector_rng(seed ^ 0x5E1EC7, /*subsequence=*/0);
+
+  uint32_t length = logic.walk_length();
+  WalkResult result;
+  result.path_stride = length + 1;
+  result.num_queries = starts.size();
+  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
+
+  auto t0 = std::chrono::steady_clock::now();
+
+  // --- Mixed warp kernel (§5.2) over the dynamically scheduled queue.
+  // Lanes hold one query each; each round every active lane takes one step.
+  // After the per-lane eRJS work, a ballot finds lanes that need the
+  // warp-cooperative eRVS service; those queries are broadcast (shuffles)
+  // and serviced warp-wide. The substrate's accounting is additive, so the
+  // round structure below charges the same collectives the CUDA kernel
+  // issues without simulating intra-round interleaving.
+  QueryQueue queue(starts);  // the global atomic counter (§5.3)
+  struct Lane {
+    bool active = false;
+    QueryState q;
+    PhiloxStream stream;
+    uint32_t steps_done = 0;
+  };
+  std::array<Lane, kWarpSize> lanes;
+  auto fetch = [&](Lane& lane) {
+    std::optional<QueryQueue::Query> next = queue.Next();
+    if (!next.has_value()) {
+      lane.active = false;
+      return;
+    }
+    size_t id = next->id;
+    lane.q = QueryState{};
+    lane.q.query_id = id;
+    lane.q.start = next->start;
+    lane.q.cur = lane.q.start;
+    logic.Init(lane.q);
+    lane.stream = PhiloxStream(seed, /*subsequence=*/id);
+    lane.steps_done = 0;
+    lane.active = true;
+    result.paths[id * result.path_stride] = lane.q.cur;
+  };
+  for (Lane& lane : lanes) {
+    fetch(lane);
+  }
+
+  auto any_active = [&] {
+    for (const Lane& lane : lanes) {
+      if (lane.active) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (any_active()) {
+    // Ballot: which lanes run RVS this round (and the end-of-walk checks).
+    device.mem().CountCollective(1);
+    for (Lane& lane : lanes) {
+      if (!lane.active) {
+        continue;
+      }
+      KernelRng rng(lane.stream, device.mem());
+      double bound = 0.0;
+      bool use_rjs = selector.PreferRjs(ctx, lane.q, &bound, selector_rng);
+      StepResult step;
+      if (use_rjs) {
+        step = ERjsStep(ctx, logic, lane.q, rng, bound);
+      } else {
+        // Warp-cooperative service: the query's parameters are shared via
+        // shuffles before the warp executes eRVS together.
+        device.mem().CountCollective(2);
+        step = ERvsJumpStep(ctx, logic, lane.q, rng);
+      }
+      bool finished = false;
+      if (step.ok()) {
+        NodeId next = graph.Neighbor(lane.q.cur, step.index);
+        logic.Update(ctx, lane.q, next, step.index);
+        ++lane.steps_done;
+        result.paths[lane.q.query_id * result.path_stride + lane.steps_done] = next;
+        device.mem().StoreCoalesced(1, sizeof(NodeId));
+        finished = lane.steps_done >= length;
+      } else {
+        finished = true;  // dead end
+      }
+      if (finished) {
+        fetch(lane);
+      }
+    }
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.cost = device.mem().counters();
+  result.sim_ms = device.SimulatedMs();
+  result.joules = device.SimulatedJoules();
+  result.profile_sim_ms = profile_sim_ms;
+  result.preprocess_sim_ms = preprocess_sim_ms;
+  result.selection = selector.counters();
+  return result;
+}
+
+}  // namespace flexi

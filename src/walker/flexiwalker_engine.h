@@ -1,0 +1,48 @@
+// The FlexiWalker engine: compile-time specialization (Flexi-Compiler) +
+// runtime per-step sampler selection (Flexi-Runtime) + the optimized eRJS /
+// eRVS kernels (Flexi-Kernel), executed as the concurrent mixed warp kernel
+// of §5.2 with dynamic query scheduling (§5.3).
+#ifndef FLEXIWALKER_SRC_WALKER_FLEXIWALKER_ENGINE_H_
+#define FLEXIWALKER_SRC_WALKER_FLEXIWALKER_ENGINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/compiler/generator.h"
+#include "src/runtime/cost_model.h"
+#include "src/runtime/preprocess.h"
+#include "src/walker/engine.h"
+
+namespace flexi {
+
+struct FlexiWalkerOptions {
+  SelectionStrategy strategy = SelectionStrategy::kCostModel;
+  // When unset, the EdgeCost ratio is profiled at startup (§5.1).
+  std::optional<double> edge_cost_ratio;
+  uint32_t degree_threshold = 1000;
+  bool use_int8_weights = false;  // §7.2 extension
+  DeviceProfile device = DeviceProfile::SimulatedGpu();
+};
+
+class FlexiWalkerEngine : public Engine {
+ public:
+  explicit FlexiWalkerEngine(FlexiWalkerOptions options = {});
+
+  std::string name() const override;
+  WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
+                 uint64_t seed) override;
+
+  // Exposed for tests and the Table 3 bench: the generated helper bundle and
+  // preprocessed arrays of the last Run.
+  const GeneratedHelpers& helpers() const { return helpers_; }
+  double last_profiled_ratio() const { return last_profiled_ratio_; }
+
+ private:
+  FlexiWalkerOptions options_;
+  GeneratedHelpers helpers_;
+  double last_profiled_ratio_ = 0.0;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKER_FLEXIWALKER_ENGINE_H_

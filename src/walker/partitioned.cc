@@ -1,0 +1,72 @@
+#include "src/walker/partitioned.h"
+
+#include <memory>
+
+#include "src/sampling/reservoir.h"
+
+namespace flexi {
+
+uint32_t PartitionOwner(NodeId v, uint32_t num_devices) {
+  uint64_t x = (static_cast<uint64_t>(v) + 0x9E3779B9u) * 0xC2B2AE3D27D4EB4Full;
+  return static_cast<uint32_t>((x >> 33) % num_devices);
+}
+
+PartitionedRunResult RunPartitioned(const Graph& graph, const WalkLogic& logic,
+                                    std::span<const NodeId> starts, uint32_t num_devices,
+                                    const InterconnectProfile& link, uint64_t seed) {
+  std::vector<std::unique_ptr<DeviceContext>> devices;
+  devices.reserve(num_devices);
+  for (uint32_t d = 0; d < num_devices; ++d) {
+    devices.push_back(std::make_unique<DeviceContext>(DeviceProfile::SimulatedGpu()));
+  }
+
+  PartitionedRunResult result;
+  uint32_t length = logic.walk_length();
+  constexpr size_t kQueryStateBytes = 48;  // cur/prev/step/rng state + path cursor
+
+  for (size_t qid = 0; qid < starts.size(); ++qid) {
+    QueryState q;
+    q.query_id = qid;
+    q.start = starts[qid];
+    q.cur = q.start;
+    logic.Init(q);
+    PhiloxStream stream(seed, qid);
+    uint32_t owner = PartitionOwner(q.cur, num_devices);
+    for (uint32_t s = 0; s < length; ++s) {
+      DeviceContext& device = *devices[owner];
+      WalkContext ctx{&graph, &device, nullptr, nullptr};
+      KernelRng rng(stream, device.mem());
+      StepResult step = ERvsJumpStep(ctx, logic, q, rng);
+      ++result.total_steps;
+      if (!step.ok()) {
+        break;
+      }
+      NodeId next = graph.Neighbor(q.cur, step.index);
+      logic.Update(ctx, q, next, step.index);
+      device.mem().StoreCoalesced(1, sizeof(NodeId));
+      uint32_t next_owner = PartitionOwner(q.cur, num_devices);
+      if (next_owner != owner) {
+        // Migrate the walker: serialize its state over the link. Both ends
+        // pay the transfer; the fixed message cost models link latency.
+        double transfer = static_cast<double>(kQueryStateBytes) / link.bytes_per_cost_unit +
+                          link.per_message_cost;
+        result.comm_cost += transfer;
+        ++result.migrations;
+        // Attribute the transfer as ALU-free collective cost on both ends
+        // so it flows into each device's simulated time.
+        devices[owner]->mem().CountCollective(static_cast<uint64_t>(transfer / 0.2));
+        devices[next_owner]->mem().CountCollective(static_cast<uint64_t>(transfer / 0.2));
+        owner = next_owner;
+      }
+    }
+  }
+
+  for (uint32_t d = 0; d < num_devices; ++d) {
+    double ms = devices[d]->SimulatedMs();
+    result.device_sim_ms.push_back(ms);
+    result.makespan_sim_ms = std::max(result.makespan_sim_ms, ms);
+  }
+  return result;
+}
+
+}  // namespace flexi

@@ -1,0 +1,50 @@
+// Dynamic query scheduling (§5.3): a global atomically-incremented counter
+// indexes an immutable array of start nodes; every processing unit (GPU
+// lane in the simulation, host thread for CPU engines) fetches its next
+// query by bumping the counter. Exactly-once dispensation under
+// concurrency is what the paper's design relies on — and what the tests
+// hammer with real threads.
+#ifndef FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
+#define FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
+
+#include <atomic>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+class QueryQueue {
+ public:
+  struct Query {
+    uint64_t id;
+    NodeId start;
+  };
+
+  explicit QueryQueue(std::span<const NodeId> starts)
+      : starts_(starts.begin(), starts.end()) {}
+
+  // Thread-safe: each call returns a distinct query until the queue drains.
+  std::optional<Query> Next() {
+    uint64_t id = counter_.fetch_add(1, std::memory_order_relaxed);
+    if (id >= starts_.size()) {
+      return std::nullopt;
+    }
+    return Query{id, starts_[id]};
+  }
+
+  size_t size() const { return starts_.size(); }
+  // Number of queries dispensed so far (may transiently overshoot size()
+  // by the number of racing callers that saw the queue empty).
+  uint64_t counter() const { return counter_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<NodeId> starts_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_

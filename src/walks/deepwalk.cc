@@ -1,0 +1,30 @@
+#include "src/walks/deepwalk.h"
+
+namespace flexi {
+
+DeepWalk::DeepWalk(uint32_t length) : length_(length) {
+  program_.workload_name = "deepwalk";
+  program_.branches = {
+      {CondKind::kOtherwise, WeightExpr::PropertyWeight(), 1.0},
+  };
+}
+
+OpaqueWalk::OpaqueWalk(uint32_t length) : length_(length) {
+  program_.workload_name = "opaque";
+  program_.branches = {
+      {CondKind::kOpaque, WeightExpr::Opaque(), -1.0},
+  };
+}
+
+float OpaqueWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                 uint32_t i) const {
+  ctx.mem().CountAlu(4);
+  // Deterministic pseudo-random weight in (0.5, 2.5]; opaque to analysis.
+  uint64_t x = (static_cast<uint64_t>(q.cur) << 32) ^ (static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return 0.5f + 2.0f * static_cast<float>(x & 0xFFFFFF) / static_cast<float>(0x1000000);
+}
+
+}  // namespace flexi

@@ -1,0 +1,52 @@
+// DeepWalk (Perozzi et al., KDD'14): a *static* first-order walk, w = 1.
+// Included as the static-workload reference and as the simplest possible
+// WalkLogic; transition probabilities are proportional to h alone.
+#ifndef FLEXIWALKER_SRC_WALKS_DEEPWALK_H_
+#define FLEXIWALKER_SRC_WALKS_DEEPWALK_H_
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class DeepWalk : public WalkLogic {
+ public:
+  explicit DeepWalk(uint32_t length = 80);
+
+  std::string name() const override { return "deepwalk"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override {
+    (void)ctx;
+    (void)q;
+    (void)i;
+    return 1.0f;
+  }
+  const WeightProgram& program() const override { return program_; }
+
+ private:
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+// A deliberately unanalyzable workload used to exercise the §7.1 fallback:
+// its program contains an Opaque expression, so Flexi-Compiler refuses to
+// generate bound helpers and FlexiWalker runs eRVS-only. The actual weight
+// is a hash-based pseudo-random function of (cur, i).
+class OpaqueWalk : public WalkLogic {
+ public:
+  explicit OpaqueWalk(uint32_t length = 16);
+
+  std::string name() const override { return "opaque"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+ private:
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_DEEPWALK_H_

@@ -1,0 +1,34 @@
+// MetaPath walk (Dong et al., KDD'17): the walk must follow an input label
+// schema; step j may only traverse edges whose label equals schema[j].
+// Equivalent to w = 1 on schema-matching edges and w = 0 otherwise.
+#ifndef FLEXIWALKER_SRC_WALKS_METAPATH_H_
+#define FLEXIWALKER_SRC_WALKS_METAPATH_H_
+
+#include <vector>
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class MetaPathWalk : public WalkLogic {
+ public:
+  // `schema` is the ordered label sequence; the walk depth equals the schema
+  // length (the paper uses schema (0,1,2,3,4), depth 5).
+  explicit MetaPathWalk(std::vector<uint8_t> schema);
+
+  std::string name() const override { return "metapath"; }
+  uint32_t walk_length() const override { return static_cast<uint32_t>(schema_.size()); }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+  const std::vector<uint8_t>& schema() const { return schema_; }
+
+ private:
+  std::vector<uint8_t> schema_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_METAPATH_H_

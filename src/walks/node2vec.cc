@@ -1,0 +1,41 @@
+#include "src/walks/node2vec.h"
+
+#include <bit>
+
+namespace flexi {
+
+Node2VecWalk::Node2VecWalk(double a, double b, uint32_t length)
+    : a_(a), b_(b), length_(length) {
+  program_.workload_name = "node2vec";
+  program_.branches = {
+      {CondKind::kFirstStep,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::Const(1.0)), -1.0},
+      {CondKind::kPostEqualsPrev,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::Const(1.0 / a)), -1.0},
+      {CondKind::kLinkedToPrev,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::Const(1.0)), -1.0},
+      {CondKind::kNotLinkedToPrev,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::Const(1.0 / b)), -1.0},
+  };
+}
+
+float Node2VecWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                   uint32_t i) const {
+  if (q.prev == kInvalidNode) {
+    return 1.0f;  // first step: pure property-weight transition
+  }
+  NodeId u = ctx.graph->Neighbor(q.cur, i);
+  if (u == q.prev) {
+    return static_cast<float>(1.0 / a_);
+  }
+  // dist(v', u) == 1 membership probe: binary search over N(v'). The
+  // adjacency of v' stays hot across the probes of one step, so the probe
+  // is charged as a short compare chain, not DRAM transactions.
+  ctx.mem().CountAlu(4);
+  if (ctx.graph->HasEdge(q.prev, u)) {
+    return 1.0f;
+  }
+  return static_cast<float>(1.0 / b_);
+}
+
+}  // namespace flexi

@@ -1,0 +1,36 @@
+// Node2Vec (Grover & Leskovec, KDD'16) second-order walk, Eq. (2) of the
+// paper: the workload weight depends on the graph distance between the
+// previously visited node v' and the candidate u —
+//   w = 1/a  if dist(v', u) == 0   (u is v' itself: return)
+//   w = 1    if dist(v', u) == 1   (u neighbors v')
+//   w = 1/b  if dist(v', u) == 2   (otherwise)
+#ifndef FLEXIWALKER_SRC_WALKS_NODE2VEC_H_
+#define FLEXIWALKER_SRC_WALKS_NODE2VEC_H_
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class Node2VecWalk : public WalkLogic {
+ public:
+  Node2VecWalk(double a, double b, uint32_t length = 80);
+
+  std::string name() const override { return "node2vec"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_NODE2VEC_H_

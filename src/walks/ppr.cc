@@ -1,0 +1,29 @@
+#include "src/walks/ppr.h"
+
+namespace flexi {
+
+PersonalizedPageRankWalk::PersonalizedPageRankWalk(double restart, uint32_t length)
+    : restart_(restart), length_(length) {
+  program_.workload_name = "ppr";
+  program_.branches = {
+      {CondKind::kOtherwise, WeightExpr::PropertyWeight(), 1.0},
+  };
+}
+
+void PersonalizedPageRankWalk::Update(const WalkContext& ctx, QueryState& q, NodeId next,
+                                      uint32_t i) const {
+  (void)i;
+  // Teleport decision: a dedicated per-query stream keyed off (query, step)
+  // keeps Update deterministic without threading the kernel RNG through.
+  PhiloxStream restart_stream(0x9E57A27 ^ q.query_id, q.step);
+  ctx.mem().CountRng(1);
+  q.prev = q.cur;
+  if (restart_stream.NextUniform() < restart_) {
+    q.cur = q.start;
+  } else {
+    q.cur = next;
+  }
+  ++q.step;
+}
+
+}  // namespace flexi

@@ -1,0 +1,44 @@
+// Personalized PageRank walk (random walk with restart): at every step the
+// walker teleports back to its start node with probability `restart`;
+// otherwise it takes a first-order weighted step. A staple workload of the
+// CPU walk engines the paper compares against (KnightKing, ThunderRW).
+//
+// Restart is modeled inside Update (it does not change the neighbor
+// distribution), so the weight program stays first-order and PER_STEP only
+// through h — eRJS remains fully applicable.
+#ifndef FLEXIWALKER_SRC_WALKS_PPR_H_
+#define FLEXIWALKER_SRC_WALKS_PPR_H_
+
+#include "src/rng/philox.h"
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class PersonalizedPageRankWalk : public WalkLogic {
+ public:
+  PersonalizedPageRankWalk(double restart, uint32_t length);
+
+  std::string name() const override { return "ppr"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override {
+    (void)ctx;
+    (void)q;
+    (void)i;
+    return 1.0f;
+  }
+  void Update(const WalkContext& ctx, QueryState& q, NodeId next,
+              uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+  double restart() const { return restart_; }
+
+ private:
+  double restart_;
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_PPR_H_

@@ -1,0 +1,41 @@
+#include "src/walks/second_order_pr.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace flexi {
+
+SecondOrderPageRankWalk::SecondOrderPageRankWalk(double gamma, uint32_t length)
+    : gamma_(gamma), length_(length) {
+  program_.workload_name = "2nd-pr";
+  WeightExpr maxd = WeightExpr::MaxDegreeCurPrev();
+  WeightExpr linked = WeightExpr::Mul(
+      WeightExpr::Add(WeightExpr::Mul(WeightExpr::Const(1.0 - gamma), WeightExpr::InvDegreeCur()),
+                      WeightExpr::Mul(WeightExpr::Const(gamma), WeightExpr::InvDegreePrev())),
+      maxd);
+  WeightExpr unlinked = WeightExpr::Mul(
+      WeightExpr::Mul(WeightExpr::Const(1.0 - gamma), WeightExpr::InvDegreeCur()), maxd);
+  program_.branches = {
+      {CondKind::kLinkedToPrev, WeightExpr::Mul(WeightExpr::PropertyWeight(), linked), -1.0},
+      {CondKind::kOtherwise, WeightExpr::Mul(WeightExpr::PropertyWeight(), unlinked), -1.0},
+  };
+}
+
+float SecondOrderPageRankWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                              uint32_t i) const {
+  double dv = std::max<uint32_t>(ctx.graph->Degree(q.cur), 1);
+  if (q.prev == kInvalidNode) {
+    // First step: no second-order term yet; uniform (1-γ)/d(v) * d(v).
+    return static_cast<float>(1.0 - gamma_);
+  }
+  double dp = std::max<uint32_t>(ctx.graph->Degree(q.prev), 1);
+  double maxd = std::max(dv, dp);
+  NodeId u = ctx.graph->Neighbor(q.cur, i);
+  ctx.mem().CountAlu(6);
+  if (u == q.prev || ctx.graph->HasEdge(q.prev, u)) {
+    return static_cast<float>(((1.0 - gamma_) / dv + gamma_ / dp) * maxd);
+  }
+  return static_cast<float>(((1.0 - gamma_) / dv) * maxd);
+}
+
+}  // namespace flexi

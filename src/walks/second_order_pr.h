@@ -1,0 +1,32 @@
+// Second-Order PageRank (Wu et al., pVLDB'16), Eq. (3) of the paper:
+// with maxd = max(d(v), d(v')) and tunable gamma,
+//   w = ((1-γ)/d(v) + γ/d(v')) * maxd   if dist(v', u) == 1,
+//   w = ((1-γ)/d(v))            * maxd   otherwise.
+#ifndef FLEXIWALKER_SRC_WALKS_SECOND_ORDER_PR_H_
+#define FLEXIWALKER_SRC_WALKS_SECOND_ORDER_PR_H_
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class SecondOrderPageRankWalk : public WalkLogic {
+ public:
+  explicit SecondOrderPageRankWalk(double gamma, uint32_t length = 80);
+
+  std::string name() const override { return "2nd-pr"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_SECOND_ORDER_PR_H_

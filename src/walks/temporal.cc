@@ -1,0 +1,34 @@
+#include "src/walks/temporal.h"
+
+namespace flexi {
+
+TemporalWalk::TemporalWalk(uint32_t length) : length_(length) {
+  program_.workload_name = "temporal";
+  // Time-respecting edges keep their property weight; others are masked.
+  // Under uniform timestamps the expected feasible fraction halves each
+  // step; 0.5 is the first-order selectivity hint for the sum estimator.
+  program_.branches = {
+      {CondKind::kTimestampAfterArrival, WeightExpr::PropertyWeight(), 0.5},
+      {CondKind::kOtherwise, WeightExpr::Const(0.0), 0.5},
+  };
+}
+
+float TemporalWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                   uint32_t i) const {
+  EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;
+  // The timestamp load shares the edge-record transaction the sampling
+  // kernel already charged; only the compare is additional.
+  ctx.mem().CountAlu(1);
+  return ctx.graph->EdgeTimestamp(e) > q.aux ? 1.0f : 0.0f;
+}
+
+void TemporalWalk::Update(const WalkContext& ctx, QueryState& q, NodeId next,
+                          uint32_t i) const {
+  EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;
+  q.aux = ctx.graph->EdgeTimestamp(e);
+  q.prev = q.cur;
+  q.cur = next;
+  ++q.step;
+}
+
+}  // namespace flexi

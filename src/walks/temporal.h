@@ -1,0 +1,36 @@
+// Temporal random walk (CTDNE-style, Nguyen et al.): the walker may only
+// traverse edges whose timestamp is strictly later than the timestamp of
+// the edge it arrived on, producing time-respecting paths. A quintessential
+// *dynamic* workload: the feasible neighbor set depends on per-query
+// runtime state (the arrival time), so no transition distribution can be
+// precomputed.
+//
+// Weight: w(v, u) = 1 if t(v, u) > arrival_time else 0 (optionally scaled
+// by the property weight h through the usual Eq. 1 product).
+#ifndef FLEXIWALKER_SRC_WALKS_TEMPORAL_H_
+#define FLEXIWALKER_SRC_WALKS_TEMPORAL_H_
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class TemporalWalk : public WalkLogic {
+ public:
+  explicit TemporalWalk(uint32_t length);
+
+  std::string name() const override { return "temporal"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  void Update(const WalkContext& ctx, QueryState& q, NodeId next,
+              uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+ private:
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_TEMPORAL_H_

@@ -1,0 +1,68 @@
+// Shared context types for walk execution: the per-query walker state, the
+// execution context (graph + device accounting + optional INT8 weights),
+// and the preprocessed per-node statistics (h_MAX / h_SUM arrays) produced
+// by Flexi-Runtime's preprocessing kernels and consumed by the generated
+// bound/sum estimators.
+#ifndef FLEXIWALKER_SRC_WALKS_WALK_CONTEXT_H_
+#define FLEXIWALKER_SRC_WALKS_WALK_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/int8_weights.h"
+#include "src/simt/device.h"
+
+namespace flexi {
+
+// State of one random-walk query (one walker).
+struct QueryState {
+  uint64_t query_id = 0;
+  NodeId start = kInvalidNode;
+  NodeId cur = kInvalidNode;
+  NodeId prev = kInvalidNode;  // kInvalidNode on the first step
+  uint32_t step = 0;           // number of steps already taken
+  // Workload-defined scalar state (e.g. the arrival timestamp of temporal
+  // walks). Kept inline so queries stay POD-copyable across lanes/devices.
+  float aux = 0.0f;
+};
+
+// Per-node reductions over the edge property weights, computed once per
+// (graph, workload) by the preprocessing kernels (Fig. 9d's preprocess()).
+struct PreprocessedData {
+  std::vector<float> h_max;  // max_{u in N(v)} h(v, u)
+  std::vector<float> h_sum;  // sum_{u in N(v)} h(v, u)
+
+  bool empty() const { return h_max.empty(); }
+};
+
+// Execution context threaded through kernels. Does not own the graph or
+// device; both must outlive the context.
+struct WalkContext {
+  const Graph* graph = nullptr;
+  DeviceContext* device = nullptr;
+  const PreprocessedData* preprocessed = nullptr;  // may be null
+  const Int8WeightStore* int8_weights = nullptr;   // non-null => INT8 h loads
+
+  MemoryModel& mem() const { return device->mem(); }
+
+  // Property weight h of the i-th out-edge of v. Does not charge memory —
+  // the calling kernel charges according to its access pattern (coalesced
+  // block scan vs. per-trial random load).
+  float H(NodeId v, uint32_t i) const {
+    EdgeId e = graph->EdgesBegin(v) + i;
+    if (int8_weights != nullptr && !int8_weights->empty()) {
+      return int8_weights->Weight(e);
+    }
+    return graph->PropertyWeight(e);
+  }
+
+  // Bytes per property-weight element given the active store.
+  size_t HBytes() const {
+    return (int8_weights != nullptr && !int8_weights->empty()) ? 1 : sizeof(float);
+  }
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_WALK_CONTEXT_H_

@@ -1,0 +1,66 @@
+// WalkLogic: the user-facing workload interface, mirroring the paper's
+// init / get_weight / update programming model (§4.2).
+//
+// A workload supplies:
+//   * WorkloadWeight  — the workload-specific weight w(v, u) of Eq. (1) for
+//                       the i-th neighbor of the query's current node. The
+//                       final transition weight is w * h (h is read by the
+//                       sampling kernel so it can charge memory correctly).
+//   * Update          — advances query-specific state after a step.
+//   * program()       — the WeightProgram DSL description consumed by
+//                       Flexi-Compiler; may be an Opaque program, in which
+//                       case FlexiWalker falls back to eRVS-only (§7.1).
+#ifndef FLEXIWALKER_SRC_WALKS_WALK_LOGIC_H_
+#define FLEXIWALKER_SRC_WALKS_WALK_LOGIC_H_
+
+#include <string>
+
+#include "src/compiler/weight_expr.h"
+#include "src/walks/walk_context.h"
+
+namespace flexi {
+
+class WalkLogic {
+ public:
+  virtual ~WalkLogic() = default;
+
+  virtual std::string name() const = 0;
+
+  // Total number of steps a query takes (the paper uses 80 for Node2Vec and
+  // 2nd PR, 5 for MetaPath).
+  virtual uint32_t walk_length() const = 0;
+
+  // Workload-specific weight w of the i-th out-edge of q.cur. Implementations
+  // charge any auxiliary work they perform (e.g. the dist(v', u) membership
+  // probe) as ALU ops on ctx.mem(); the h load itself is charged by the
+  // sampling kernel.
+  virtual float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                               uint32_t i) const = 0;
+
+  // Initializes query-specific state; default leaves QueryState zeroed.
+  virtual void Init(QueryState& q) const { (void)q; }
+
+  // Advances the query after sampling neighbor index `i` (node `next`).
+  virtual void Update(const WalkContext& ctx, QueryState& q, NodeId next,
+                      uint32_t i) const {
+    (void)ctx;
+    (void)i;
+    q.prev = q.cur;
+    q.cur = next;
+    ++q.step;
+  }
+
+  // DSL description for Flexi-Compiler.
+  virtual const WeightProgram& program() const = 0;
+
+  // Full transition weight w̃ = w * h for neighbor i (Eq. 1). Convenience
+  // for sequential kernels and oracles; warp kernels usually split the two
+  // factors so h loads can be batched.
+  float TransitionWeight(const WalkContext& ctx, const QueryState& q, uint32_t i) const {
+    return WorkloadWeight(ctx, q, i) * ctx.H(q.cur, i);
+  }
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_WALK_LOGIC_H_

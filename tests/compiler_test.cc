@@ -1,0 +1,233 @@
+// Tests for Flexi-Compiler: the analyzer's dependency checking and flag
+// allocation (Fig. 9c), the generator's helpers (Fig. 9d), and the central
+// soundness property — the generated get_weight_max() upper-bounds the true
+// per-step maximum transition weight on every workload and graph tested.
+#include <gtest/gtest.h>
+
+#include "src/compiler/analyzer.h"
+#include "src/compiler/generator.h"
+#include "src/graph/generators.h"
+#include "src/rng/philox.h"
+#include "src/runtime/preprocess.h"
+#include "src/walks/deepwalk.h"
+#include "src/walks/metapath.h"
+#include "src/walks/node2vec.h"
+#include "src/walks/second_order_pr.h"
+
+namespace flexi {
+namespace {
+
+TEST(Analyzer, Node2VecIsPerStepWithPropertyWeight) {
+  Node2VecWalk walk(2.0, 0.5);
+  AnalysisResult result = Analyzer().Analyze(walk.program());
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.granularity, BoundGranularity::kPerStep);
+  EXPECT_TRUE(result.uses_property_weight);
+  EXPECT_FALSE(result.uses_degrees);
+  EXPECT_EQ(result.branches.size(), 4u);
+}
+
+TEST(Analyzer, SecondOrderPrUsesDegrees) {
+  SecondOrderPageRankWalk walk(0.2);
+  AnalysisResult result = Analyzer().Analyze(walk.program());
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.granularity, BoundGranularity::kPerStep);
+  EXPECT_TRUE(result.uses_degrees);
+}
+
+TEST(Analyzer, ConstOnlyProgramIsPerKernel) {
+  // Unweighted Node2Vec as the paper's user would write it: no h reads.
+  WeightProgram program;
+  program.workload_name = "unweighted-n2v";
+  program.branches = {
+      {CondKind::kPostEqualsPrev, WeightExpr::Const(0.5), -1.0},
+      {CondKind::kLinkedToPrev, WeightExpr::Const(1.0), -1.0},
+      {CondKind::kNotLinkedToPrev, WeightExpr::Const(2.0), -1.0},
+  };
+  AnalysisResult result = Analyzer().Analyze(program);
+  EXPECT_TRUE(result.supported);
+  EXPECT_EQ(result.granularity, BoundGranularity::kPerKernel);
+}
+
+TEST(Analyzer, OpaqueProgramsRejectedWithWarning) {
+  OpaqueWalk walk;
+  AnalysisResult result = Analyzer().Analyze(walk.program());
+  EXPECT_FALSE(result.supported);
+  ASSERT_FALSE(result.warnings.empty());
+  EXPECT_NE(result.warnings[0].find("eRVS"), std::string::npos);
+}
+
+TEST(Analyzer, EmptyProgramRejected) {
+  WeightProgram program;
+  EXPECT_FALSE(Analyzer().Analyze(program).supported);
+}
+
+TEST(Analyzer, OpaqueExpressionInsideBranchRejected) {
+  WeightProgram program;
+  program.workload_name = "bad";
+  program.branches = {{CondKind::kOtherwise,
+                       WeightExpr::Mul(WeightExpr::Const(2.0), WeightExpr::Opaque()), -1.0}};
+  EXPECT_FALSE(Analyzer().Analyze(program).supported);
+}
+
+TEST(Generator, InvalidForOpaqueValidOtherwise) {
+  Generator generator;
+  EXPECT_FALSE(generator.Generate(OpaqueWalk().program()).valid());
+  EXPECT_TRUE(generator.Generate(Node2VecWalk(2.0, 0.5).program()).valid());
+}
+
+TEST(Generator, PlanRequestsReductionsOnlyWhenHIsUsed) {
+  Generator generator;
+  auto n2v = generator.Generate(Node2VecWalk(2.0, 0.5).program());
+  EXPECT_TRUE(n2v.plan().need_h_max);
+  EXPECT_TRUE(n2v.plan().need_h_sum);
+
+  WeightProgram const_only;
+  const_only.workload_name = "consts";
+  const_only.branches = {{CondKind::kOtherwise, WeightExpr::Const(2.0), -1.0}};
+  auto helpers = generator.Generate(const_only);
+  EXPECT_FALSE(helpers.plan().need_h_max);
+}
+
+TEST(Generator, EmitSourceShowsHelpers) {
+  Generator generator;
+  auto helpers = generator.Generate(Node2VecWalk(2.0, 0.5).program());
+  std::string source = helpers.EmitSource();
+  EXPECT_NE(source.find("preprocess"), std::string::npos);
+  EXPECT_NE(source.find("h_MAX"), std::string::npos);
+  EXPECT_NE(source.find("get_weight_max"), std::string::npos);
+  EXPECT_NE(source.find("get_weight_sum"), std::string::npos);
+
+  auto opaque = generator.Generate(OpaqueWalk().program());
+  EXPECT_NE(opaque.EmitSource().find("unsupported"), std::string::npos);
+}
+
+// The soundness property behind eRJS (§3.3): for every workload, node,
+// and step state, the generated bound dominates the true maximum
+// transition weight.
+class BoundSoundnessTest : public ::testing::TestWithParam<WeightDistribution> {};
+
+void CheckBoundsOnGraph(const Graph& graph, const WalkLogic& logic) {
+  Generator generator;
+  GeneratedHelpers helpers = generator.Generate(logic.program());
+  ASSERT_TRUE(helpers.valid());
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessedData pre = RunPreprocess(graph, helpers.plan(), device);
+  WalkContext ctx{&graph, &device, pre.empty() ? nullptr : &pre, nullptr};
+
+  PhiloxStream rng(0xB0B0, 0);
+  for (int sample = 0; sample < 400; ++sample) {
+    QueryState q;
+    q.cur = rng.NextBounded(graph.num_nodes());
+    // Half the samples have a prior step (second-order state), half don't.
+    if (sample % 2 == 0 && graph.Degree(q.cur) > 0) {
+      q.prev = graph.Neighbor(q.cur, rng.NextBounded(graph.Degree(q.cur)));
+      q.step = 1;
+    }
+    double bound = helpers.WeightMax(ctx, q);
+    double true_max = 0.0;
+    for (uint32_t i = 0; i < graph.Degree(q.cur); ++i) {
+      true_max = std::max(true_max, static_cast<double>(logic.TransitionWeight(ctx, q, i)));
+    }
+    EXPECT_GE(bound + 1e-6, true_max)
+        << logic.name() << " node=" << q.cur << " prev=" << q.prev;
+  }
+}
+
+TEST_P(BoundSoundnessTest, Node2Vec) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 5});
+  AssignWeights(g, GetParam(), 1.5, 77);
+  Node2VecWalk walk(2.0, 0.5);
+  CheckBoundsOnGraph(g, walk);
+}
+
+TEST_P(BoundSoundnessTest, MetaPath) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 6});
+  AssignWeights(g, GetParam(), 1.5, 78);
+  AssignLabels(g, 5, 79);
+  MetaPathWalk walk({0, 1, 2, 3, 4});
+  CheckBoundsOnGraph(g, walk);
+}
+
+TEST_P(BoundSoundnessTest, SecondOrderPageRank) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 7});
+  AssignWeights(g, GetParam(), 1.5, 80);
+  SecondOrderPageRankWalk walk(0.2);
+  CheckBoundsOnGraph(g, walk);
+}
+
+TEST_P(BoundSoundnessTest, DeepWalk) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 8});
+  AssignWeights(g, GetParam(), 1.5, 81);
+  DeepWalk walk(4);
+  CheckBoundsOnGraph(g, walk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, BoundSoundnessTest,
+                         ::testing::Values(WeightDistribution::kUnweighted,
+                                           WeightDistribution::kUniform,
+                                           WeightDistribution::kPareto,
+                                           WeightDistribution::kDegreeBased));
+
+// The sum estimate should land within a small constant factor of the true
+// weight sum for h-proportional workloads (it feeds a *relative* cost
+// comparison, not an exact quantity).
+TEST(Generator, SumEstimateTracksTrueSumForDeepWalk) {
+  Graph g = GenerateErdosRenyi(500, 16.0, 13);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 14);
+  DeepWalk walk(4);
+  Generator generator;
+  GeneratedHelpers helpers = generator.Generate(walk.program());
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessedData pre = RunPreprocess(g, helpers.plan(), device);
+  WalkContext ctx{&g, &device, &pre, nullptr};
+  PhiloxStream rng(21, 0);
+  for (int sample = 0; sample < 100; ++sample) {
+    QueryState q;
+    q.cur = rng.NextBounded(g.num_nodes());
+    double estimate = helpers.WeightSum(ctx, q);
+    double truth = 0.0;
+    for (uint32_t i = 0; i < g.Degree(q.cur); ++i) {
+      truth += walk.TransitionWeight(ctx, q, i);
+    }
+    ASSERT_GT(truth, 0.0);
+    EXPECT_NEAR(estimate / truth, 1.0, 1e-3);  // DeepWalk: w = 1, exact
+  }
+}
+
+TEST(Generator, SumEstimateWithinFactorForNode2Vec) {
+  Graph g = GenerateErdosRenyi(500, 16.0, 15);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 16);
+  Node2VecWalk walk(2.0, 0.5);
+  Generator generator;
+  GeneratedHelpers helpers = generator.Generate(walk.program());
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessedData pre = RunPreprocess(g, helpers.plan(), device);
+  WalkContext ctx{&g, &device, &pre, nullptr};
+  PhiloxStream rng(22, 0);
+  for (int sample = 0; sample < 100; ++sample) {
+    QueryState q;
+    q.cur = rng.NextBounded(g.num_nodes());
+    q.prev = g.Neighbor(q.cur, 0);
+    q.step = 1;
+    double estimate = helpers.WeightSum(ctx, q);
+    double truth = 0.0;
+    for (uint32_t i = 0; i < g.Degree(q.cur); ++i) {
+      truth += walk.TransitionWeight(ctx, q, i);
+    }
+    ASSERT_GT(truth, 0.0);
+    double ratio = estimate / truth;
+    EXPECT_GT(ratio, 0.2) << "node " << q.cur;
+    EXPECT_LT(ratio, 5.0) << "node " << q.cur;
+  }
+}
+
+TEST(WeightExpr, ToStringRendersTree) {
+  WeightExpr e = WeightExpr::Mul(WeightExpr::PropertyWeight(),
+                                 WeightExpr::Add(WeightExpr::Const(0.8),
+                                                 WeightExpr::InvDegreePrev()));
+  EXPECT_EQ(e.ToString(), "(h[e] * (0.8 + 1/d(v')))");
+}
+
+}  // namespace
+}  // namespace flexi

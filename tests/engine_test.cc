@@ -1,0 +1,262 @@
+// Integration tests: every engine (FlexiWalker + the six baselines) walks
+// reference graphs and produces structurally valid, schema-respecting,
+// statistically correct paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/baselines.h"
+#include "src/graph/generators.h"
+#include "src/metrics/stats.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walks/deepwalk.h"
+#include "src/walks/metapath.h"
+#include "src/walks/node2vec.h"
+#include "src/walks/second_order_pr.h"
+
+namespace flexi {
+namespace {
+
+std::vector<std::unique_ptr<Engine>> AllEngines() {
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.push_back(std::make_unique<FlexiWalkerEngine>());
+  engines.push_back(std::make_unique<CSawEngine>());
+  engines.push_back(std::make_unique<SkywalkerEngine>());
+  engines.push_back(std::make_unique<NextDoorEngine>());
+  engines.push_back(std::make_unique<FlowWalkerEngine>());
+  engines.push_back(std::make_unique<ThunderRWEngine>());
+  engines.push_back(std::make_unique<KnightKingEngine>());
+  engines.push_back(std::make_unique<SOWalkerEngine>());
+  return engines;
+}
+
+Graph TestGraph() {
+  Graph g = GenerateErdosRenyi(128, 6.0, 31);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 32);
+  AssignLabels(g, 5, 33);
+  return g;
+}
+
+void CheckPathsValid(const Graph& graph, const WalkResult& result,
+                     std::span<const NodeId> starts, const std::string& engine) {
+  ASSERT_EQ(result.num_queries, starts.size()) << engine;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    EXPECT_EQ(path[0], starts[qid]) << engine;
+    for (size_t s = 0; s + 1 < path.size(); ++s) {
+      if (path[s + 1] == kInvalidNode) {
+        // Once a path ends it stays ended.
+        for (size_t rest = s + 1; rest < path.size(); ++rest) {
+          EXPECT_EQ(path[rest], kInvalidNode) << engine;
+        }
+        break;
+      }
+      EXPECT_TRUE(graph.HasEdge(path[s], path[s + 1]))
+          << engine << " query " << qid << " step " << s;
+    }
+  }
+}
+
+TEST(Engines, AllProduceValidNode2VecPaths) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, /*length=*/12);
+  auto starts = AllNodesAsStarts(graph);
+  for (auto& engine : AllEngines()) {
+    WalkResult result = engine->Run(graph, walk, starts, 7);
+    CheckPathsValid(graph, result, starts, engine->name());
+    EXPECT_GT(result.sim_ms, 0.0) << engine->name();
+    EXPECT_GT(result.joules, 0.0) << engine->name();
+  }
+}
+
+TEST(Engines, MetaPathPathsFollowSchema) {
+  Graph graph = TestGraph();
+  std::vector<uint8_t> schema = {0, 1, 2, 3, 4};
+  MetaPathWalk walk(schema);
+  auto starts = AllNodesAsStarts(graph);
+  FlexiWalkerEngine engine;
+  WalkResult result = engine.Run(graph, walk, starts, 11);
+  size_t full_paths = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    for (size_t s = 0; s + 1 < path.size() && path[s + 1] != kInvalidNode; ++s) {
+      // Locate the traversed edge and verify its label matches the schema.
+      NodeId v = path[s];
+      NodeId u = path[s + 1];
+      bool label_ok = false;
+      for (uint32_t i = 0; i < graph.Degree(v); ++i) {
+        if (graph.Neighbor(v, i) == u &&
+            graph.EdgeLabel(graph.EdgesBegin(v) + i) == schema[s]) {
+          label_ok = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(label_ok) << "query " << qid << " step " << s;
+      if (s + 2 == path.size()) {
+        ++full_paths;
+      }
+    }
+  }
+  // With 5 labels and degree ~7, most steps find a matching edge; at least
+  // some queries should complete the whole schema.
+  EXPECT_GT(full_paths, 0u);
+}
+
+TEST(Engines, DeterministicForSameSeed) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 8);
+  auto starts = AllNodesAsStarts(graph);
+  FlexiWalkerEngine e1;
+  FlexiWalkerEngine e2;
+  WalkResult r1 = e1.Run(graph, walk, starts, 99);
+  WalkResult r2 = e2.Run(graph, walk, starts, 99);
+  EXPECT_EQ(r1.paths, r2.paths);
+}
+
+TEST(Engines, DifferentSeedsDiverge) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 8);
+  auto starts = AllNodesAsStarts(graph);
+  FlexiWalkerEngine engine;
+  WalkResult r1 = engine.Run(graph, walk, starts, 1);
+  WalkResult r2 = engine.Run(graph, walk, starts, 2);
+  EXPECT_NE(r1.paths, r2.paths);
+}
+
+// Statistical cross-validation: FlexiWalker's first-step distribution from a
+// fixed start node matches the exact transition probabilities.
+TEST(Engines, FlexiWalkerFirstStepDistributionIsExact) {
+  GraphBuilder builder(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    builder.AddEdge(0, leaf);
+    builder.AddEdge(leaf, 0);
+  }
+  Graph graph = builder.Build();
+  std::vector<float> h = {3.0f, 2.0f, 4.0f, 1.0f, 5.0f};
+  std::vector<float> all(graph.num_edges(), 1.0f);
+  for (uint32_t i = 0; i < 5; ++i) {
+    all[graph.EdgesBegin(0) + i] = h[i];
+  }
+  graph.SetPropertyWeights(std::move(all));
+
+  DeepWalk walk(1);
+  FlexiWalkerEngine engine;
+  std::vector<NodeId> starts(20000, 0);
+  WalkResult result = engine.Run(graph, walk, starts, 5);
+  std::vector<uint64_t> observed(5, 0);
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    NodeId next = result.Path(qid)[1];
+    ASSERT_NE(next, kInvalidNode);
+    ++observed[next - 1];
+  }
+  std::vector<double> expected = {3.0 / 15, 2.0 / 15, 4.0 / 15, 1.0 / 15, 5.0 / 15};
+  auto chi = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_TRUE(chi.consistent) << chi.statistic;
+}
+
+TEST(Engines, OpaqueWorkloadFallsBackToRvsOnly) {
+  Graph graph = TestGraph();
+  OpaqueWalk walk(6);
+  auto starts = AllNodesAsStarts(graph);
+  FlexiWalkerEngine engine;
+  WalkResult result = engine.Run(graph, walk, starts, 3);
+  EXPECT_FALSE(engine.helpers().valid());
+  EXPECT_EQ(result.selection.chose_rjs, 0u);  // §7.1: soundness fallback
+  EXPECT_GT(result.selection.chose_rvs, 0u);
+  CheckPathsValid(graph, result, starts, engine.name());
+}
+
+TEST(Engines, SelectionCountersCoverEverySampledStep) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 10);
+  auto starts = AllNodesAsStarts(graph);
+  FlexiWalkerEngine engine;
+  WalkResult result = engine.Run(graph, walk, starts, 17);
+  uint64_t steps_taken = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    for (size_t s = 1; s < path.size() && path[s] != kInvalidNode; ++s) {
+      ++steps_taken;
+    }
+  }
+  // Each sampled step consumed one selector decision (dead-end steps also
+  // consume one, so selections >= steps).
+  EXPECT_GE(result.selection.chose_rjs + result.selection.chose_rvs, steps_taken);
+}
+
+TEST(Engines, WalkLengthHonored) {
+  Graph graph = GenerateComplete(16);  // no dead ends
+  Node2VecWalk walk(2.0, 0.5, 5);
+  auto starts = AllNodesAsStarts(graph);
+  for (auto& engine : AllEngines()) {
+    WalkResult result = engine->Run(graph, walk, starts, 19);
+    for (size_t qid = 0; qid < result.num_queries; ++qid) {
+      auto path = result.Path(qid);
+      ASSERT_EQ(path.size(), 6u);
+      for (NodeId node : path) {
+        EXPECT_NE(node, kInvalidNode) << engine->name();
+      }
+    }
+  }
+}
+
+TEST(Engines, EmptyStartSetYieldsEmptyResult) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 8);
+  FlexiWalkerEngine engine;
+  WalkResult result = engine.Run(graph, walk, {}, 1);
+  EXPECT_EQ(result.num_queries, 0u);
+  EXPECT_TRUE(result.paths.empty());
+}
+
+TEST(Engines, DeadEndTerminatesWalkEarly) {
+  // Path graph 0 -> 1 -> 2, node 2 is a sink.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  Graph graph = builder.Build();
+  DeepWalk walk(10);
+  std::vector<NodeId> starts = {0};
+  for (auto& engine : AllEngines()) {
+    WalkResult result = engine->Run(graph, walk, starts, 23);
+    auto path = result.Path(0);
+    EXPECT_EQ(path[0], 0u) << engine->name();
+    EXPECT_EQ(path[1], 1u) << engine->name();
+    EXPECT_EQ(path[2], 2u) << engine->name();
+    EXPECT_EQ(path[3], kInvalidNode) << engine->name();
+  }
+}
+
+TEST(Engines, GpuBaselinesCheaperThanCpuBaselines) {
+  // The device profiles must reproduce the paper's GPU >> CPU gap on
+  // simulated time for the same workload.
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 8);
+  auto starts = AllNodesAsStarts(graph);
+  FlowWalkerEngine gpu;
+  ThunderRWEngine cpu;
+  WalkResult g = gpu.Run(graph, walk, starts, 29);
+  WalkResult c = cpu.Run(graph, walk, starts, 29);
+  EXPECT_LT(g.sim_ms, c.sim_ms);
+}
+
+TEST(Engines, NextDoorKnownMaxSkipsScans) {
+  Graph graph = GenerateErdosRenyi(128, 6.0, 41);  // unweighted
+  Node2VecWalk walk(2.0, 0.5, 8);
+  auto starts = AllNodesAsStarts(graph);
+  NextDoorEngine with_max(std::optional<double>(2.0));
+  NextDoorEngine without_max;
+  WalkResult fast = with_max.Run(graph, walk, starts, 31);
+  WalkResult slow = without_max.Run(graph, walk, starts, 31);
+  EXPECT_LT(fast.cost.coalesced_transactions, slow.cost.coalesced_transactions);
+  EXPECT_LT(fast.sim_ms, slow.sim_ms);
+}
+
+TEST(Engines, StartHelpers) {
+  Graph graph = GenerateCycle(10);
+  EXPECT_EQ(AllNodesAsStarts(graph).size(), 10u);
+  EXPECT_EQ(StridedStarts(graph, 3).size(), 4u);  // 0,3,6,9
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,348 @@
+// Tests for the §7.2 future-work extensions and the new engine plumbing:
+// PPR walks, dynamic weight updates with incremental bound maintenance,
+// partitioned multi-device execution, the concurrent query queue, and the
+// warp-cooperative ITS kernel.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/graph/generators.h"
+#include "src/metrics/stats.h"
+#include "src/runtime/preprocess.h"
+#include "src/runtime/weight_updates.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/warp_its.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walker/partitioned.h"
+#include "src/walker/query_queue.h"
+#include "src/walks/ppr.h"
+#include "tests/test_util.h"
+
+namespace flexi {
+namespace {
+
+// ---------------------------------------------------------------- PPR ----
+
+TEST(Ppr, RestartReturnsWalkerToStart) {
+  Graph graph = GenerateCycle(100);  // deterministic next node
+  PersonalizedPageRankWalk walk(/*restart=*/0.5, /*length=*/200);
+  FlexiWalkerEngine engine;
+  std::vector<NodeId> starts = {0};
+  WalkResult result = engine.Run(graph, walk, starts, 31);
+  auto path = result.Path(0);
+  // Paths record the sampled next nodes; a teleport to node 0 shows up as
+  // the cycle restarting at node 1 without having passed node 0. Without
+  // restarts the recorded sequence increments mod 100 every step, so any
+  // discontinuity is a teleport. Expect roughly half the steps to restart.
+  size_t restarts = 0;
+  for (size_t s = 1; s < path.size(); ++s) {
+    ASSERT_NE(path[s], kInvalidNode);
+    if (path[s] != (path[s - 1] + 1) % 100) {
+      EXPECT_EQ(path[s], 1u);  // teleported to 0, then stepped to 1
+      ++restarts;
+    }
+  }
+  EXPECT_GT(restarts, 60u);
+  EXPECT_LT(restarts, 140u);
+}
+
+TEST(Ppr, ZeroRestartNeverTeleports) {
+  Graph graph = GenerateCycle(10);
+  PersonalizedPageRankWalk walk(0.0, 30);
+  FlexiWalkerEngine engine;
+  std::vector<NodeId> starts = {3};
+  WalkResult result = engine.Run(graph, walk, starts, 5);
+  auto path = result.Path(0);
+  for (size_t s = 0; s < path.size(); ++s) {
+    EXPECT_EQ(path[s], (3 + s) % 10);
+  }
+}
+
+TEST(Ppr, StationaryMassConcentratesNearSource) {
+  // With restart=0.3 on an expander-ish graph, visits near the start
+  // dominate visits to a random far node.
+  Graph graph = GenerateErdosRenyi(500, 8.0, 41);
+  PersonalizedPageRankWalk walk(0.3, 400);
+  FlexiWalkerEngine engine;
+  std::vector<NodeId> starts = {7};
+  WalkResult result = engine.Run(graph, walk, starts, 43);
+  std::vector<uint32_t> visits(graph.num_nodes(), 0);
+  for (NodeId node : result.Path(0)) {
+    if (node != kInvalidNode) {
+      ++visits[node];
+    }
+  }
+  // Teleports land on node 7 and the next recorded node is one of its
+  // neighbors, so the source's neighborhood accumulates the restart mass
+  // (~0.3 * 400 steps spread over it).
+  uint32_t neighborhood_visits = visits[7];
+  for (NodeId u : graph.Neighbors(7)) {
+    neighborhood_visits += visits[u];
+  }
+  EXPECT_GT(neighborhood_visits, 60u);
+}
+
+TEST(Ppr, ProgramIsAnalyzableSoERjsStaysAvailable) {
+  PersonalizedPageRankWalk walk(0.15, 80);
+  Generator generator;
+  EXPECT_TRUE(generator.Generate(walk.program()).valid());
+}
+
+// ------------------------------------------------- dynamic updates ----
+
+class WeightUpdateTest : public ::testing::Test {
+ protected:
+  WeightUpdateTest() {
+    graph_ = GenerateErdosRenyi(200, 8.0, 51);
+    AssignWeights(graph_, WeightDistribution::kUniform, 0.0, 52);
+    PreprocessPlan plan;
+    plan.need_h_max = true;
+    plan.need_h_sum = true;
+    pre_ = RunPreprocess(graph_, plan, device_);
+  }
+
+  void VerifyInvariants() {
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      float true_max = 0.0f;
+      float true_sum = 0.0f;
+      for (uint32_t i = 0; i < graph_.Degree(v); ++i) {
+        float h = graph_.PropertyWeight(graph_.EdgesBegin(v) + i);
+        true_max = std::max(true_max, h);
+        true_sum += h;
+      }
+      if (graph_.Degree(v) == 0) {
+        true_max = 1.0f;
+      }
+      // The maintained max must dominate (eRJS soundness) and the sum must
+      // track exactly (modulo float accumulation order).
+      EXPECT_GE(pre_.h_max[v] + 1e-4f, true_max) << v;
+      EXPECT_NEAR(pre_.h_sum[v], true_sum, 0.05f * std::max(1.0f, true_sum)) << v;
+    }
+  }
+
+  Graph graph_;
+  DeviceContext device_{DeviceProfile::SimulatedGpu()};
+  PreprocessedData pre_;
+};
+
+TEST_F(WeightUpdateTest, SingleIncreaseRaisesMax) {
+  WeightUpdater updater(graph_, &pre_, device_);
+  WeightUpdate update{0, 0, 100.0f};
+  auto stats = updater.Apply(std::span(&update, 1));
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_FLOAT_EQ(pre_.h_max[0], 100.0f);
+  VerifyInvariants();
+}
+
+TEST_F(WeightUpdateTest, ShrinkingTheMaxTriggersRescan) {
+  WeightUpdater updater(graph_, &pre_, device_);
+  // Find the argmax edge of node 0 and shrink it.
+  uint32_t arg = 0;
+  float best = -1.0f;
+  for (uint32_t i = 0; i < graph_.Degree(0); ++i) {
+    float h = graph_.PropertyWeight(graph_.EdgesBegin(0) + i);
+    if (h > best) {
+      best = h;
+      arg = i;
+    }
+  }
+  WeightUpdate update{0, arg, 0.01f};
+  auto stats = updater.Apply(std::span(&update, 1));
+  EXPECT_EQ(stats.max_rescans, 1u);
+  VerifyInvariants();
+}
+
+TEST_F(WeightUpdateTest, RandomBatchesKeepInvariants) {
+  WeightUpdater updater(graph_, &pre_, device_);
+  for (int batch = 0; batch < 5; ++batch) {
+    auto updates = RandomWeightUpdates(graph_, 500, 100 + batch);
+    auto stats = updater.Apply(updates);
+    EXPECT_GT(stats.applied, 0u);
+  }
+  VerifyInvariants();
+}
+
+TEST_F(WeightUpdateTest, OutOfRangeUpdatesIgnored) {
+  WeightUpdater updater(graph_, &pre_, device_);
+  std::vector<WeightUpdate> updates = {{graph_.num_nodes() + 5, 0, 2.0f},
+                                       {0, 100000, 2.0f}};
+  auto stats = updater.Apply(updates);
+  EXPECT_EQ(stats.applied, 0u);
+}
+
+TEST_F(WeightUpdateTest, WalksStayCorrectAfterUpdates) {
+  WeightUpdater updater(graph_, &pre_, device_);
+  auto updates = RandomWeightUpdates(graph_, 1000, 7);
+  updater.Apply(updates);
+  // eRJS with the maintained bound still reproduces the (new) exact
+  // distribution at a sampled node.
+  DeepWalk logic(2);
+  WalkContext ctx{&graph_, &device_, &pre_, nullptr};
+  QueryState q;
+  q.cur = 0;
+  uint32_t d = graph_.Degree(0);
+  std::vector<double> p(d);
+  double total = 0.0;
+  for (uint32_t i = 0; i < d; ++i) {
+    p[i] = logic.TransitionWeight(ctx, q, i);
+    total += p[i];
+  }
+  for (double& x : p) {
+    x /= total;
+  }
+  double bound = pre_.h_max[0];
+  PhiloxStream stream(0xDD, 0);
+  KernelRng rng(stream, device_.mem());
+  auto chi = SampleAndTest(d, p, 40000, [&](uint64_t) {
+    return ERjsStep(ctx, logic, q, rng, bound).index;
+  });
+  EXPECT_TRUE(chi.consistent) << chi.statistic;
+}
+
+// ------------------------------------------------------ partitioned ----
+
+TEST(Partitioned, OwnerIsStableAndBalanced) {
+  std::vector<uint32_t> counts(4, 0);
+  for (NodeId v = 0; v < 40000; ++v) {
+    uint32_t owner = PartitionOwner(v, 4);
+    ASSERT_LT(owner, 4u);
+    EXPECT_EQ(owner, PartitionOwner(v, 4));
+    ++counts[owner];
+  }
+  for (uint32_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 1000.0);
+  }
+}
+
+TEST(Partitioned, MigrationRateMatchesPartitionCount) {
+  Graph graph = GenerateErdosRenyi(2000, 8.0, 61);
+  AssignWeights(graph, WeightDistribution::kUniform, 0.0, 62);
+  DeepWalk walk(20);
+  auto starts = StridedStarts(graph, 4);
+  InterconnectProfile link;
+  auto r2 = RunPartitioned(graph, walk, starts, 2, link, 9);
+  auto r4 = RunPartitioned(graph, walk, starts, 4, link, 9);
+  // Random neighbors land on another device w.p. (D-1)/D.
+  EXPECT_NEAR(r2.MigrationRate(), 0.5, 0.05);
+  EXPECT_NEAR(r4.MigrationRate(), 0.75, 0.05);
+  EXPECT_GT(r4.comm_cost, r2.comm_cost);
+}
+
+TEST(Partitioned, CommunicationDominatesAsPredicted) {
+  // §7.2: "we expect considerable communication overhead due to the
+  // I/O-bound nature of random walks" — the per-device compute shrinks
+  // with D but the interconnect charge grows.
+  Graph graph = GenerateErdosRenyi(2000, 8.0, 63);
+  AssignWeights(graph, WeightDistribution::kUniform, 0.0, 64);
+  DeepWalk walk(20);
+  auto starts = StridedStarts(graph, 4);
+  InterconnectProfile link;
+  auto r1 = RunPartitioned(graph, walk, starts, 1, link, 9);
+  auto r4 = RunPartitioned(graph, walk, starts, 4, link, 9);
+  EXPECT_EQ(r1.migrations, 0u);
+  // 4-way partitioned is NOT ~4x faster; communication eats the scaling.
+  EXPECT_GT(r4.makespan_sim_ms, r1.makespan_sim_ms / 4.0);
+}
+
+// ------------------------------------------------------ query queue ----
+
+TEST(QueryQueue, DrainsExactlyOnceSingleThread) {
+  std::vector<NodeId> starts = {5, 6, 7, 8};
+  QueryQueue queue(starts);
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto q = queue.Next();
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->id, i);
+    EXPECT_EQ(q->start, starts[i]);
+  }
+  EXPECT_FALSE(queue.Next().has_value());
+}
+
+TEST(QueryQueue, ConcurrentDrainIsExactlyOnce) {
+  constexpr size_t kQueries = 20000;
+  std::vector<NodeId> starts(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    starts[i] = static_cast<NodeId>(i);
+  }
+  QueryQueue queue(starts);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<uint64_t>> taken(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&queue, &taken, t] {
+      while (auto q = queue.Next()) {
+        taken[t].push_back(q->id);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  std::vector<bool> seen(kQueries, false);
+  size_t total = 0;
+  for (const auto& ids : taken) {
+    for (uint64_t id : ids) {
+      ASSERT_LT(id, kQueries);
+      ASSERT_FALSE(seen[id]) << "query dispensed twice: " << id;
+      seen[id] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kQueries);
+}
+
+// --------------------------------------------------------- warp ITS ----
+
+class WarpItsDistributionTest : public ::testing::TestWithParam<std::vector<float>> {};
+
+TEST_P(WarpItsDistributionTest, MatchesExactDistribution) {
+  std::vector<float> weights = GetParam();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  auto p = fan.ExactProbabilities(logic);
+  PhiloxStream stream(0x817, 0);
+  KernelRng rng(stream, fan.device.mem());
+  auto chi = SampleAndTest(static_cast<uint32_t>(weights.size()), p, 60000, [&](uint64_t) {
+    return WarpInverseTransformStep(fan.ctx, logic, fan.query, rng).index;
+  });
+  EXPECT_TRUE(chi.consistent) << chi.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightPatterns, WarpItsDistributionTest,
+                         ::testing::ValuesIn(DistributionTestWeightSets()));
+
+TEST(WarpIts, DeadEndAndSingleNeighbor) {
+  std::vector<float> zeros = {0.0f, 0.0f};
+  FanGraph dead(zeros);
+  DeepWalk logic(1);
+  PhiloxStream stream(0x818, 0);
+  KernelRng rng(stream, dead.device.mem());
+  EXPECT_TRUE(WarpInverseTransformStep(dead.ctx, logic, dead.query, rng).dead_end);
+
+  std::vector<float> one = {3.0f};
+  FanGraph single(one);
+  KernelRng rng2(stream, single.device.mem());
+  EXPECT_EQ(WarpInverseTransformStep(single.ctx, logic, single.query, rng2).index, 0u);
+}
+
+TEST(WarpIts, HandlesMultiTileDegrees) {
+  // Degree 100 spans four warp tiles; every index must be reachable.
+  std::vector<float> weights(100, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(0x819, 0);
+  KernelRng rng(stream, fan.device.mem());
+  std::vector<bool> hit(100, false);
+  for (int t = 0; t < 20000; ++t) {
+    uint32_t index = WarpInverseTransformStep(fan.ctx, logic, fan.query, rng).index;
+    ASSERT_LT(index, 100u);
+    hit[index] = true;
+  }
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(hit[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace flexi

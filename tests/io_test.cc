@@ -1,0 +1,149 @@
+// Tests for graph serialization (edge-list text and binary CSR).
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.h"
+
+namespace flexi {
+namespace {
+
+TEST(EdgeListIo, ParsesPlainEdges) {
+  std::istringstream in(
+      "# a comment\n"
+      "0 1\n"
+      "\n"
+      "1 2\n"
+      "2 0\n");
+  Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(EdgeListIo, ParsesWeightsAndLabels) {
+  std::istringstream in(
+      "0 1 2.5 3\n"
+      "1 0 1.25 0\n");
+  Graph g = ReadEdgeList(in);
+  ASSERT_TRUE(g.weighted());
+  ASSERT_TRUE(g.labeled());
+  EXPECT_EQ(g.num_labels(), 4);  // max label 3 -> 4 classes
+  EXPECT_FLOAT_EQ(g.PropertyWeight(g.EdgesBegin(0)), 2.5f);
+  EXPECT_EQ(g.EdgeLabel(g.EdgesBegin(0)), 3);
+}
+
+TEST(EdgeListIo, RemapsSparseIds) {
+  std::istringstream in(
+      "100 7\n"
+      "7 100\n"
+      "100 9000\n");
+  Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(EdgeListIo, DenseModeValidatesRange) {
+  std::istringstream ok("0 1\n");
+  EXPECT_EQ(ReadEdgeList(ok, 2).num_nodes(), 2u);
+  std::istringstream bad("0 5\n");
+  EXPECT_THROW(ReadEdgeList(bad, 2), std::runtime_error);
+}
+
+TEST(EdgeListIo, RejectsMalformedLines) {
+  std::istringstream garbage("zero one\n");
+  EXPECT_THROW(ReadEdgeList(garbage), std::runtime_error);
+  std::istringstream truncated("0\n");
+  EXPECT_THROW(ReadEdgeList(truncated), std::runtime_error);
+  std::istringstream bad_label("0 1 1.0 999\n");
+  EXPECT_THROW(ReadEdgeList(bad_label), std::runtime_error);
+}
+
+TEST(EdgeListIo, DeduplicatesRepeatedEdges) {
+  std::istringstream in("0 1\n0 1\n0 1\n");
+  EXPECT_EQ(ReadEdgeList(in, 2).num_edges(), 1u);
+}
+
+TEST(EdgeListIo, TextRoundTripPreservesStructure) {
+  Graph original = GenerateErdosRenyi(100, 5.0, 3);
+  AssignWeights(original, WeightDistribution::kUniform, 0.0, 4);
+  AssignLabels(original, 5, 5);
+  std::stringstream buffer;
+  WriteEdgeList(original, buffer);
+  Graph parsed = ReadEdgeList(buffer, original.num_nodes());
+  ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(parsed.Degree(v), original.Degree(v)) << v;
+    for (uint32_t i = 0; i < original.Degree(v); ++i) {
+      EXPECT_EQ(parsed.Neighbor(v, i), original.Neighbor(v, i));
+      EXPECT_NEAR(parsed.PropertyWeight(parsed.EdgesBegin(v) + i),
+                  original.PropertyWeight(original.EdgesBegin(v) + i), 1e-4);
+      EXPECT_EQ(parsed.EdgeLabel(parsed.EdgesBegin(v) + i),
+                original.EdgeLabel(original.EdgesBegin(v) + i));
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripIsExact) {
+  Graph original = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 7});
+  AssignWeights(original, WeightDistribution::kPareto, 1.5, 8);
+  AssignLabels(original, 5, 9);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(original, buffer);
+  Graph loaded = ReadBinary(buffer);
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.num_labels(), original.num_labels());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(loaded.Degree(v), original.Degree(v));
+    for (uint32_t i = 0; i < original.Degree(v); ++i) {
+      EdgeId e = original.EdgesBegin(v) + i;
+      EXPECT_EQ(loaded.Neighbor(v, i), original.Neighbor(v, i));
+      EXPECT_FLOAT_EQ(loaded.PropertyWeight(e), original.PropertyWeight(e));
+      EXPECT_EQ(loaded.EdgeLabel(e), original.EdgeLabel(e));
+    }
+  }
+}
+
+TEST(BinaryIo, UnweightedRoundTrip) {
+  Graph original = GenerateCycle(16);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(original, buffer);
+  Graph loaded = ReadBinary(buffer);
+  EXPECT_FALSE(loaded.weighted());
+  EXPECT_FALSE(loaded.labeled());
+  EXPECT_EQ(loaded.num_edges(), 16u);
+}
+
+TEST(BinaryIo, RejectsWrongMagicAndTruncation) {
+  std::stringstream junk(std::ios::in | std::ios::out | std::ios::binary);
+  junk << "NOTAGRPH plus trailing garbage";
+  EXPECT_THROW(ReadBinary(junk), std::runtime_error);
+
+  Graph g = GenerateCycle(4);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(g, buffer);
+  std::string bytes = buffer.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(ReadBinary(cut), std::runtime_error);
+}
+
+TEST(FileIo, FileHelpersWorkAndReportMissingFiles) {
+  Graph g = GenerateErdosRenyi(50, 4.0, 11);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 12);
+  const std::string path = "/tmp/flexi_io_test.bin";
+  WriteBinaryFile(g, path);
+  Graph loaded = ReadBinaryFile(path);
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_THROW(ReadBinaryFile("/nonexistent/dir/file.bin"), std::runtime_error);
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/dir/file.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flexi

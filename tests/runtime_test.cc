@@ -1,0 +1,210 @@
+// Tests for Flexi-Runtime: preprocessing kernels, the profiling kernels,
+// and the cost-model selector (Eqs. 9-11).
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/runtime/cost_model.h"
+#include "src/runtime/preprocess.h"
+#include "src/walks/deepwalk.h"
+#include "src/walks/node2vec.h"
+
+namespace flexi {
+namespace {
+
+TEST(Preprocess, HMaxHSumMatchBruteForce) {
+  Graph g = GenerateErdosRenyi(300, 10.0, 3);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 4);
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessPlan plan;
+  plan.need_h_max = true;
+  plan.need_h_sum = true;
+  PreprocessedData data = RunPreprocess(g, plan, device);
+  ASSERT_EQ(data.h_max.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    float max_h = 0.0f;
+    float sum_h = 0.0f;
+    for (uint32_t i = 0; i < g.Degree(v); ++i) {
+      float h = g.PropertyWeight(g.EdgesBegin(v) + i);
+      max_h = std::max(max_h, h);
+      sum_h += h;
+    }
+    if (g.Degree(v) == 0) {
+      max_h = 1.0f;
+    }
+    EXPECT_FLOAT_EQ(data.h_max[v], max_h) << v;
+    EXPECT_FLOAT_EQ(data.h_sum[v], sum_h) << v;
+  }
+}
+
+TEST(Preprocess, EmptyPlanProducesNothingAndChargesNothing) {
+  Graph g = GenerateCycle(10);
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessedData data = RunPreprocess(g, PreprocessPlan{}, device);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(device.mem().counters().bytes_read, 0u);
+}
+
+TEST(Preprocess, ChargesOneScanOverEdges) {
+  Graph g = GenerateErdosRenyi(200, 10.0, 5);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 6);
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  PreprocessPlan plan;
+  plan.need_h_max = true;
+  plan.need_h_sum = true;
+  RunPreprocess(g, plan, device);
+  EXPECT_GE(device.mem().counters().bytes_read, g.num_edges() * sizeof(float));
+}
+
+TEST(Profiler, RatioIsCalibratedAboveOne) {
+  Graph g = GenerateRmat({10, 8, 0.57, 0.19, 0.19, 9});
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 10);
+  DeepWalk walk(4);
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  double ratio = ProfileEdgeCostRatio(g, walk, device);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LE(ratio, 64.0);
+}
+
+TEST(Profiler, DeterministicForSeed) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 9});
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 10);
+  DeepWalk walk(4);
+  DeviceContext d1(DeviceProfile::SimulatedGpu());
+  DeviceContext d2(DeviceProfile::SimulatedGpu());
+  EXPECT_DOUBLE_EQ(ProfileEdgeCostRatio(g, walk, d1, 128, 16, 5),
+                   ProfileEdgeCostRatio(g, walk, d2, 128, 16, 5));
+}
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  SelectorTest() {
+    graph_ = GenerateErdosRenyi(64, 8.0, 11);
+    AssignWeights(graph_, WeightDistribution::kUniform, 0.0, 12);
+    helpers_ = Generator().Generate(walk_.program());
+    DeviceContext pre_device(DeviceProfile::SimulatedGpu());
+    pre_ = RunPreprocess(graph_, helpers_.plan(), pre_device);
+    ctx_ = WalkContext{&graph_, &device_, &pre_, nullptr};
+    q_.cur = 0;
+  }
+
+  Graph graph_;
+  DeepWalk walk_{4};
+  GeneratedHelpers helpers_;
+  PreprocessedData pre_;
+  DeviceContext device_{DeviceProfile::SimulatedGpu()};
+  WalkContext ctx_;
+  QueryState q_;
+  PhiloxStream sel_rng_{1, 0};
+};
+
+TEST_F(SelectorTest, AlwaysRvsNeverChoosesRjs) {
+  SamplerSelector selector(SelectionStrategy::kAlwaysRvs, CostModelParams{}, &helpers_);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(selector.PreferRjs(ctx_, q_, nullptr, sel_rng_));
+  }
+  EXPECT_EQ(selector.counters().chose_rjs, 0u);
+  EXPECT_EQ(selector.counters().chose_rvs, 50u);
+}
+
+TEST_F(SelectorTest, AlwaysRjsProvidesBound) {
+  SamplerSelector selector(SelectionStrategy::kAlwaysRjs, CostModelParams{}, &helpers_);
+  double bound = 0.0;
+  EXPECT_TRUE(selector.PreferRjs(ctx_, q_, &bound, sel_rng_));
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST_F(SelectorTest, RandomPicksBothEventually) {
+  SamplerSelector selector(SelectionStrategy::kRandom, CostModelParams{}, &helpers_);
+  for (int i = 0; i < 200; ++i) {
+    selector.PreferRjs(ctx_, q_, nullptr, sel_rng_);
+  }
+  EXPECT_GT(selector.counters().chose_rjs, 50u);
+  EXPECT_GT(selector.counters().chose_rvs, 50u);
+}
+
+TEST_F(SelectorTest, DegreeThresholdSwitchesOnDegree) {
+  CostModelParams params;
+  params.degree_threshold = 4;
+  SamplerSelector selector(SelectionStrategy::kDegreeThreshold, params, &helpers_);
+  NodeId low = 0;
+  NodeId high = 0;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (graph_.Degree(v) < 4) {
+      low = v;
+    }
+    if (graph_.Degree(v) >= 4) {
+      high = v;
+    }
+  }
+  q_.cur = low;
+  EXPECT_FALSE(selector.PreferRjs(ctx_, q_, nullptr, sel_rng_));
+  q_.cur = high;
+  EXPECT_TRUE(selector.PreferRjs(ctx_, q_, nullptr, sel_rng_));
+}
+
+TEST_F(SelectorTest, InvalidHelpersForceRvs) {
+  GeneratedHelpers invalid;  // default: valid() == false (§7.1 fallback)
+  SamplerSelector selector(SelectionStrategy::kAlwaysRjs, CostModelParams{}, &invalid);
+  EXPECT_FALSE(selector.PreferRjs(ctx_, q_, nullptr, sel_rng_));
+  SamplerSelector cost(SelectionStrategy::kCostModel, CostModelParams{}, &invalid);
+  EXPECT_FALSE(cost.PreferRjs(ctx_, q_, nullptr, sel_rng_));
+}
+
+// Eq. (11) behavior on controlled weight rows: near-uniform weights make
+// max/sum ~ 1/degree (RJS wins for any reasonable ratio); one giant outlier
+// makes max ~ sum (RVS wins).
+TEST(CostModelSelection, UniformWeightsPreferRjsSkewPrefersRvs) {
+  auto build_fan = [](const std::vector<float>& w) {
+    NodeId n = static_cast<NodeId>(w.size()) + 1;
+    GraphBuilder builder(n);
+    for (NodeId leaf = 1; leaf < n; ++leaf) {
+      builder.AddEdge(0, leaf);
+      builder.AddEdge(leaf, 0);
+    }
+    Graph g = builder.Build();
+    std::vector<float> h(g.num_edges(), 1.0f);
+    for (uint32_t i = 0; i < w.size(); ++i) {
+      h[g.EdgesBegin(0) + i] = w[i];
+    }
+    g.SetPropertyWeights(std::move(h));
+    return g;
+  };
+
+  DeepWalk walk(4);
+  GeneratedHelpers helpers = Generator().Generate(walk.program());
+  CostModelParams params;
+  params.edge_cost_ratio = 4.0;
+
+  // 64 uniform weights: ratio * max = 4 < sum = 64 -> RJS.
+  std::vector<float> uniform(64, 1.0f);
+  Graph g1 = build_fan(uniform);
+  DeviceContext dev1(DeviceProfile::SimulatedGpu());
+  PreprocessedData pre1 = RunPreprocess(g1, helpers.plan(), dev1);
+  WalkContext ctx1{&g1, &dev1, &pre1, nullptr};
+  QueryState q;
+  q.cur = 0;
+  PhiloxStream rng(2, 0);
+  SamplerSelector s1(SelectionStrategy::kCostModel, params, &helpers);
+  EXPECT_TRUE(s1.PreferRjs(ctx1, q, nullptr, rng));
+
+  // One dominant weight: ratio * max = 4000 > sum ~ 1063 -> RVS.
+  std::vector<float> skewed(64, 1.0f);
+  skewed[0] = 1000.0f;
+  Graph g2 = build_fan(skewed);
+  DeviceContext dev2(DeviceProfile::SimulatedGpu());
+  PreprocessedData pre2 = RunPreprocess(g2, helpers.plan(), dev2);
+  WalkContext ctx2{&g2, &dev2, &pre2, nullptr};
+  SamplerSelector s2(SelectionStrategy::kCostModel, params, &helpers);
+  EXPECT_FALSE(s2.PreferRjs(ctx2, q, nullptr, rng));
+}
+
+TEST(SelectionCounters, RatioComputation) {
+  SelectionCounters counters;
+  EXPECT_EQ(counters.RjsRatio(), 0.0);
+  counters.chose_rjs = 3;
+  counters.chose_rvs = 1;
+  EXPECT_DOUBLE_EQ(counters.RjsRatio(), 0.75);
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,180 @@
+// Structural/invariant tests for the sampling kernels: alias-table
+// invariants, CDF inversion, eRJS trial accounting and fallback, and the
+// eRVS jump technique's RNG savings (the §3.2 computation claim).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/sampling/alias.h"
+#include "src/sampling/inverse_transform.h"
+#include "src/sampling/rejection.h"
+#include "src/sampling/reservoir.h"
+#include "tests/test_util.h"
+
+namespace flexi {
+namespace {
+
+TEST(AliasTable, ReconstructsExactProbabilities) {
+  std::vector<float> weights = {3.0f, 2.0f, 4.0f, 1.0f};
+  AliasTable table = BuildAliasTable(weights);
+  ASSERT_EQ(table.size(), 4u);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  // P(i) = (prob[i] + sum_j (1 - prob[j]) [alias_j == i]) / n must equal
+  // w_i / total exactly (up to float rounding).
+  for (uint32_t i = 0; i < 4; ++i) {
+    double p = table.prob[i];
+    for (uint32_t j = 0; j < 4; ++j) {
+      if (j != i && table.alias[j] == i) {
+        p += 1.0 - table.prob[j];
+      }
+      if (j == i && table.alias[j] == i) {
+        p += 0.0;  // self-alias never adds mass beyond prob[i]
+      }
+    }
+    EXPECT_NEAR(p / 4.0, weights[i] / total, 1e-5) << "slot " << i;
+  }
+}
+
+TEST(AliasTable, ProbsInUnitIntervalAndAliasesValid) {
+  std::vector<float> weights = {0.1f, 10.0f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f};
+  AliasTable table = BuildAliasTable(weights);
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_GE(table.prob[i], 0.0f);
+    EXPECT_LE(table.prob[i], 1.0f + 1e-6f);
+    EXPECT_LT(table.alias[i], table.size());
+  }
+}
+
+TEST(AliasTable, EmptyForZeroOrEmptyWeights) {
+  EXPECT_TRUE(BuildAliasTable(std::vector<float>{}).empty());
+  EXPECT_TRUE(BuildAliasTable(std::vector<float>{0.0f, 0.0f}).empty());
+}
+
+TEST(InvertCdf, FindsLeastUpperIndex) {
+  std::vector<double> prefix = {1.0, 3.0, 6.0, 10.0};
+  EXPECT_EQ(InvertCdf(prefix, 0.0), 0u);
+  EXPECT_EQ(InvertCdf(prefix, 0.999), 0u);
+  EXPECT_EQ(InvertCdf(prefix, 1.0), 1u);
+  EXPECT_EQ(InvertCdf(prefix, 5.999), 2u);
+  EXPECT_EQ(InvertCdf(prefix, 9.999), 3u);
+  EXPECT_EQ(InvertCdf(prefix, 10.0), 3u);  // clamp at the end
+}
+
+TEST(ERjs, ExpectedTrialsTrackBoundInflation) {
+  // Expected trials = bound * degree / sum(w); doubling the bound should
+  // roughly double the observed trial count.
+  std::vector<float> weights(64, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(5, 0);
+  KernelRng rng(stream, fan.device.mem());
+  RejectionStats tight;
+  RejectionStats loose;
+  for (int t = 0; t < 4000; ++t) {
+    ERjsStep(fan.ctx, logic, fan.query, rng, 1.0, &tight);
+    ERjsStep(fan.ctx, logic, fan.query, rng, 2.0, &loose);
+  }
+  double ratio = static_cast<double>(loose.trials) / static_cast<double>(tight.trials);
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(ERjs, FallbackScanFiresOnPathologicalBound) {
+  // A wildly inflated bound on a tiny acceptance region exhausts the trial
+  // budget; the scan fallback must still return a valid neighbor.
+  std::vector<float> weights = {1e-6f, 1e-6f};
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(6, 0);
+  KernelRng rng(stream, fan.device.mem());
+  RejectionStats stats;
+  StepResult result = ERjsStep(fan.ctx, logic, fan.query, rng, 1e6, &stats);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GE(stats.fallback_scans, 1u);
+}
+
+TEST(ERjs, ChargesRandomNotCoalescedAccesses) {
+  std::vector<float> weights(128, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(7, 0);
+  KernelRng rng(stream, fan.device.mem());
+  fan.device.Reset();
+  ERjsStep(fan.ctx, logic, fan.query, rng, 1.0);
+  const CostCounters& c = fan.device.mem().counters();
+  EXPECT_GT(c.random_transactions, 0u);
+  EXPECT_EQ(c.coalesced_transactions, 0u);  // no scan, no reduction
+}
+
+TEST(BaselineRjs, MaxReduceChargesFullScan) {
+  std::vector<float> weights(128, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(8, 0);
+  KernelRng rng(stream, fan.device.mem());
+  fan.device.Reset();
+  RejectionStep(fan.ctx, logic, fan.query, rng, std::nullopt);
+  EXPECT_GT(fan.device.mem().counters().coalesced_transactions, 0u);
+}
+
+TEST(ERvs, JumpGeneratesFarFewerKeysThanScan) {
+  // §3.2: jump cuts key generations from d to O(log d) in expectation.
+  std::vector<float> weights(512, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(9, 0);
+  KernelRng rng(stream, fan.device.mem());
+  ReservoirStats scan;
+  ReservoirStats jump;
+  for (int t = 0; t < 300; ++t) {
+    ERvsScanStep(fan.ctx, logic, fan.query, rng, &scan);
+    ERvsJumpStep(fan.ctx, logic, fan.query, rng, &jump);
+  }
+  EXPECT_EQ(scan.keys_generated, 512u * 300u);
+  // 32 seed keys plus a handful of jump updates per call.
+  EXPECT_LT(jump.keys_generated, scan.keys_generated / 4);
+}
+
+TEST(ERvs, ScanChargesLessMemoryThanBaselineReservoir) {
+  // §3.2: dropping the prefix sum roughly halves weight-array traffic.
+  std::vector<float> weights(256, 2.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(10, 0);
+  KernelRng rng(stream, fan.device.mem());
+
+  fan.device.Reset();
+  ReservoirStep(fan.ctx, logic, fan.query, rng);
+  uint64_t baseline_bytes = fan.device.mem().counters().bytes_read;
+
+  fan.device.Reset();
+  ERvsScanStep(fan.ctx, logic, fan.query, rng);
+  uint64_t ervs_bytes = fan.device.mem().counters().bytes_read;
+
+  // Baseline touches every weight twice (scan + prefix replay); eRVS once.
+  EXPECT_LT(ervs_bytes, baseline_bytes);
+  EXPECT_GE(static_cast<double>(baseline_bytes) / static_cast<double>(ervs_bytes), 1.4);
+}
+
+TEST(ERvs, BaselineRngDrawsScaleWithDegree) {
+  std::vector<float> weights(100, 1.0f);
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(11, 0);
+  KernelRng rng(stream, fan.device.mem());
+  fan.device.Reset();
+  ReservoirStep(fan.ctx, logic, fan.query, rng);
+  EXPECT_EQ(fan.device.mem().counters().rng_draws, 100u);
+}
+
+TEST(SamplerKindNames, AllDistinct) {
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kAlias), "ALS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kInverseTransform), "ITS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kRejection), "RJS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kReservoir), "RVS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kERjs), "eRJS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kERvs), "eRVS");
+}
+
+}  // namespace
+}  // namespace flexi

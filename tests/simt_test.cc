@@ -1,0 +1,165 @@
+// Unit tests for the SIMT substrate: warp collectives and memory accounting.
+#include "src/simt/warp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simt/device.h"
+
+namespace flexi {
+namespace {
+
+TEST(Warp, BallotCollectsPredicateLanes) {
+  MemoryModel mem;
+  LaneArray<bool> pred{};
+  pred[0] = true;
+  pred[5] = true;
+  pred[31] = true;
+  uint32_t mask = Ballot(mem, kFullMask, pred);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+  EXPECT_EQ(mem.counters().warp_collectives, 1u);
+}
+
+TEST(Warp, BallotRespectsActiveMask) {
+  MemoryModel mem;
+  LaneArray<bool> pred{};
+  pred.fill(true);
+  uint32_t active = 0x0000FFFFu;
+  EXPECT_EQ(Ballot(mem, active, pred), active);
+}
+
+TEST(Warp, ShuffleBroadcastsSourceLane) {
+  MemoryModel mem;
+  LaneArray<int> values{};
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    values[lane] = static_cast<int>(lane * 10);
+  }
+  EXPECT_EQ(Shuffle(mem, values, 7), 70);
+  EXPECT_EQ(Shuffle(mem, values, 0), 0);
+  // Out-of-range source wraps like __shfl_sync's width semantics.
+  EXPECT_EQ(Shuffle(mem, values, 33), 10);
+}
+
+TEST(Warp, ReduceMaxFindsValueAndLane) {
+  MemoryModel mem;
+  LaneArray<double> values{};
+  values[3] = 5.0;
+  values[17] = 9.0;
+  values[20] = 9.0;  // tie: lowest lane wins
+  uint32_t arg = 0;
+  double best = ReduceMax(mem, kFullMask, values, &arg);
+  EXPECT_DOUBLE_EQ(best, 9.0);
+  EXPECT_EQ(arg, 17u);
+}
+
+TEST(Warp, ReduceMaxIgnoresInactiveLanes) {
+  MemoryModel mem;
+  LaneArray<double> values{};
+  values[0] = 100.0;
+  values[1] = 1.0;
+  uint32_t arg = 0;
+  double best = ReduceMax(mem, ~1u, values, &arg);  // lane 0 inactive
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  EXPECT_EQ(arg, 1u);
+}
+
+TEST(Warp, ReduceSumOverActiveLanes) {
+  MemoryModel mem;
+  LaneArray<int> values{};
+  values.fill(2);
+  EXPECT_EQ(ReduceSum(mem, kFullMask, values), 64);
+  EXPECT_EQ(ReduceSum(mem, 0x3u, values), 4);
+}
+
+TEST(Warp, InclusiveScanMatchesManualPrefix) {
+  MemoryModel mem;
+  LaneArray<int> values{};
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    values[lane] = 1;
+  }
+  auto scan = InclusiveScan(mem, kFullMask, values);
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    EXPECT_EQ(scan[lane], static_cast<int>(lane + 1));
+  }
+}
+
+TEST(Warp, PopCountAndFirstLane) {
+  EXPECT_EQ(PopCount(0u), 0u);
+  EXPECT_EQ(PopCount(kFullMask), 32u);
+  EXPECT_EQ(FirstLane(0x8u), 3u);
+  EXPECT_EQ(FirstLane(0x80000000u), 31u);
+}
+
+TEST(MemoryModel, CoalescedTransactionRounding) {
+  MemoryModel mem;
+  // 32 lanes x 4 bytes = 128 bytes = exactly one transaction.
+  mem.LoadCoalesced(32, 4);
+  EXPECT_EQ(mem.counters().coalesced_transactions, 1u);
+  // 129 bytes -> two transactions.
+  mem.LoadCoalesced(1, 129);
+  EXPECT_EQ(mem.counters().coalesced_transactions, 3u);
+  EXPECT_EQ(mem.counters().bytes_read, 128u + 129u);
+}
+
+TEST(MemoryModel, RandomAccessesPayFullTransactions) {
+  MemoryModel mem;
+  for (int i = 0; i < 32; ++i) {
+    mem.LoadRandom(4);
+  }
+  EXPECT_EQ(mem.counters().random_transactions, 32u);
+  EXPECT_EQ(mem.counters().bytes_read, 128u);
+}
+
+TEST(MemoryModel, WeightedCostOrdersRandomAboveCoalesced) {
+  MemoryModel coalesced;
+  MemoryModel random;
+  coalesced.LoadCoalesced(32, 4);  // 128 bytes, 1 transaction
+  for (int i = 0; i < 32; ++i) {
+    random.LoadRandom(4);  // same bytes, 32 transactions
+  }
+  EXPECT_GT(random.counters().WeightedCost(), coalesced.counters().WeightedCost());
+}
+
+TEST(MemoryModel, ResetClearsCounters) {
+  MemoryModel mem;
+  mem.LoadRandom(100);
+  mem.CountRng(5);
+  mem.Reset();
+  EXPECT_EQ(mem.counters().random_transactions, 0u);
+  EXPECT_EQ(mem.counters().rng_draws, 0u);
+}
+
+TEST(CostCounters, AdditionAndSubtraction) {
+  MemoryModel mem;
+  mem.LoadRandom(8);
+  CostCounters a = mem.counters();
+  mem.LoadCoalesced(1, 256);
+  mem.CountRng(3);
+  CostCounters delta = mem.counters() - a;
+  EXPECT_EQ(delta.random_transactions, 0u);
+  EXPECT_EQ(delta.coalesced_transactions, 2u);
+  EXPECT_EQ(delta.rng_draws, 3u);
+  CostCounters sum = a;
+  sum += delta;
+  EXPECT_EQ(sum.coalesced_transactions, mem.counters().coalesced_transactions);
+}
+
+TEST(Device, SimulatedTimeScalesWithParallelism) {
+  DeviceContext gpu(DeviceProfile::SimulatedGpu());
+  DeviceContext cpu(DeviceProfile::SimulatedCpu(32));
+  gpu.mem().LoadCoalesced(1, 1 << 20);
+  cpu.mem().LoadCoalesced(1, 1 << 20);
+  EXPECT_LT(gpu.SimulatedMs(), cpu.SimulatedMs());
+}
+
+TEST(Device, EnergyIsPositiveAndMonotonic) {
+  DeviceContext device(DeviceProfile::SimulatedGpu());
+  device.mem().LoadCoalesced(1, 4096);
+  double e1 = device.SimulatedJoules();
+  device.mem().LoadCoalesced(1, 1 << 22);
+  double e2 = device.SimulatedJoules();
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e2, e1);
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,34 @@
+// End-to-end smoke: FlexiWalker walks a small weighted graph and produces
+// complete paths.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walks/node2vec.h"
+
+namespace flexi {
+namespace {
+
+TEST(Smoke, FlexiWalkerRunsNode2Vec) {
+  Graph graph = GenerateErdosRenyi(256, 8.0, /*seed=*/7);
+  AssignWeights(graph, WeightDistribution::kUniform, 2.0, /*seed=*/11);
+  Node2VecWalk walk(2.0, 0.5, /*length=*/10);
+  FlexiWalkerEngine engine;
+  auto starts = AllNodesAsStarts(graph);
+  WalkResult result = engine.Run(graph, walk, starts, /*seed=*/42);
+  ASSERT_EQ(result.num_queries, graph.num_nodes());
+  // Every path starts at its start node and every recorded edge exists.
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    EXPECT_EQ(path[0], starts[qid]);
+    for (size_t s = 0; s + 1 < path.size() && path[s + 1] != kInvalidNode; ++s) {
+      EXPECT_TRUE(graph.HasEdge(path[s], path[s + 1]))
+          << "query " << qid << " step " << s;
+    }
+  }
+  EXPECT_GT(result.cost.coalesced_transactions + result.cost.random_transactions, 0u);
+  EXPECT_GT(result.sim_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,141 @@
+// Unit tests for the statistics helpers.
+#include "src/metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/metrics/report.h"
+#include "src/rng/philox.h"
+
+namespace flexi {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.CoefficientOfVariationPct(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndConstantSeries) {
+  RunningStats empty;
+  EXPECT_EQ(empty.variance(), 0.0);
+  EXPECT_EQ(empty.CoefficientOfVariationPct(), 0.0);
+
+  RunningStats constant;
+  constant.Add(3.0);
+  constant.Add(3.0);
+  EXPECT_DOUBLE_EQ(constant.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(constant.CoefficientOfVariationPct(), 0.0);
+}
+
+TEST(ChiSquare, AcceptsFairDice) {
+  PhiloxStream rng(7, 0);
+  std::vector<uint64_t> observed(6, 0);
+  std::vector<double> expected(6, 1.0 / 6.0);
+  for (int i = 0; i < 60000; ++i) {
+    ++observed[rng.NextBounded(6)];
+  }
+  auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_TRUE(result.consistent) << result.statistic;
+  EXPECT_EQ(result.degrees_of_freedom, 5u);
+}
+
+TEST(ChiSquare, RejectsBiasedDice) {
+  // A die that never rolls 6 but is claimed fair.
+  PhiloxStream rng(7, 1);
+  std::vector<uint64_t> observed(6, 0);
+  std::vector<double> expected(6, 1.0 / 6.0);
+  for (int i = 0; i < 60000; ++i) {
+    ++observed[rng.NextBounded(5)];
+  }
+  auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_FALSE(result.consistent);
+}
+
+TEST(ChiSquare, RejectsSubtleBias) {
+  // 10% excess mass on outcome 0.
+  PhiloxStream rng(7, 2);
+  std::vector<uint64_t> observed(4, 0);
+  std::vector<double> expected(4, 0.25);
+  for (int i = 0; i < 200000; ++i) {
+    double u = rng.NextUniform();
+    if (u < 0.31) {
+      ++observed[0];
+    } else {
+      ++observed[1 + rng.NextBounded(3)];
+    }
+  }
+  auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_FALSE(result.consistent);
+}
+
+TEST(ChiSquare, PoolsSparseBins) {
+  // Many near-zero-probability bins must be pooled, not divided by ~0.
+  std::vector<uint64_t> observed = {500, 500, 0, 0, 0, 1};
+  std::vector<double> expected = {0.5, 0.4999, 1e-5, 1e-5, 1e-5, 7e-5};
+  auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_GT(result.statistic, 0.0);
+  EXPECT_LE(result.degrees_of_freedom, 2u);
+}
+
+TEST(ChiSquare, HandlesZeroTotalAndSizeMismatch) {
+  std::vector<uint64_t> empty_obs = {0, 0};
+  std::vector<double> p = {0.5, 0.5};
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(empty_obs, p).consistent);
+  std::vector<uint64_t> mismatched = {1, 2, 3};
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(mismatched, p).consistent);
+}
+
+TEST(ChiSquareCritical, IncreasesWithDof) {
+  EXPECT_GT(ChiSquareCriticalValue(10), ChiSquareCriticalValue(5));
+  EXPECT_GT(ChiSquareCriticalValue(100), ChiSquareCriticalValue(10));
+  // Known value: chi2(0.999, 10) ~ 29.6.
+  EXPECT_NEAR(ChiSquareCriticalValue(10), 29.6, 1.0);
+}
+
+TEST(Histogram, BinEdgesAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps to bin 0
+  h.Add(0.5);
+  h.Add(9.99);
+  h.Add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinUpperEdge(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinUpperEdge(4), 10.0);
+}
+
+TEST(GeometricMean, BasicAndEmpty) {
+  std::array<double, 3> v = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(GeometricMean(v), 10.0, 1e-9);
+  EXPECT_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(Table, FormatsAlignedRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", Table::Num(1.5)});
+  t.AddRow({"beta-long-name", Table::Num(123456.0)});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta-long-name"), std::string::npos);
+  EXPECT_NE(s.find("1.500"), std::string::npos);
+}
+
+TEST(Table, NumFormatsRanges) {
+  EXPECT_EQ(Table::Num(0.0), "0.000");
+  EXPECT_EQ(Table::Num(3.14159), "3.142");
+  EXPECT_EQ(Table::Num(1234.5), "1234.5");
+  EXPECT_NE(Table::Num(1e9).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,168 @@
+// Tests for graph transforms and the temporal (time-respecting) walk.
+#include <gtest/gtest.h>
+
+#include "src/compiler/generator.h"
+#include "src/graph/generators.h"
+#include "src/graph/transforms.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walks/temporal.h"
+
+namespace flexi {
+namespace {
+
+Graph AttributedTestGraph() {
+  Graph g = GenerateErdosRenyi(60, 5.0, 31);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 32);
+  AssignLabels(g, 4, 33);
+  AssignTimestamps(g, 10.0f, 34);
+  return g;
+}
+
+TEST(Transforms, ReverseFlipsEveryEdgeWithAttributes) {
+  Graph g = AttributedTestGraph();
+  Graph r = ReverseGraph(g);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t i = 0; i < g.Degree(v); ++i) {
+      NodeId u = g.Neighbor(v, i);
+      ASSERT_TRUE(r.HasEdge(u, v));
+      // Find (u, v) in the reversed graph and compare attributes.
+      for (uint32_t j = 0; j < r.Degree(u); ++j) {
+        if (r.Neighbor(u, j) == v) {
+          EdgeId fwd = g.EdgesBegin(v) + i;
+          EdgeId rev = r.EdgesBegin(u) + j;
+          EXPECT_FLOAT_EQ(r.PropertyWeight(rev), g.PropertyWeight(fwd));
+          EXPECT_EQ(r.EdgeLabel(rev), g.EdgeLabel(fwd));
+          EXPECT_FLOAT_EQ(r.EdgeTimestamp(rev), g.EdgeTimestamp(fwd));
+        }
+      }
+    }
+  }
+}
+
+TEST(Transforms, ReverseOfReverseIsIdentity) {
+  Graph g = AttributedTestGraph();
+  Graph rr = ReverseGraph(ReverseGraph(g));
+  ASSERT_EQ(rr.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(rr.Degree(v), g.Degree(v));
+    for (uint32_t i = 0; i < g.Degree(v); ++i) {
+      EXPECT_EQ(rr.Neighbor(v, i), g.Neighbor(v, i));
+    }
+  }
+}
+
+TEST(Transforms, SymmetrizeMakesEveryEdgeBidirectional) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 1);
+  Graph g = builder.Build();
+  Graph s = SymmetrizeGraph(g);
+  EXPECT_TRUE(s.HasEdge(1, 0));
+  EXPECT_TRUE(s.HasEdge(0, 1));
+  EXPECT_TRUE(s.HasEdge(1, 2));
+  EXPECT_TRUE(s.HasEdge(2, 1));
+  EXPECT_EQ(s.num_edges(), 4u);
+}
+
+TEST(Transforms, InducedSubgraphKeepsInternalEdgesOnly) {
+  Graph g = GenerateComplete(6);
+  std::vector<NodeId> keep = {1, 3, 5};
+  std::vector<NodeId> mapping;
+  Graph sub = InducedSubgraph(g, keep, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 6u);  // complete on 3 nodes
+  EXPECT_EQ(mapping[1], 0u);
+  EXPECT_EQ(mapping[3], 1u);
+  EXPECT_EQ(mapping[5], 2u);
+  EXPECT_EQ(mapping[0], kInvalidNode);
+}
+
+TEST(Transforms, InducedSubgraphDeduplicatesRequestedNodes) {
+  Graph g = GenerateComplete(4);
+  std::vector<NodeId> keep = {2, 2, 0};
+  Graph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+}
+
+TEST(Transforms, DegreeSortedRelabelOrdersByDegree) {
+  Graph star = GenerateStar(5);  // hub 0 has degree 5
+  std::vector<NodeId> mapping;
+  Graph relabeled = DegreeSortedRelabel(star, &mapping);
+  EXPECT_EQ(mapping[0], 0u);  // the hub keeps rank 0
+  EXPECT_EQ(relabeled.Degree(0), 5u);
+  for (NodeId v = 1; v < relabeled.num_nodes(); ++v) {
+    EXPECT_LE(relabeled.Degree(v), relabeled.Degree(v - 1));
+  }
+}
+
+TEST(Temporal, PathsRespectTimeMonotonicity) {
+  Graph g = GenerateErdosRenyi(200, 10.0, 41);
+  AssignTimestamps(g, 1.0f, 42);
+  TemporalWalk walk(12);
+  FlexiWalkerEngine engine;
+  auto starts = AllNodesAsStarts(g);
+  WalkResult result = engine.Run(g, walk, starts, 43);
+  size_t checked_steps = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    float last_time = -1.0f;
+    for (size_t s = 0; s + 1 < path.size() && path[s + 1] != kInvalidNode; ++s) {
+      // Recover the traversed edge's timestamp; allow any matching parallel
+      // edge with a feasible (strictly later) timestamp.
+      NodeId v = path[s];
+      NodeId u = path[s + 1];
+      float best = -1.0f;
+      for (uint32_t i = 0; i < g.Degree(v); ++i) {
+        if (g.Neighbor(v, i) == u) {
+          float t = g.EdgeTimestamp(g.EdgesBegin(v) + i);
+          if (t > last_time) {
+            best = t;
+            break;
+          }
+        }
+      }
+      ASSERT_GT(best, last_time) << "non-time-respecting step in query " << qid;
+      last_time = best;
+      ++checked_steps;
+    }
+  }
+  EXPECT_GT(checked_steps, result.num_queries);  // walks made real progress
+}
+
+TEST(Temporal, WalkerDeadEndsWhenTimeRunsOut) {
+  // A path graph with strictly decreasing timestamps: only the first step
+  // is ever feasible.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  Graph g = builder.Build();
+  g.SetEdgeTimestamps({0.5f, 0.2f});
+  TemporalWalk walk(5);
+  FlexiWalkerEngine engine;
+  std::vector<NodeId> starts = {0};
+  WalkResult result = engine.Run(g, walk, starts, 1);
+  auto path = result.Path(0);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], kInvalidNode);  // 0.2 < 0.5: masked
+}
+
+TEST(Temporal, ProgramStaysAnalyzable) {
+  TemporalWalk walk(10);
+  GeneratedHelpers helpers = Generator().Generate(walk.program());
+  EXPECT_TRUE(helpers.valid());  // eRJS stays available for temporal walks
+}
+
+TEST(Temporal, GraphTimestampValidation) {
+  Graph g = GenerateCycle(4);
+  EXPECT_THROW(g.SetEdgeTimestamps(std::vector<float>(2, 0.0f)), std::invalid_argument);
+  EXPECT_FALSE(g.temporal());
+  g.SetEdgeTimestamps(std::vector<float>(4, 1.0f));
+  EXPECT_TRUE(g.temporal());
+  EXPECT_FLOAT_EQ(g.EdgeTimestamp(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace flexi

@@ -1,0 +1,172 @@
+// Unit tests for the walk workloads' weight functions against the paper's
+// formulas (Eqs. 2-3) computed by hand on a known micro-graph.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/walks/deepwalk.h"
+#include "src/walks/metapath.h"
+#include "src/walks/node2vec.h"
+#include "src/walks/second_order_pr.h"
+
+namespace flexi {
+namespace {
+
+// Micro-graph:   0 <-> 1, 0 <-> 2, 1 <-> 2, 2 <-> 3.
+// At node 2 with prev = 0, the candidates are {0, 1, 3}:
+//   0: dist(prev, 0) == 0  -> 1/a
+//   1: dist(prev, 1) == 1  -> 1     (0 -> 1 exists)
+//   3: dist(prev, 3) == 2  -> 1/b  (0 -> 3 absent)
+class WalksTest : public ::testing::Test {
+ protected:
+  WalksTest() {
+    GraphBuilder builder(4);
+    builder.AddUndirectedEdge(0, 1);
+    builder.AddUndirectedEdge(0, 2);
+    builder.AddUndirectedEdge(1, 2);
+    builder.AddUndirectedEdge(2, 3);
+    graph_ = builder.Build();
+    ctx_ = WalkContext{&graph_, &device_, nullptr, nullptr};
+  }
+
+  // Neighbor index of `target` within N(v).
+  uint32_t IndexOf(NodeId v, NodeId target) const {
+    for (uint32_t i = 0; i < graph_.Degree(v); ++i) {
+      if (graph_.Neighbor(v, i) == target) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "no edge " << v << "->" << target;
+    return 0;
+  }
+
+  Graph graph_;
+  DeviceContext device_{DeviceProfile::SimulatedGpu()};
+  WalkContext ctx_;
+};
+
+TEST_F(WalksTest, Node2VecEqTwo) {
+  Node2VecWalk walk(2.0, 0.5);
+  QueryState q;
+  q.cur = 2;
+  q.prev = 0;
+  q.step = 1;
+  EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx_, q, IndexOf(2, 0)), 0.5f);   // 1/a
+  EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx_, q, IndexOf(2, 1)), 1.0f);   // dist 1
+  EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx_, q, IndexOf(2, 3)), 2.0f);   // 1/b
+}
+
+TEST_F(WalksTest, Node2VecFirstStepIsUniform) {
+  Node2VecWalk walk(2.0, 0.5);
+  QueryState q;
+  q.cur = 2;
+  q.prev = kInvalidNode;
+  for (uint32_t i = 0; i < graph_.Degree(2); ++i) {
+    EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx_, q, i), 1.0f);
+  }
+}
+
+TEST_F(WalksTest, Node2VecUpdateAdvancesState) {
+  Node2VecWalk walk(2.0, 0.5);
+  QueryState q;
+  q.cur = 0;
+  walk.Update(ctx_, q, 2, IndexOf(0, 2));
+  EXPECT_EQ(q.prev, 0u);
+  EXPECT_EQ(q.cur, 2u);
+  EXPECT_EQ(q.step, 1u);
+}
+
+TEST_F(WalksTest, SecondOrderPrEqThree) {
+  double gamma = 0.2;
+  SecondOrderPageRankWalk walk(gamma);
+  QueryState q;
+  q.cur = 2;   // d(2) = 3
+  q.prev = 0;  // d(0) = 2
+  q.step = 1;
+  double dv = 3.0;
+  double dp = 2.0;
+  double maxd = 3.0;
+  // Candidate 0 == prev (dist 0 counts as linked via the u == prev case).
+  double linked = ((1.0 - gamma) / dv + gamma / dp) * maxd;
+  double unlinked = ((1.0 - gamma) / dv) * maxd;
+  EXPECT_NEAR(walk.WorkloadWeight(ctx_, q, IndexOf(2, 0)), linked, 1e-6);
+  EXPECT_NEAR(walk.WorkloadWeight(ctx_, q, IndexOf(2, 1)), linked, 1e-6);
+  EXPECT_NEAR(walk.WorkloadWeight(ctx_, q, IndexOf(2, 3)), unlinked, 1e-6);
+}
+
+TEST_F(WalksTest, SecondOrderPrFirstStep) {
+  SecondOrderPageRankWalk walk(0.2);
+  QueryState q;
+  q.cur = 2;
+  q.prev = kInvalidNode;
+  EXPECT_NEAR(walk.WorkloadWeight(ctx_, q, 0), 0.8, 1e-6);
+}
+
+TEST_F(WalksTest, MetaPathMasksBySchema) {
+  Graph labeled = graph_;
+  std::vector<uint8_t> labels(labeled.num_edges());
+  for (size_t e = 0; e < labels.size(); ++e) {
+    labels[e] = static_cast<uint8_t>(e % 3);
+  }
+  labeled.SetEdgeLabels(labels, 3);
+  WalkContext ctx{&labeled, &device_, nullptr, nullptr};
+
+  MetaPathWalk walk({1, 0});
+  QueryState q;
+  q.cur = 2;
+  q.step = 0;  // schema position 0 expects label 1
+  for (uint32_t i = 0; i < labeled.Degree(2); ++i) {
+    uint8_t label = labeled.EdgeLabel(labeled.EdgesBegin(2) + i);
+    EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx, q, i), label == 1 ? 1.0f : 0.0f);
+  }
+  q.step = 1;  // schema position 1 expects label 0
+  for (uint32_t i = 0; i < labeled.Degree(2); ++i) {
+    uint8_t label = labeled.EdgeLabel(labeled.EdgesBegin(2) + i);
+    EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx, q, i), label == 0 ? 1.0f : 0.0f);
+  }
+}
+
+TEST_F(WalksTest, MetaPathLengthEqualsSchemaDepth) {
+  MetaPathWalk walk({0, 1, 2, 3, 4});
+  EXPECT_EQ(walk.walk_length(), 5u);
+}
+
+TEST_F(WalksTest, DeepWalkIsStatic) {
+  DeepWalk walk(80);
+  QueryState q;
+  q.cur = 2;
+  q.prev = 0;
+  for (uint32_t i = 0; i < graph_.Degree(2); ++i) {
+    EXPECT_FLOAT_EQ(walk.WorkloadWeight(ctx_, q, i), 1.0f);
+  }
+  EXPECT_EQ(walk.walk_length(), 80u);
+}
+
+TEST_F(WalksTest, OpaqueWalkDeterministicPositiveWeights) {
+  OpaqueWalk walk;
+  QueryState q;
+  q.cur = 2;
+  for (uint32_t i = 0; i < graph_.Degree(2); ++i) {
+    float w1 = walk.WorkloadWeight(ctx_, q, i);
+    float w2 = walk.WorkloadWeight(ctx_, q, i);
+    EXPECT_EQ(w1, w2);
+    EXPECT_GT(w1, 0.0f);
+    EXPECT_LE(w1, 2.5f);
+  }
+}
+
+TEST_F(WalksTest, TransitionWeightMultipliesPropertyWeight) {
+  Graph weighted = graph_;
+  std::vector<float> h(weighted.num_edges(), 3.0f);
+  weighted.SetPropertyWeights(std::move(h));
+  WalkContext ctx{&weighted, &device_, nullptr, nullptr};
+  Node2VecWalk walk(2.0, 0.5);
+  QueryState q;
+  q.cur = 2;
+  q.prev = 0;
+  q.step = 1;
+  uint32_t i = IndexOf(2, 3);
+  EXPECT_FLOAT_EQ(walk.TransitionWeight(ctx, q, i), 2.0f * 3.0f);
+}
+
+}  // namespace
+}  // namespace flexi

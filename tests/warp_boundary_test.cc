@@ -1,0 +1,100 @@
+// Warp-boundary sweeps: degrees straddling the 32-lane warp size are where
+// strided lane assignment, partial-tile masks, and jump seeding can break.
+// Every optimized kernel is distribution-tested at each boundary degree.
+#include <gtest/gtest.h>
+
+#include "src/sampling/rejection.h"
+#include "src/sampling/reservoir.h"
+#include "src/sampling/warp_its.h"
+#include "tests/test_util.h"
+
+namespace flexi {
+namespace {
+
+class WarpBoundaryTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  // Ramp weights make index errors show up as distribution shifts.
+  std::vector<float> RampWeights() const {
+    std::vector<float> weights(GetParam());
+    for (uint32_t i = 0; i < weights.size(); ++i) {
+      weights[i] = 1.0f + static_cast<float>(i % 7);
+    }
+    return weights;
+  }
+};
+
+TEST_P(WarpBoundaryTest, ERvsJumpExactAtBoundaryDegree) {
+  auto weights = RampWeights();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  auto p = fan.ExactProbabilities(logic);
+  PhiloxStream stream(0xB0 + GetParam(), 0);
+  KernelRng rng(stream, fan.device.mem());
+  auto chi = SampleAndTest(GetParam(), p, 40000, [&](uint64_t) {
+    return ERvsJumpStep(fan.ctx, logic, fan.query, rng).index;
+  });
+  EXPECT_TRUE(chi.consistent) << "degree=" << GetParam() << " chi2=" << chi.statistic;
+}
+
+TEST_P(WarpBoundaryTest, ERvsScanExactAtBoundaryDegree) {
+  auto weights = RampWeights();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  auto p = fan.ExactProbabilities(logic);
+  PhiloxStream stream(0xC0 + GetParam(), 0);
+  KernelRng rng(stream, fan.device.mem());
+  auto chi = SampleAndTest(GetParam(), p, 40000, [&](uint64_t) {
+    return ERvsScanStep(fan.ctx, logic, fan.query, rng).index;
+  });
+  EXPECT_TRUE(chi.consistent) << "degree=" << GetParam() << " chi2=" << chi.statistic;
+}
+
+TEST_P(WarpBoundaryTest, WarpItsExactAtBoundaryDegree) {
+  auto weights = RampWeights();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  auto p = fan.ExactProbabilities(logic);
+  PhiloxStream stream(0xD0 + GetParam(), 0);
+  KernelRng rng(stream, fan.device.mem());
+  auto chi = SampleAndTest(GetParam(), p, 40000, [&](uint64_t) {
+    return WarpInverseTransformStep(fan.ctx, logic, fan.query, rng).index;
+  });
+  EXPECT_TRUE(chi.consistent) << "degree=" << GetParam() << " chi2=" << chi.statistic;
+}
+
+TEST_P(WarpBoundaryTest, ERjsExactAtBoundaryDegree) {
+  auto weights = RampWeights();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  auto p = fan.ExactProbabilities(logic);
+  PhiloxStream stream(0xE0 + GetParam(), 0);
+  KernelRng rng(stream, fan.device.mem());
+  auto chi = SampleAndTest(GetParam(), p, 40000, [&](uint64_t) {
+    return ERjsStep(fan.ctx, logic, fan.query, rng, 7.0).index;
+  });
+  EXPECT_TRUE(chi.consistent) << "degree=" << GetParam() << " chi2=" << chi.statistic;
+}
+
+TEST_P(WarpBoundaryTest, EveryIndexReachable) {
+  auto weights = RampWeights();
+  FanGraph fan(weights);
+  DeepWalk logic(1);
+  PhiloxStream stream(0xF0 + GetParam(), 0);
+  KernelRng rng(stream, fan.device.mem());
+  uint32_t degree = GetParam();
+  std::vector<bool> hit(degree, false);
+  for (uint32_t t = 0; t < degree * 400; ++t) {
+    uint32_t index = ERvsJumpStep(fan.ctx, logic, fan.query, rng).index;
+    ASSERT_LT(index, degree);
+    hit[index] = true;
+  }
+  for (uint32_t i = 0; i < degree; ++i) {
+    EXPECT_TRUE(hit[i]) << "index " << i << " never selected at degree " << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryDegrees, WarpBoundaryTest,
+                         ::testing::Values(1u, 2u, 31u, 32u, 33u, 63u, 64u, 65u, 97u));
+
+}  // namespace
+}  // namespace flexi
