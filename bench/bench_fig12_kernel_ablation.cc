@@ -9,6 +9,7 @@
 #include "bench/bench_util.h"
 #include "src/sampling/rejection.h"
 #include "src/sampling/reservoir.h"
+#include "src/walker/scheduler.h"
 #include "src/walks/node2vec.h"
 
 namespace flexi {
@@ -20,9 +21,9 @@ class ERvsScanOnlyEngine : public Engine {
   std::string name() const override { return "eRVS(+EXP)"; }
   WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
                  uint64_t seed) override {
-    return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
-                       [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                          KernelRng& rng) { return ERvsScanStep(ctx, l, q, rng); });
+    return WalkScheduler().Run(graph, logic, starts, seed,
+                               [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                                  KernelRng& rng) { return ERvsScanStep(ctx, l, q, rng); });
   }
 };
 
@@ -31,9 +32,9 @@ class ERvsJumpEngine : public Engine {
   std::string name() const override { return "eRVS(+EXP+JUMP)"; }
   WalkResult Run(const Graph& graph, const WalkLogic& logic, std::span<const NodeId> starts,
                  uint64_t seed) override {
-    return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
-                       [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                          KernelRng& rng) { return ERvsJumpStep(ctx, l, q, rng); });
+    return WalkScheduler().Run(graph, logic, starts, seed,
+                               [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                                  KernelRng& rng) { return ERvsJumpStep(ctx, l, q, rng); });
   }
 };
 

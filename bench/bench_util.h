@@ -21,6 +21,7 @@
 #include "src/metrics/report.h"
 #include "src/walker/engine.h"
 #include "src/walker/flexiwalker_engine.h"
+#include "src/walker/scheduler.h"
 
 namespace flexi {
 
@@ -70,6 +71,8 @@ inline double MaxWatts(const WalkResult& result, const DeviceProfile& profile) {
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("host: %u scheduler worker threads (walk paths are thread-count invariant)\n",
+              DefaultWorkerThreads());
   std::printf("(sim_ms = substrate-accounted simulated milliseconds; see DESIGN.md)\n\n");
 }
 

@@ -17,6 +17,7 @@
 #include "src/graph/datasets.h"
 #include "src/graph/io.h"
 #include "src/walker/flexiwalker_engine.h"
+#include "src/walker/scheduler.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/metapath.h"
 #include "src/walks/node2vec.h"
@@ -36,6 +37,7 @@ struct CliOptions {
   double alpha = 2.0;
   uint32_t length = 80;
   size_t queries = 0;  // 0 = one per node
+  unsigned threads = 0;  // 0 = hardware concurrency
   uint64_t seed = 2026;
   std::string out_path;
   bool help = false;
@@ -53,6 +55,8 @@ void PrintUsage() {
       "  --alpha    <float>       Pareto shape when --weights pareto (default 2.0)\n"
       "  --length   <steps>       walk length (default 80)\n"
       "  --queries  <n>           number of start nodes (default: every node)\n"
+      "  --threads  <n>           host worker threads (default: hardware concurrency;\n"
+      "                           walk paths are identical for any value)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
       "  --out      <path>        write walks, one per line\n");
 }
@@ -100,6 +104,12 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.queries = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--threads") {
+      const char* value = needs_value("--threads");
+      if (value == nullptr) {
+        return false;
+      }
+      options.threads = static_cast<unsigned>(std::atoi(value));
     } else if (arg == "--seed") {
       const char* value = needs_value("--seed");
       if (value == nullptr) {
@@ -165,6 +175,10 @@ std::unique_ptr<Engine> MakeEngine(const std::string& name) {
 }
 
 int Run(const CliOptions& options) {
+  // Every engine executes through the WalkScheduler; this sets its
+  // process-wide worker count (0 keeps the hardware default).
+  SetDefaultWorkerThreads(options.threads);
+
   WeightDistribution dist = WeightDistribution::kUniform;
   if (options.weights == "pareto") {
     dist = WeightDistribution::kPareto;
@@ -209,9 +223,11 @@ int Run(const CliOptions& options) {
     starts.resize(options.queries);
   }
 
-  std::printf("graph: %u nodes / %llu edges | workload: %s | engine: %s | queries: %zu\n",
-              graph.num_nodes(), static_cast<unsigned long long>(graph.num_edges()),
-              workload->name().c_str(), engine->name().c_str(), starts.size());
+  std::printf(
+      "graph: %u nodes / %llu edges | workload: %s | engine: %s | queries: %zu | threads: %u\n",
+      graph.num_nodes(), static_cast<unsigned long long>(graph.num_edges()),
+      workload->name().c_str(), engine->name().c_str(), starts.size(),
+      DefaultWorkerThreads());
   WalkResult result = engine->Run(graph, *workload, starts, options.seed);
 
   uint64_t steps = 0;

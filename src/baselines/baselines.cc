@@ -5,30 +5,48 @@
 #include "src/sampling/rejection.h"
 #include "src/sampling/reservoir.h"
 #include "src/sampling/warp_its.h"
+#include "src/walker/scheduler.h"
 
 namespace flexi {
+namespace {
+
+// All baselines drain the same dynamic query queue through the
+// WalkScheduler; they differ only in device profile and step kernel.
+WalkScheduler GpuScheduler() {
+  SchedulerOptions options;
+  options.profile = DeviceProfile::SimulatedGpu();
+  return WalkScheduler(options);
+}
+
+WalkScheduler CpuScheduler(int simulated_threads) {
+  SchedulerOptions options;
+  options.profile = DeviceProfile::SimulatedCpu(simulated_threads);
+  return WalkScheduler(options);
+}
+
+}  // namespace
 
 WalkResult CSawEngine::Run(const Graph& graph, const WalkLogic& logic,
                            std::span<const NodeId> starts, uint64_t seed) {
   // C-SAW is warp-centric: the warp-cooperative ITS kernel with lockstep
   // tile scans, not the sequential host formulation.
-  return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
-                     [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                        KernelRng& rng) { return WarpInverseTransformStep(ctx, l, q, rng); });
+  return GpuScheduler().Run(graph, logic, starts, seed,
+                            [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                               KernelRng& rng) { return WarpInverseTransformStep(ctx, l, q, rng); });
 }
 
 WalkResult SkywalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
                                 std::span<const NodeId> starts, uint64_t seed) {
-  return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
-                     [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                        KernelRng& rng) { return AliasStep(ctx, l, q, rng); });
+  return GpuScheduler().Run(graph, logic, starts, seed,
+                            [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                               KernelRng& rng) { return AliasStep(ctx, l, q, rng); });
 }
 
 WalkResult NextDoorEngine::Run(const Graph& graph, const WalkLogic& logic,
                                std::span<const NodeId> starts, uint64_t seed) {
   std::optional<double> known_max = known_max_;
-  return RunWalkLoop(
-      graph, logic, starts, seed, DeviceProfile::SimulatedGpu(),
+  return GpuScheduler().Run(
+      graph, logic, starts, seed,
       [known_max](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
                   KernelRng& rng) {
         // Transit-parallel grouping: walkers at the same node are gathered
@@ -59,83 +77,55 @@ WalkResult FlowWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   if (use_int8_weights_ && graph.weighted()) {
     int8_store = Int8WeightStore::Quantize(graph);
   }
-  DeviceContext device(DeviceProfile::SimulatedGpu());
-  WalkContext ctx{&graph, &device, nullptr, int8_store.empty() ? nullptr : &int8_store};
-  uint32_t length = logic.walk_length();
-
-  WalkResult result;
-  result.path_stride = length + 1;
-  result.num_queries = starts.size();
-  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
-
-  auto t0 = std::chrono::steady_clock::now();
-  for (size_t query_id = 0; query_id < starts.size(); ++query_id) {
-    QueryState q;
-    q.query_id = query_id;
-    q.start = starts[query_id];
-    q.cur = q.start;
-    logic.Init(q);
-    PhiloxStream stream(seed, query_id);
-    KernelRng rng(stream, device.mem());
-    NodeId* path = result.paths.data() + query_id * result.path_stride;
-    path[0] = q.cur;
-    for (uint32_t s = 0; s < length; ++s) {
-      StepResult step = ReservoirStep(ctx, logic, q, rng);
-      if (!step.ok()) {
-        break;
-      }
-      NodeId next = graph.Neighbor(q.cur, step.index);
-      logic.Update(ctx, q, next, step.index);
-      path[s + 1] = next;
-      device.mem().StoreCoalesced(1, sizeof(NodeId));
-    }
-  }
-  auto t1 = std::chrono::steady_clock::now();
-  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.cost = device.mem().counters();
-  result.sim_ms = device.SimulatedMs();
-  result.joules = device.SimulatedJoules();
-  return result;
+  SchedulerOptions options;
+  options.profile = DeviceProfile::SimulatedGpu();
+  options.int8_weights = int8_store.empty() ? nullptr : &int8_store;
+  return WalkScheduler(options).Run(
+      graph, logic, starts, seed,
+      [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
+        return ReservoirStep(ctx, l, q, rng);
+      });
 }
 
 WalkResult ThunderRWEngine::Run(const Graph& graph, const WalkLogic& logic,
                                 std::span<const NodeId> starts, uint64_t seed) {
   std::optional<double> known_max = known_max_;
-  return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedCpu(threads_),
-                     [known_max](const WalkContext& ctx, const WalkLogic& l,
-                                 const QueryState& q, KernelRng& rng) {
-                       if (known_max.has_value()) {
-                         return RejectionStep(ctx, l, q, rng, known_max);
-                       }
-                       return InverseTransformStep(ctx, l, q, rng);
-                     });
+  return CpuScheduler(threads_).Run(
+      graph, logic, starts, seed,
+      [known_max](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                  KernelRng& rng) {
+        if (known_max.has_value()) {
+          return RejectionStep(ctx, l, q, rng, known_max);
+        }
+        return InverseTransformStep(ctx, l, q, rng);
+      });
 }
 
 WalkResult KnightKingEngine::Run(const Graph& graph, const WalkLogic& logic,
                                  std::span<const NodeId> starts, uint64_t seed) {
-  return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedCpu(threads_),
-                     [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                        KernelRng& rng) {
-                       // Dynamic walks in KnightKing use rejection sampling
-                       // with an exact per-step maximum.
-                       return RejectionStep(ctx, l, q, rng, std::nullopt);
-                     });
+  return CpuScheduler(threads_).Run(
+      graph, logic, starts, seed,
+      [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
+        // Dynamic walks in KnightKing use rejection sampling with an exact
+        // per-step maximum.
+        return RejectionStep(ctx, l, q, rng, std::nullopt);
+      });
 }
 
 WalkResult SOWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
                                std::span<const NodeId> starts, uint64_t seed) {
-  return RunWalkLoop(graph, logic, starts, seed, DeviceProfile::SimulatedCpu(threads_),
-                     [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                        KernelRng& rng) {
-                       // Out-of-core execution: the current node's adjacency
-                       // block is fetched at 4 KiB page granularity before
-                       // in-memory ITS runs over it.
-                       uint32_t degree = ctx.graph->Degree(q.cur);
-                       size_t bytes = static_cast<size_t>(degree) * 8;
-                       size_t pages = (bytes + 4095) / 4096 + 1;
-                       ctx.mem().LoadCoalesced(1, pages * 4096);
-                       return InverseTransformStep(ctx, l, q, rng);
-                     });
+  return CpuScheduler(threads_).Run(
+      graph, logic, starts, seed,
+      [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
+        // Out-of-core execution: the current node's adjacency block is
+        // fetched at 4 KiB page granularity before in-memory ITS runs
+        // over it.
+        uint32_t degree = ctx.graph->Degree(q.cur);
+        size_t bytes = static_cast<size_t>(degree) * 8;
+        size_t pages = (bytes + 4095) / 4096 + 1;
+        ctx.mem().LoadCoalesced(1, pages * 4096);
+        return InverseTransformStep(ctx, l, q, rng);
+      });
 }
 
 }  // namespace flexi

@@ -20,6 +20,12 @@
 //                  sampling for dynamic walks.
 //   * SOWalker   — out-of-core CPU engine (Wu, ATC'23): ITS + RJS with
 //                  block-granular I/O charged per step.
+//
+// All baselines execute through the WalkScheduler's host worker pool. The
+// CPU engines' `threads` constructor argument sets the *simulated* device
+// width (DeviceProfile::SimulatedCpu lanes), which scales simulated time;
+// host-side parallelism is independent of it and follows the scheduler's
+// worker count (SetDefaultWorkerThreads / --threads).
 #ifndef FLEXIWALKER_SRC_BASELINES_BASELINES_H_
 #define FLEXIWALKER_SRC_BASELINES_BASELINES_H_
 

@@ -1,7 +1,9 @@
 #include "src/runtime/cost_model.h"
 
 #include <algorithm>
-#include <chrono>
+#include <vector>
+
+#include "src/walker/scheduler.h"
 
 namespace flexi {
 
@@ -51,45 +53,68 @@ bool SamplerSelector::PreferRjs(const WalkContext& ctx, const QueryState& q, dou
 }
 
 double ProfileEdgeCostRatio(const Graph& graph, const WalkLogic& logic, DeviceContext& device,
-                            uint32_t sample_nodes, uint32_t neighbors_per_node, uint64_t seed) {
+                            uint32_t sample_nodes, uint32_t neighbors_per_node, uint64_t seed,
+                            unsigned host_threads) {
   // Two mini-kernels over the same node sample: one touches neighbors in
   // random order (RJS access pattern), one scans them sequentially (RVS
   // pattern). The ratio of their weighted costs calibrates Eq. (11); by
   // running on the actual graph and workload it indirectly absorbs
   // hardware-specific effects (cache behavior, weight-function cost).
-  PhiloxStream rng(seed, /*subsequence=*/0x0C057);
-  WalkContext ctx{&graph, &device, nullptr, nullptr};
+  //
+  // The sample is sharded across scheduler workers. Sample s draws from its
+  // own Philox subsequence, so both the sampled node set and the per-sample
+  // charges are fixed by (seed, s) alone — the merged costs and the returned
+  // ratio are bit-identical for any worker count.
+  constexpr uint64_t kRandomSalt = uint64_t{0x0C057} << 32;
+  constexpr uint64_t kSequentialSalt = uint64_t{0x0C058} << 32;
+  unsigned workers = host_threads == 0 ? DefaultWorkerThreads() : host_threads;
+  workers = std::clamp(workers, 1u, kMaxHostWorkers);
+  std::vector<CostCounters> random_parts(workers);
+  std::vector<CostCounters> sequential_parts(workers);
 
-  CostCounters before = device.mem().counters();
-  volatile float sink = 0.0f;
-  for (uint32_t s = 0; s < sample_nodes; ++s) {
-    NodeId v = rng.NextBounded(graph.num_nodes());
-    QueryState q;
-    q.cur = v;
-    q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
-    uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
-    for (uint32_t t = 0; t < count; ++t) {
-      uint32_t i = rng.NextBounded(std::max<uint32_t>(graph.Degree(v), 1));
-      device.mem().LoadRandom(sizeof(NodeId) + sizeof(float));
-      sink = sink + logic.TransitionWeight(ctx, q, i);
+  ParallelForRanges(workers, sample_nodes, [&](unsigned w, size_t begin, size_t end) {
+    DeviceContext local(device.profile());
+    WalkContext ctx{&graph, &local, nullptr, nullptr};
+    volatile float sink = 0.0f;
+    for (size_t s = begin; s < end; ++s) {
+      PhiloxStream rng(seed, kRandomSalt | s);
+      NodeId v = rng.NextBounded(graph.num_nodes());
+      QueryState q;
+      q.cur = v;
+      q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
+      uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
+      for (uint32_t t = 0; t < count; ++t) {
+        uint32_t i = rng.NextBounded(std::max<uint32_t>(graph.Degree(v), 1));
+        local.mem().LoadRandom(sizeof(NodeId) + sizeof(float));
+        sink = sink + logic.TransitionWeight(ctx, q, i);
+      }
     }
-  }
-  CostCounters random_cost = device.mem().counters() - before;
+    random_parts[w] = local.mem().counters();
+    local.Reset();
+    for (size_t s = begin; s < end; ++s) {
+      PhiloxStream rng(seed, kSequentialSalt | s);
+      NodeId v = rng.NextBounded(graph.num_nodes());
+      QueryState q;
+      q.cur = v;
+      q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
+      uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
+      local.mem().LoadCoalesced(1, static_cast<size_t>(count) * (sizeof(NodeId) + sizeof(float)));
+      for (uint32_t i = 0; i < count; ++i) {
+        sink = sink + logic.TransitionWeight(ctx, q, i);
+      }
+    }
+    sequential_parts[w] = local.mem().counters();
+    (void)sink;
+  });
 
-  before = device.mem().counters();
-  PhiloxStream rng2(seed, /*subsequence=*/0x0C058);
-  for (uint32_t s = 0; s < sample_nodes; ++s) {
-    NodeId v = rng2.NextBounded(graph.num_nodes());
-    QueryState q;
-    q.cur = v;
-    q.prev = graph.Degree(v) > 0 ? graph.Neighbor(v, 0) : v;
-    uint32_t count = std::min(graph.Degree(v), neighbors_per_node);
-    device.mem().LoadCoalesced(1, static_cast<size_t>(count) * (sizeof(NodeId) + sizeof(float)));
-    for (uint32_t i = 0; i < count; ++i) {
-      sink = sink + logic.TransitionWeight(ctx, q, i);
-    }
+  CostCounters random_cost;
+  CostCounters sequential_cost;
+  for (size_t w = 0; w < random_parts.size(); ++w) {
+    random_cost += random_parts[w];
+    sequential_cost += sequential_parts[w];
   }
-  CostCounters sequential_cost = device.mem().counters() - before;
+  device.mem().Merge(random_cost);
+  device.mem().Merge(sequential_cost);
 
   double random_per_edge = random_cost.WeightedCost();
   double sequential_per_edge = sequential_cost.WeightedCost();

@@ -42,6 +42,14 @@ struct SelectionCounters {
   uint64_t chose_rjs = 0;
   uint64_t chose_rvs = 0;
 
+  // Workers keep private selectors; the engine folds their counters together
+  // at drain time, mirroring the scheduler's CostCounters merge.
+  SelectionCounters& operator+=(const SelectionCounters& other) {
+    chose_rjs += other.chose_rjs;
+    chose_rvs += other.chose_rvs;
+    return *this;
+  }
+
   double RjsRatio() const {
     uint64_t total = chose_rjs + chose_rvs;
     return total == 0 ? 0.0 : static_cast<double>(chose_rjs) / static_cast<double>(total);
@@ -76,9 +84,13 @@ class SamplerSelector {
 // (RJS-style) vs sequential (RVS-style) weight evaluation over a small node
 // sample, returning the calibrated EdgeCost ratio. The sampled work touches
 // `sample_nodes` nodes and at most `neighbors_per_node` neighbors each.
+// The sample is sharded over `host_threads` workers (0 = process default);
+// each sample draws from its own Philox subsequence, so the sampled nodes,
+// the charged traffic, and the returned ratio are identical for any worker
+// count. All traffic is merged into `device` when the kernels drain.
 double ProfileEdgeCostRatio(const Graph& graph, const WalkLogic& logic, DeviceContext& device,
                             uint32_t sample_nodes = 256, uint32_t neighbors_per_node = 32,
-                            uint64_t seed = 0x9E0F11E5);
+                            uint64_t seed = 0x9E0F11E5, unsigned host_threads = 0);
 
 }  // namespace flexi
 

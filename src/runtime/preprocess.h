@@ -13,9 +13,11 @@ namespace flexi {
 // Computes the reductions listed in `plan` over the graph's property
 // weights, charging the scan to `device`. For unweighted graphs the arrays
 // are filled with the implicit h = 1 values so downstream estimators remain
-// branch-free.
+// branch-free. The node range is sharded over `host_threads` scheduler
+// workers (0 = process default); each node's reduction is computed in
+// isolation, so the arrays are identical for any worker count.
 PreprocessedData RunPreprocess(const Graph& graph, const PreprocessPlan& plan,
-                               DeviceContext& device);
+                               DeviceContext& device, unsigned host_threads = 0);
 
 }  // namespace flexi
 

@@ -4,6 +4,12 @@
 // draw neighbor index i with probability w̃(i) / Σ w̃ where w̃ = w * h
 // (Eq. 1). Kernels differ in their auxiliary structures, memory traffic and
 // RNG consumption — precisely the trade-offs the paper studies (§2.2, §3).
+//
+// Concurrency contract: the WalkScheduler invokes step kernels from many
+// worker threads at once. A kernel may only touch the read-only WalkContext
+// pointers (graph / preprocessed / int8 weights), the query's own state, and
+// the KernelRng + MemoryModel it was handed — both are private to the
+// calling worker. No kernel may keep mutable static or global state.
 #ifndef FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
 #define FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
 

@@ -28,16 +28,23 @@ DeviceProfile DeviceProfile::SimulatedCpu(int threads) {
   return p;
 }
 
+double DeviceProfile::SimulatedMsFor(const CostCounters& counters) const {
+  return counters.WeightedCost() / (parallel_lanes * unit_rate);
+}
+
+double DeviceProfile::SimulatedJoulesFor(const CostCounters& counters) const {
+  double cost = counters.WeightedCost();
+  double dynamic = cost * joules_per_cost_unit;
+  double idle = idle_watts * (SimulatedMsFor(counters) / 1000.0);
+  return dynamic + idle;
+}
+
 double DeviceContext::SimulatedMs() const {
-  double cost = mem_.counters().WeightedCost();
-  return cost / (profile_.parallel_lanes * profile_.unit_rate);
+  return profile_.SimulatedMsFor(mem_.counters());
 }
 
 double DeviceContext::SimulatedJoules() const {
-  double cost = mem_.counters().WeightedCost();
-  double dynamic = cost * profile_.joules_per_cost_unit;
-  double idle = profile_.idle_watts * (SimulatedMs() / 1000.0);
-  return dynamic + idle;
+  return profile_.SimulatedJoulesFor(mem_.counters());
 }
 
 }  // namespace flexi

@@ -29,6 +29,12 @@ struct DeviceProfile {
 
   static DeviceProfile SimulatedGpu();
   static DeviceProfile SimulatedCpu(int threads);
+
+  // Simulated time / energy for an arbitrary counter snapshot under this
+  // profile. Used by the WalkScheduler, which merges per-worker counters and
+  // derives the run's simulated cost from the merged totals.
+  double SimulatedMsFor(const CostCounters& counters) const;
+  double SimulatedJoulesFor(const CostCounters& counters) const;
 };
 
 class DeviceContext {

@@ -43,8 +43,10 @@ struct CostCounters {
 };
 
 // Per-device accounting sink. One instance per simulated device; kernels
-// record into the device they run on. Not thread-safe by design: the
-// substrate executes one simulated device per host thread.
+// record into the device they run on. Deliberately not synchronized: the
+// WalkScheduler gives every host worker its own MemoryModel (contention-free
+// accounting) and merges the per-worker counters deterministically at drain
+// time via Merge(). Never share one instance across threads.
 class MemoryModel {
  public:
   // `lanes` lanes each read `bytes_per_lane` consecutive bytes from a common
@@ -64,6 +66,12 @@ class MemoryModel {
 
   const CostCounters& counters() const { return counters_; }
   void Reset() { counters_ = CostCounters{}; }
+
+  // Folds another accounting domain's counters into this one. Counters are
+  // sums of per-event integer charges, so merging is order-independent; the
+  // scheduler still merges in worker-index order so drains are reproducible
+  // step-for-step under a debugger.
+  void Merge(const CostCounters& other) { counters_ += other; }
 
   static constexpr size_t kTransactionBytes = 128;
 

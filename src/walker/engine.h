@@ -1,14 +1,14 @@
-// Engine interface and the shared walk-execution loop.
+// Engine interface and shared result types.
 //
 // An Engine runs a batch of random-walk queries (one per start node) over a
-// graph under a WalkLogic, on one simulated device. Queries are fetched
-// from a global counter-indexed queue as processing units finish — the
-// paper's dynamic query scheduling (§5.3) — and every engine records both
-// wall-clock time and the substrate's cost counters.
+// graph under a WalkLogic, on one simulated device. All engines execute
+// through the WalkScheduler (scheduler.h): queries are fetched from a global
+// counter-indexed queue by a pool of host worker threads — the paper's
+// dynamic query scheduling (§5.3) — and every engine records both wall-clock
+// time and the substrate's merged cost counters.
 #ifndef FLEXIWALKER_SRC_WALKER_ENGINE_H_
 #define FLEXIWALKER_SRC_WALKER_ENGINE_H_
 
-#include <chrono>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,59 +49,6 @@ class Engine {
   virtual WalkResult Run(const Graph& graph, const WalkLogic& logic,
                          std::span<const NodeId> starts, uint64_t seed) = 0;
 };
-
-// Shared query loop for single-kernel engines: every step of every query is
-// sampled by `step_fn(ctx, logic, q, rng) -> StepResult`. Handles query
-// initialization, dead-end termination, path recording (coalesced stores),
-// and timing. `profile` selects the device class (GPU baseline vs CPU).
-template <typename StepFn>
-WalkResult RunWalkLoop(const Graph& graph, const WalkLogic& logic,
-                       std::span<const NodeId> starts, uint64_t seed,
-                       const DeviceProfile& profile, StepFn&& step_fn) {
-  DeviceContext device(profile);
-  WalkContext ctx{&graph, &device, nullptr, nullptr};
-  uint32_t length = logic.walk_length();
-
-  WalkResult result;
-  result.path_stride = length + 1;
-  result.num_queries = starts.size();
-  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
-
-  auto t0 = std::chrono::steady_clock::now();
-  // Dynamic scheduling (§5.3): the global counter is the queue; each
-  // processing unit takes the next start node when it finishes. With the
-  // substrate's additive accounting the sequential drain below is
-  // cost-equivalent to 32-lane round-robin.
-  for (size_t query_id = 0; query_id < starts.size(); ++query_id) {
-    QueryState q;
-    q.query_id = query_id;
-    q.start = starts[query_id];
-    q.cur = q.start;
-    logic.Init(q);
-    PhiloxStream stream(seed, /*subsequence=*/query_id);
-    KernelRng rng(stream, device.mem());
-
-    NodeId* path = result.paths.data() + query_id * result.path_stride;
-    path[0] = q.cur;
-    for (uint32_t s = 0; s < length; ++s) {
-      StepResult step = step_fn(ctx, logic, q, rng);
-      if (!step.ok()) {
-        break;
-      }
-      NodeId next = graph.Neighbor(q.cur, step.index);
-      logic.Update(ctx, q, next, step.index);
-      path[s + 1] = next;
-      device.mem().StoreCoalesced(1, sizeof(NodeId));
-    }
-  }
-  auto t1 = std::chrono::steady_clock::now();
-
-  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.cost = device.mem().counters();
-  result.sim_ms = device.SimulatedMs();
-  result.joules = device.SimulatedJoules();
-  return result;
-}
 
 // All start-node queries the paper uses: one query per graph node.
 std::vector<NodeId> AllNodesAsStarts(const Graph& graph);

@@ -1,12 +1,9 @@
 #include "src/walker/flexiwalker_engine.h"
 
-#include <array>
-#include <chrono>
-
-#include "src/simt/warp.h"
 #include "src/sampling/rejection.h"
-#include "src/walker/query_queue.h"
 #include "src/sampling/reservoir.h"
+#include "src/simt/warp.h"
+#include "src/walker/scheduler.h"
 
 namespace flexi {
 
@@ -37,7 +34,9 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   Generator generator;
   helpers_ = generator.Generate(logic.program());
 
-  // --- Profiling kernels (§5.1): calibrate the EdgeCost ratio. ---
+  // --- Profiling kernels (§5.1): calibrate the EdgeCost ratio. The sample
+  // is sharded over the scheduler's workers; the traffic drains into
+  // `device` so the phase's simulated cost is reported separately. ---
   CostModelParams params;
   params.degree_threshold = options_.degree_threshold;
   double profile_sim_ms = 0.0;
@@ -46,11 +45,11 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
     last_profiled_ratio_ = params.edge_cost_ratio;
   } else {
     CostCounters before = device.mem().counters();
-    params.edge_cost_ratio = ProfileEdgeCostRatio(graph, logic, device);
+    params.edge_cost_ratio = ProfileEdgeCostRatio(graph, logic, device, 256, 32, 0x9E0F11E5,
+                                                  options_.host_threads);
     last_profiled_ratio_ = params.edge_cost_ratio;
     CostCounters delta = device.mem().counters() - before;
-    profile_sim_ms = delta.WeightedCost() /
-                     (options_.device.parallel_lanes * options_.device.unit_rate);
+    profile_sim_ms = options_.device.SimulatedMsFor(delta);
   }
 
   // --- Preprocessing: h_MAX / h_SUM reductions when the plan needs them
@@ -59,10 +58,9 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   double preprocess_sim_ms = 0.0;
   if (helpers_.valid() && graph.weighted()) {
     CostCounters before = device.mem().counters();
-    preprocessed = RunPreprocess(graph, helpers_.plan(), device);
+    preprocessed = RunPreprocess(graph, helpers_.plan(), device, options_.host_threads);
     CostCounters delta = device.mem().counters() - before;
-    preprocess_sim_ms = delta.WeightedCost() /
-                        (options_.device.parallel_lanes * options_.device.unit_rate);
+    preprocess_sim_ms = options_.device.SimulatedMsFor(delta);
   }
 
   Int8WeightStore int8_store;
@@ -70,112 +68,60 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
     int8_store = Int8WeightStore::Quantize(graph);
   }
 
-  // Reset so the result's cost covers the main walk only; profile and
-  // preprocess costs are reported separately (Table 3).
-  device.Reset();
+  // --- Main walk: the mixed kernel (§5.2) over the dynamically scheduled
+  // queue (§5.3), executed by the WalkScheduler's worker pool. Each worker
+  // owns a private DeviceContext and SamplerSelector so per-step selection
+  // and accounting are contention-free; the scheduler merges the counters at
+  // drain time, keeping the result's cost scoped to the walk phase alone
+  // (profile and preprocess costs are reported separately, Table 3).
+  SchedulerOptions scheduler_options;
+  scheduler_options.profile = options_.device;
+  scheduler_options.num_threads = options_.host_threads;
+  scheduler_options.preprocessed = preprocessed.empty() ? nullptr : &preprocessed;
+  scheduler_options.int8_weights = int8_store.empty() ? nullptr : &int8_store;
+  WalkScheduler scheduler(scheduler_options);
 
-  WalkContext ctx{&graph, &device, preprocessed.empty() ? nullptr : &preprocessed,
-                  int8_store.empty() ? nullptr : &int8_store};
-  SamplerSelector selector(options_.strategy, params, &helpers_);
-  PhiloxStream selector_rng(seed ^ 0x5E1EC7, /*subsequence=*/0);
+  std::vector<SamplerSelector> selectors(
+      scheduler.num_threads(), SamplerSelector(options_.strategy, params, &helpers_));
+  uint64_t selector_seed = seed ^ 0x5E1EC7;
 
-  uint32_t length = logic.walk_length();
-  WalkResult result;
-  result.path_stride = length + 1;
-  result.num_queries = starts.size();
-  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
+  WalkResult result = scheduler.RunWithWorkers(
+      graph, logic, starts, seed,
+      [&selectors, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
+        SamplerSelector* selector = &selectors[worker];
+        return [selector, selector_seed](const WalkContext& ctx, const WalkLogic& l,
+                                         const QueryState& q, KernelRng& rng) {
+          // Ballot (§5.2): on the GPU one ballot per warp round decides
+          // which lanes take the warp-cooperative eRVS service. A round is
+          // kWarpSize lane-steps, so the amortized charge lands on every
+          // kWarpSize-th step of a query — query-local, hence independent
+          // of worker count.
+          if (q.step % kWarpSize == 0) {
+            ctx.mem().CountCollective(1);
+          }
+          // The kRandom strategy's coin flips come from a per-(query, step)
+          // Philox position instead of a worker-shared stream, keeping
+          // selection — and therefore paths — seed-stable under threading.
+          PhiloxStream selector_rng(selector_seed, q.query_id, /*offset=*/q.step);
+          double bound = 0.0;
+          bool use_rjs = selector->PreferRjs(ctx, q, &bound, selector_rng);
+          if (use_rjs) {
+            return ERjsStep(ctx, l, q, rng, bound);
+          }
+          // Warp-cooperative service: the query's parameters are shared via
+          // shuffles before the warp executes eRVS together.
+          ctx.mem().CountCollective(2);
+          return ERvsJumpStep(ctx, l, q, rng);
+        };
+      });
 
-  auto t0 = std::chrono::steady_clock::now();
-
-  // --- Mixed warp kernel (§5.2) over the dynamically scheduled queue.
-  // Lanes hold one query each; each round every active lane takes one step.
-  // After the per-lane eRJS work, a ballot finds lanes that need the
-  // warp-cooperative eRVS service; those queries are broadcast (shuffles)
-  // and serviced warp-wide. The substrate's accounting is additive, so the
-  // round structure below charges the same collectives the CUDA kernel
-  // issues without simulating intra-round interleaving.
-  QueryQueue queue(starts);  // the global atomic counter (§5.3)
-  struct Lane {
-    bool active = false;
-    QueryState q;
-    PhiloxStream stream;
-    uint32_t steps_done = 0;
-  };
-  std::array<Lane, kWarpSize> lanes;
-  auto fetch = [&](Lane& lane) {
-    std::optional<QueryQueue::Query> next = queue.Next();
-    if (!next.has_value()) {
-      lane.active = false;
-      return;
-    }
-    size_t id = next->id;
-    lane.q = QueryState{};
-    lane.q.query_id = id;
-    lane.q.start = next->start;
-    lane.q.cur = lane.q.start;
-    logic.Init(lane.q);
-    lane.stream = PhiloxStream(seed, /*subsequence=*/id);
-    lane.steps_done = 0;
-    lane.active = true;
-    result.paths[id * result.path_stride] = lane.q.cur;
-  };
-  for (Lane& lane : lanes) {
-    fetch(lane);
+  SelectionCounters selection;
+  for (const SamplerSelector& selector : selectors) {
+    selection += selector.counters();
   }
-
-  auto any_active = [&] {
-    for (const Lane& lane : lanes) {
-      if (lane.active) {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  while (any_active()) {
-    // Ballot: which lanes run RVS this round (and the end-of-walk checks).
-    device.mem().CountCollective(1);
-    for (Lane& lane : lanes) {
-      if (!lane.active) {
-        continue;
-      }
-      KernelRng rng(lane.stream, device.mem());
-      double bound = 0.0;
-      bool use_rjs = selector.PreferRjs(ctx, lane.q, &bound, selector_rng);
-      StepResult step;
-      if (use_rjs) {
-        step = ERjsStep(ctx, logic, lane.q, rng, bound);
-      } else {
-        // Warp-cooperative service: the query's parameters are shared via
-        // shuffles before the warp executes eRVS together.
-        device.mem().CountCollective(2);
-        step = ERvsJumpStep(ctx, logic, lane.q, rng);
-      }
-      bool finished = false;
-      if (step.ok()) {
-        NodeId next = graph.Neighbor(lane.q.cur, step.index);
-        logic.Update(ctx, lane.q, next, step.index);
-        ++lane.steps_done;
-        result.paths[lane.q.query_id * result.path_stride + lane.steps_done] = next;
-        device.mem().StoreCoalesced(1, sizeof(NodeId));
-        finished = lane.steps_done >= length;
-      } else {
-        finished = true;  // dead end
-      }
-      if (finished) {
-        fetch(lane);
-      }
-    }
-  }
-
-  auto t1 = std::chrono::steady_clock::now();
-  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.cost = device.mem().counters();
-  result.sim_ms = device.SimulatedMs();
-  result.joules = device.SimulatedJoules();
   result.profile_sim_ms = profile_sim_ms;
   result.preprocess_sim_ms = preprocess_sim_ms;
-  result.selection = selector.counters();
+  result.selection = selection;
   return result;
 }
 

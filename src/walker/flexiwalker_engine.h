@@ -22,6 +22,9 @@ struct FlexiWalkerOptions {
   uint32_t degree_threshold = 1000;
   bool use_int8_weights = false;  // §7.2 extension
   DeviceProfile device = DeviceProfile::SimulatedGpu();
+  // Host worker threads for the WalkScheduler (0 = process default). Walk
+  // paths are bit-identical for any value — see scheduler.h.
+  unsigned host_threads = 0;
 };
 
 class FlexiWalkerEngine : public Engine {

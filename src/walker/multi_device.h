@@ -18,6 +18,8 @@ struct MultiDeviceResult {
   std::vector<WalkResult> per_device;
   // Simulated makespan: the slowest device bounds the run.
   double makespan_sim_ms = 0.0;
+  // Host wall-clock for the whole concurrent run.
+  double wall_ms = 0.0;
   // Aggregate queries processed.
   size_t num_queries = 0;
 
@@ -31,8 +33,14 @@ std::vector<std::vector<NodeId>> PartitionQueries(std::span<const NodeId> starts
                                                   uint32_t num_devices, QueryMapping mapping);
 
 // Runs `make_engine()`-produced engines, one per device, each over its query
-// partition. Engines run sequentially on the host; per-device simulated
-// time is what Fig. 15 aggregates.
+// partition. Devices run concurrently on real host threads (one per device;
+// each engine's WalkScheduler may fan out further); the makespan is computed
+// from each device's merged counters at drain time, and is what Fig. 15
+// aggregates. `make_engine` is invoked on the device threads, so it must be
+// safe to call concurrently. Note that with D devices each engine spawns its
+// own scheduler pool, so the host runs up to D * DefaultWorkerThreads()
+// walker threads; on core-starved hosts wall_ms then measures contention
+// while makespan_sim_ms (counter-derived) stays exact.
 MultiDeviceResult RunMultiDevice(const std::function<std::unique_ptr<Engine>()>& make_engine,
                                  const Graph& graph, const WalkLogic& logic,
                                  std::span<const NodeId> starts, uint32_t num_devices,

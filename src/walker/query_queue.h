@@ -7,6 +7,7 @@
 #ifndef FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
 #define FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <span>
@@ -27,6 +28,14 @@ class QueryQueue {
       : starts_(starts.begin(), starts.end()) {}
 
   // Thread-safe: each call returns a distinct query until the queue drains.
+  //
+  // Memory-ordering contract: the ticket counter uses relaxed atomics on
+  // purpose. fetch_add is a single atomic RMW, so every caller still gets a
+  // unique id (exactly-once dispensation needs atomicity, not ordering), and
+  // the start array is immutable after construction. The queue itself
+  // therefore publishes nothing; whatever a worker writes under its ticket
+  // (e.g. a path row) is made visible to the draining thread by the
+  // scheduler's thread join, which is a full happens-before edge.
   std::optional<Query> Next() {
     uint64_t id = counter_.fetch_add(1, std::memory_order_relaxed);
     if (id >= starts_.size()) {
@@ -36,8 +45,17 @@ class QueryQueue {
   }
 
   size_t size() const { return starts_.size(); }
-  // Number of queries dispensed so far (may transiently overshoot size()
-  // by the number of racing callers that saw the queue empty).
+
+  // Number of queries actually handed out so far, clamped to size().
+  // Safe for progress reporting: never exceeds 100% even while racing
+  // callers overshoot the raw ticket counter on an empty queue.
+  uint64_t dispensed() const {
+    return std::min<uint64_t>(counter_.load(std::memory_order_relaxed), starts_.size());
+  }
+
+  // Raw ticket counter (may transiently overshoot size() by the number of
+  // racing callers that saw the queue empty). Prefer dispensed() for any
+  // user-facing progress number.
   uint64_t counter() const { return counter_.load(std::memory_order_relaxed); }
 
  private:

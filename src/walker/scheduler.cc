@@ -1,0 +1,143 @@
+#include "src/walker/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace flexi {
+namespace {
+
+std::atomic<unsigned> g_default_threads{0};
+
+unsigned HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+unsigned DefaultWorkerThreads() {
+  unsigned configured = g_default_threads.load(std::memory_order_relaxed);
+  unsigned value = configured == 0 ? HardwareThreads() : configured;
+  return std::clamp(value, 1u, kMaxHostWorkers);
+}
+
+void SetDefaultWorkerThreads(unsigned threads) {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+void RunOnWorkers(unsigned workers, const std::function<void(unsigned)>& body) {
+  workers = std::clamp(workers, 1u, kMaxHostWorkers);
+  if (workers == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back(body, w);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+}
+
+void ParallelForRanges(unsigned threads, size_t n,
+                       const std::function<void(unsigned, size_t, size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  unsigned workers = std::clamp(threads, 1u, kMaxHostWorkers);
+  workers = static_cast<unsigned>(std::min<size_t>(workers, n));
+  size_t chunk = (n + workers - 1) / workers;
+  RunOnWorkers(workers, [&body, n, chunk](unsigned w) {
+    size_t begin = std::min(n, static_cast<size_t>(w) * chunk);
+    size_t end = std::min(n, begin + chunk);
+    body(w, begin, end);
+  });
+}
+
+WalkScheduler::WalkScheduler(SchedulerOptions options) : options_(std::move(options)) {
+  unsigned requested =
+      options_.num_threads == 0 ? DefaultWorkerThreads() : options_.num_threads;
+  num_threads_ = std::clamp(requested, 1u, kMaxHostWorkers);
+}
+
+WalkResult WalkScheduler::Run(const Graph& graph, const WalkLogic& logic,
+                              std::span<const NodeId> starts, uint64_t seed,
+                              const StepFn& step) const {
+  return RunWithWorkers(graph, logic, starts, seed,
+                        [&step](unsigned, DeviceContext&) { return step; });
+}
+
+WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& logic,
+                                         std::span<const NodeId> starts, uint64_t seed,
+                                         const WorkerStepFactory& make_step) const {
+  uint32_t length = logic.walk_length();
+  WalkResult result;
+  result.path_stride = length + 1;
+  result.num_queries = starts.size();
+  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
+
+  // Never spawn more workers than there are queries; tiny batches run inline.
+  unsigned workers = static_cast<unsigned>(
+      std::clamp<size_t>(starts.size(), 1, num_threads_));
+
+  QueryQueue queue(starts);
+  std::vector<DeviceContext> devices(workers, DeviceContext(options_.profile));
+
+  // One worker: pull queries from the shared queue, run each to completion.
+  // Every write a worker makes — path rows, its private DeviceContext — is
+  // keyed by the query ids it drew or owned outright, so workers never touch
+  // the same memory; the joins below publish everything to this thread.
+  auto worker_body = [&](unsigned w) {
+    DeviceContext& device = devices[w];
+    WalkContext ctx{&graph, &device, options_.preprocessed, options_.int8_weights};
+    StepFn step = make_step(w, device);
+    while (std::optional<QueryQueue::Query> next = queue.Next()) {
+      QueryState q;
+      q.query_id = next->id;
+      q.start = next->start;
+      q.cur = q.start;
+      logic.Init(q);
+      // Per-query Philox subsequence: the walk's randomness is a pure
+      // function of (seed, query_id), independent of the worker running it.
+      PhiloxStream stream(seed, /*subsequence=*/next->id);
+      KernelRng rng(stream, device.mem());
+
+      NodeId* path = result.paths.data() + next->id * result.path_stride;
+      path[0] = q.cur;
+      for (uint32_t s = 0; s < length; ++s) {
+        StepResult step_result = step(ctx, logic, q, rng);
+        if (!step_result.ok()) {
+          break;  // dead end
+        }
+        NodeId next_node = graph.Neighbor(q.cur, step_result.index);
+        logic.Update(ctx, q, next_node, step_result.index);
+        path[s + 1] = next_node;
+        device.mem().StoreCoalesced(1, sizeof(NodeId));
+      }
+    }
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  RunOnWorkers(workers, worker_body);
+  auto t1 = std::chrono::steady_clock::now();
+
+  // Deterministic drain: fold per-worker counters in worker-index order.
+  // The counts are integer sums, so the merged totals equal the
+  // single-thread totals exactly, whatever the interleaving was.
+  CostCounters merged;
+  for (unsigned w = 0; w < workers; ++w) {
+    merged += devices[w].mem().counters();
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.cost = merged;
+  result.sim_ms = options_.profile.SimulatedMsFor(merged);
+  result.joules = options_.profile.SimulatedJoulesFor(merged);
+  return result;
+}
+
+}  // namespace flexi

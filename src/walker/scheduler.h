@@ -1,0 +1,93 @@
+// WalkScheduler: the thread-parallel execution core shared by every engine.
+//
+// The paper's dynamic query scheduling (§5.3) pairs a global atomic ticket
+// counter with a pool of concurrent processing units. This subsystem is that
+// design realized on the host: a pool of worker threads pulls queries from a
+// QueryQueue, each worker owns a private DeviceContext so kernel accounting
+// is contention-free, and the per-worker CostCounters are merged
+// deterministically (worker-index order) at drain time.
+//
+// Seed-stable parallelism: every query's randomness comes from its own
+// Philox subsequence — PhiloxStream(seed, query_id) — and every query writes
+// only its own path row. Which worker runs a query therefore cannot affect
+// its walk, so paths are bit-identical for 1, 2, or N worker threads at a
+// fixed seed. scheduler_test.cc enforces this.
+#ifndef FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
+#define FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
+
+#include <functional>
+#include <span>
+
+#include "src/walker/engine.h"
+#include "src/walker/query_queue.h"
+
+namespace flexi {
+
+// Samples one neighbor for the query's current node. Type-erased so engines
+// dispatch any kernel (or per-step kernel selection) through one loop.
+using StepFn = std::function<StepResult(const WalkContext&, const WalkLogic&,
+                                        const QueryState&, KernelRng&)>;
+
+// Builds a worker's step function. Called once on each worker thread before
+// it starts pulling queries; `worker` indexes any per-worker state the
+// engine preallocated (e.g. FlexiWalker's per-worker SamplerSelector).
+using WorkerStepFactory = std::function<StepFn(unsigned worker, DeviceContext& device)>;
+
+// Process-wide default worker-thread count: hardware concurrency unless
+// overridden (the CLI's --threads flag and the benches set it explicitly).
+unsigned DefaultWorkerThreads();
+void SetDefaultWorkerThreads(unsigned threads);  // 0 restores the hardware default
+
+// Hard ceiling on host workers per pool. Oversubscription past a few times
+// the core count only adds scheduling noise, and an unchecked request (e.g.
+// a negative CLI value cast to unsigned) must not turn into millions of
+// std::thread spawns.
+inline constexpr unsigned kMaxHostWorkers = 256;
+
+// Runs body(worker) for worker in [0, workers) on real threads, inline when
+// workers == 1. The single pool primitive behind the scheduler,
+// ParallelForRanges, and the partitioned runner; joins before returning.
+void RunOnWorkers(unsigned workers, const std::function<void(unsigned)>& body);
+
+// Shards [0, n) into contiguous ranges, one per worker, and runs `body` on
+// real threads. For preprocessing/profiling kernels whose work is indexed by
+// node rather than by query; `body(begin, end)` must only write state owned
+// by its range. Runs inline when one worker suffices.
+void ParallelForRanges(unsigned threads, size_t n,
+                       const std::function<void(unsigned worker, size_t begin, size_t end)>& body);
+
+struct SchedulerOptions {
+  DeviceProfile profile = DeviceProfile::SimulatedGpu();
+  unsigned num_threads = 0;  // 0 => DefaultWorkerThreads()
+  // Read-only per-run data shared by all workers' WalkContexts.
+  const PreprocessedData* preprocessed = nullptr;
+  const Int8WeightStore* int8_weights = nullptr;
+};
+
+class WalkScheduler {
+ public:
+  explicit WalkScheduler(SchedulerOptions options = {});
+
+  unsigned num_threads() const { return num_threads_; }
+  const DeviceProfile& profile() const { return options_.profile; }
+
+  // Runs every query in `starts` to completion with one step function shared
+  // by all workers (the single-kernel engines).
+  WalkResult Run(const Graph& graph, const WalkLogic& logic,
+                 std::span<const NodeId> starts, uint64_t seed,
+                 const StepFn& step) const;
+
+  // As Run, but each worker builds its own step function — for engines that
+  // keep mutable per-worker state such as selection counters.
+  WalkResult RunWithWorkers(const Graph& graph, const WalkLogic& logic,
+                            std::span<const NodeId> starts, uint64_t seed,
+                            const WorkerStepFactory& make_step) const;
+
+ private:
+  SchedulerOptions options_;
+  unsigned num_threads_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
