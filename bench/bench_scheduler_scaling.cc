@@ -6,8 +6,10 @@
 // as fast as the host allows. On a >= 4-core host the top row should show a
 // >= 2x wall-clock speedup over single-thread.
 #include <thread>
+#include <utility>
 
 #include "bench/bench_util.h"
+#include "src/sampling/inverse_transform.h"
 #include "src/walker/scheduler.h"
 #include "src/walks/node2vec.h"
 
@@ -48,5 +50,56 @@ int main() {
   std::printf(
       "\nwall-clock drops with threads while sim_ms and the walk paths stay fixed\n"
       "(seed-stable parallelism; see scheduler.h and scheduler_test.cc).\n");
-  return 0;
+
+  // --- Repeated small batches: persistent pool vs spawn-per-Run. ---
+  // The serving workload (WalkService, docs/SERVING.md): many small batches
+  // back to back. Spawn-per-Run pays thread creation + join per batch; the
+  // persistent pool parks its workers on a condition variable between
+  // batches. Paths are bit-identical in both modes — only wall-clock moves.
+  PrintHeader("Repeated small batches", "persistent WorkerPool vs spawn-per-Run");
+  constexpr int kBatches = 400;
+  constexpr size_t kBatchQueries = 64;
+  Node2VecWalk small_walk(2.0, 0.5, 8);
+  auto batch_starts = BenchStarts(graph, kBatchQueries);
+  StepFn its_step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                       KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); };
+
+  // At least two workers, even on a single-core host: the comparison is
+  // thread dispatch cost (spawn+join vs park+wake), which inline execution
+  // at workers == 1 would bypass entirely.
+  unsigned batch_workers = std::max(2u, cores);
+  auto run_batches = [&](WorkerDispatch dispatch) {
+    SchedulerOptions options;
+    options.num_threads = batch_workers;
+    options.dispatch = dispatch;
+    WalkScheduler scheduler(options);
+    // Warm-up batch so first-touch effects (and the pool's one-time spawn)
+    // don't land inside the timed loop of either mode.
+    scheduler.Run(graph, small_walk, batch_starts, kBenchSeed, its_step);
+    double wall_ms = 0.0;
+    std::vector<NodeId> paths;
+    for (int b = 0; b < kBatches; ++b) {
+      WalkResult result = scheduler.Run(graph, small_walk, batch_starts, kBenchSeed, its_step);
+      wall_ms += result.wall_ms;
+      if (b == 0) {
+        paths = std::move(result.paths);
+      }
+    }
+    return std::pair<double, std::vector<NodeId>>(wall_ms, std::move(paths));
+  };
+
+  auto [pool_ms, pool_paths] = run_batches(WorkerDispatch::kPersistentPool);
+  auto [spawn_ms, spawn_paths] = run_batches(WorkerDispatch::kSpawnPerRun);
+
+  Table batch_table({"dispatch", "batches", "total wall_ms", "ms/batch", "speedup"});
+  batch_table.AddRow({"spawn-per-run", std::to_string(kBatches), Table::Num(spawn_ms),
+                      Table::Num(spawn_ms / kBatches), "1.00x"});
+  batch_table.AddRow({"persistent pool", std::to_string(kBatches), Table::Num(pool_ms),
+                      Table::Num(pool_ms / kBatches), Table::Num(spawn_ms / pool_ms) + "x"});
+  batch_table.Print();
+  bool identical_modes = pool_paths == spawn_paths;
+  std::printf("paths identical across dispatch modes: %s\n", identical_modes ? "yes" : "NO");
+  // Non-zero on divergence so the CI smoke step actually gates dispatch
+  // parity instead of just printing it.
+  return identical_modes ? 0 : 1;
 }

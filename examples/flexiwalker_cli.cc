@@ -4,12 +4,17 @@
 //
 //   $ ./flexiwalker_cli --dataset YT --workload node2vec --engine flexiwalker
 //   $ ./flexiwalker_cli --graph edges.txt --workload 2ndpr --queries 1000
+//   $ echo "0 1 2 3" | ./flexiwalker_cli --dataset YT --serve
 //   $ ./flexiwalker_cli --help
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/analysis/walk_analysis.h"
@@ -18,6 +23,7 @@
 #include "src/graph/io.h"
 #include "src/walker/flexiwalker_engine.h"
 #include "src/walker/scheduler.h"
+#include "src/walker/walk_service.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/metapath.h"
 #include "src/walks/node2vec.h"
@@ -40,6 +46,7 @@ struct CliOptions {
   unsigned threads = 0;  // 0 = hardware concurrency
   uint64_t seed = 2026;
   std::string out_path;
+  bool serve = false;
   bool help = false;
 };
 
@@ -58,7 +65,10 @@ void PrintUsage() {
       "  --threads  <n>           host worker threads (default: hardware concurrency;\n"
       "                           walk paths are identical for any value)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
-      "  --out      <path>        write walks, one per line\n");
+      "  --out      <path>        write walks, one per line\n"
+      "  --serve                  streaming mode (flexiwalker engine only): read\n"
+      "                           batches of start-node ids from stdin, one batch\n"
+      "                           per line, until EOF or \"quit\"; see docs/SERVING.md\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
@@ -72,6 +82,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
     if (arg == "--help" || arg == "-h") {
       options.help = true;
       return true;
+    }
+    if (arg == "--serve") {
+      options.serve = true;
+      continue;
     }
     auto needs_value = [&](const char* name) -> const char* {
       if (i + 1 >= argc) {
@@ -174,6 +188,97 @@ std::unique_ptr<Engine> MakeEngine(const std::string& name) {
   return nullptr;
 }
 
+// One walk per line, nodes space-separated, truncated at the first
+// kInvalidNode (dead end). Shared by one-shot --out and serve-mode --out.
+void WriteWalks(std::ostream& out, const WalkResult& result) {
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    bool first = true;
+    for (NodeId node : result.Path(qid)) {
+      if (node == kInvalidNode) {
+        break;
+      }
+      out << (first ? "" : " ") << node;
+      first = false;
+    }
+    out << "\n";
+  }
+}
+
+// Streaming mode: one WalkService over the prepared (graph, workload), fed
+// batches of start-node ids from stdin — one whitespace-separated batch per
+// line — until EOF or "quit". Query ids are global and monotonic across
+// batches, so the printed paths for a given seed are bit-identical however
+// the same starts are carved into lines (docs/SERVING.md).
+int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& workload) {
+  if (options.engine != "flexiwalker") {
+    std::fprintf(stderr, "--serve supports only --engine flexiwalker\n");
+    return 1;
+  }
+  FlexiWalkerOptions engine_options;
+  engine_options.host_threads = options.threads;
+  auto service = MakeFlexiWalkerService(graph, workload, engine_options, options.seed);
+  std::printf("serving on %u workers | one batch per line of start-node ids | EOF or \"quit\" ends\n",
+              service->num_threads());
+
+  std::ofstream out;
+  if (!options.out_path.empty()) {
+    out.open(options.out_path);
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit") {
+      break;
+    }
+    // Tokens are validated individually (all digits, in range, no
+    // overflow): walking a partial batch on a malformed line would silently
+    // consume global query ids and shift every later batch's id range, so
+    // the whole line is dropped on the first bad token.
+    WalkBatch batch;
+    std::istringstream tokens(line);
+    std::string token;
+    bool valid = true;
+    while (tokens >> token) {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long id = std::strtoull(token.c_str(), &end, 10);
+      if (token[0] == '-' || end == token.c_str() || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "batch dropped: malformed token \"%s\" in line \"%s\"\n",
+                     token.c_str(), line.c_str());
+        valid = false;
+        break;
+      }
+      if (id >= graph.num_nodes()) {
+        std::fprintf(stderr, "batch dropped: node %llu out of range (graph has %u nodes)\n",
+                     id, graph.num_nodes());
+        valid = false;
+        break;
+      }
+      batch.starts.push_back(static_cast<NodeId>(id));
+    }
+    if (!valid || batch.starts.empty()) {
+      continue;
+    }
+    BatchResult result = service->Submit(std::move(batch)).get();
+    std::printf("batch %llu: %zu queries | qid [%llu, %llu) | wall %.2f ms | sim %.3f ms\n",
+                static_cast<unsigned long long>(result.batch_index), result.walk.num_queries,
+                static_cast<unsigned long long>(result.first_query_id),
+                static_cast<unsigned long long>(result.first_query_id + result.walk.num_queries),
+                result.walk.wall_ms, result.walk.sim_ms);
+    if (out.is_open()) {
+      WriteWalks(out, result.walk);
+    }
+  }
+  uint64_t queries = service->queries_submitted();
+  uint64_t batches = service->batches_completed();
+  service->Shutdown();
+  std::printf("served %llu queries in %llu batches\n", static_cast<unsigned long long>(queries),
+              static_cast<unsigned long long>(batches));
+  if (out.is_open()) {
+    std::printf("walks written : %s\n", options.out_path.c_str());
+  }
+  return 0;
+}
+
 int Run(const CliOptions& options) {
   // Every engine executes through the WalkScheduler; this sets its
   // process-wide worker count (0 keeps the hardware default).
@@ -211,6 +316,9 @@ int Run(const CliOptions& options) {
   if (workload == nullptr) {
     std::fprintf(stderr, "unknown --workload: %s\n", options.workload.c_str());
     return 1;
+  }
+  if (options.serve) {
+    return Serve(options, graph, *workload);
   }
   std::unique_ptr<Engine> engine = MakeEngine(options.engine);
   if (engine == nullptr) {
@@ -252,17 +360,7 @@ int Run(const CliOptions& options) {
 
   if (!options.out_path.empty()) {
     std::ofstream out(options.out_path);
-    for (size_t qid = 0; qid < result.num_queries; ++qid) {
-      bool first = true;
-      for (NodeId node : result.Path(qid)) {
-        if (node == kInvalidNode) {
-          break;
-        }
-        out << (first ? "" : " ") << node;
-        first = false;
-      }
-      out << "\n";
-    }
+    WriteWalks(out, result);
     std::printf("walks written : %s\n", options.out_path.c_str());
   }
   return 0;

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fails when any tracked markdown file contains a relative link to a path
+# that does not exist. External links (http/https/mailto) and pure anchors
+# are skipped; a "path#fragment" link is checked for the path only. Run
+# from anywhere inside the repo; CI runs it in the docs job.
+set -u
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || echo .)"
+
+broken=0
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Inline markdown links: capture the (target) of every [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+    esac
+    path=${target%%#*}     # strip any #fragment
+    path=${path%% *}       # strip any '... "title"' suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $file -> $target"
+      broken=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))/\1/')
+done < <(git ls-files --cached --others --exclude-standard '*.md')
+
+if [ "$broken" -ne 0 ]; then
+  echo "markdown link check failed"
+  exit 1
+fi
+echo "markdown link check passed"

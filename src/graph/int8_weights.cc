@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "src/walker/worker_pool.h"
 
 namespace flexi {
 
@@ -11,15 +14,39 @@ Int8WeightStore Int8WeightStore::Quantize(const Graph& graph) {
     return store;
   }
   auto weights = graph.property_weights();
-  float lo = *std::min_element(weights.begin(), weights.end());
-  float hi = *std::max_element(weights.begin(), weights.end());
+  size_t n = weights.size();
+  unsigned workers = DefaultWorkerThreads();
+
+  // Pass 1: per-range min/max partials, merged in range order. min/max are
+  // associative and exact over floats, so the merged extrema — and the
+  // affine scale derived from them — match the sequential scan bit-for-bit.
+  std::vector<float> lo_parts(workers, std::numeric_limits<float>::infinity());
+  std::vector<float> hi_parts(workers, -std::numeric_limits<float>::infinity());
+  ParallelForRanges(workers, n, [&](unsigned w, size_t begin, size_t end) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (size_t e = begin; e < end; ++e) {
+      lo = std::min(lo, weights[e]);
+      hi = std::max(hi, weights[e]);
+    }
+    lo_parts[w] = lo;
+    hi_parts[w] = hi;
+  });
+  float lo = *std::min_element(lo_parts.begin(), lo_parts.end());
+  float hi = *std::max_element(hi_parts.begin(), hi_parts.end());
+
   store.offset_ = lo;
   store.scale_ = (hi > lo) ? (hi - lo) / 255.0f : 1.0f;
-  store.codes_.resize(weights.size());
-  for (size_t e = 0; e < weights.size(); ++e) {
-    float code = std::round((weights[e] - store.offset_) / store.scale_);
-    store.codes_[e] = static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
-  }
+
+  // Pass 2: encode. Each code depends only on its own weight and the fixed
+  // scale, so sharding the edge range changes nothing.
+  store.codes_.resize(n);
+  ParallelForRanges(workers, n, [&](unsigned, size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      float code = std::round((weights[e] - store.offset_) / store.scale_);
+      store.codes_[e] = static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
+    }
+  });
   return store;
 }
 

@@ -19,7 +19,10 @@ class Int8WeightStore {
   Int8WeightStore() = default;
 
   // Quantizes the graph's float property weights; the graph keeps its float
-  // array, this store holds the compressed copy.
+  // array, this store holds the compressed copy. The min/max reduction and
+  // the encode pass are sharded over the persistent worker pool
+  // (ParallelForRanges); per-range partials are merged in range order, so
+  // the codes are bit-identical for any worker count.
   static Int8WeightStore Quantize(const Graph& graph);
 
   // Dequantized weight of edge e.

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/walker/worker_pool.h"
+
 namespace flexi {
 
 AliasTable BuildAliasTable(std::span<const float> weights) {
@@ -46,6 +48,25 @@ AliasTable BuildAliasTable(std::span<const float> weights) {
     table.alias[i] = i;
   }
   return table;
+}
+
+std::vector<AliasTable> BuildNodeAliasTables(const Graph& graph, unsigned threads) {
+  std::vector<AliasTable> tables(graph.num_nodes());
+  unsigned workers = threads == 0 ? DefaultWorkerThreads() : threads;
+  ParallelForRanges(workers, graph.num_nodes(), [&](unsigned, size_t begin, size_t end) {
+    std::vector<float> weights;
+    for (NodeId v = static_cast<NodeId>(begin); v < static_cast<NodeId>(end); ++v) {
+      uint32_t degree = graph.Degree(v);
+      weights.assign(degree, 1.0f);
+      if (graph.weighted()) {
+        for (uint32_t i = 0; i < degree; ++i) {
+          weights[i] = graph.PropertyWeight(graph.EdgesBegin(v) + i);
+        }
+      }
+      tables[v] = BuildAliasTable(weights);
+    }
+  });
+  return tables;
 }
 
 uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng) {

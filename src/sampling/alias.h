@@ -26,6 +26,15 @@ struct AliasTable {
 // Two-stack construction; returns an empty table when all weights are zero.
 AliasTable BuildAliasTable(std::span<const float> weights);
 
+// Builds the static (property-weight) alias table of every node, the node
+// range sharded over the persistent worker pool via ParallelForRanges
+// (`threads` = 0 uses the process default). Each node's two-stack build runs
+// sequentially inside its owning range, so the tables are bit-identical for
+// any worker count. Only useful for walks whose transition weights ignore
+// history (the per-step dynamic tables of AliasStep cannot be cached);
+// unweighted graphs get uniform tables.
+std::vector<AliasTable> BuildNodeAliasTables(const Graph& graph, unsigned threads = 0);
+
 // Draws one index from the table (2 uniform draws).
 uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng);
 

@@ -3,9 +3,12 @@
 // An Engine runs a batch of random-walk queries (one per start node) over a
 // graph under a WalkLogic, on one simulated device. All engines execute
 // through the WalkScheduler (scheduler.h): queries are fetched from a global
-// counter-indexed queue by a pool of host worker threads — the paper's
-// dynamic query scheduling (§5.3) — and every engine records both wall-clock
-// time and the substrate's merged cost counters.
+// counter-indexed queue by workers of the persistent process-wide WorkerPool
+// (worker_pool.h) — the paper's dynamic query scheduling (§5.3) — and every
+// engine records both wall-clock time and the substrate's merged cost
+// counters. A Run spawns no threads; it borrows parked pool workers, so
+// repeated Runs (and the streaming WalkService built on the same machinery)
+// pay only for the walks themselves.
 #ifndef FLEXIWALKER_SRC_WALKER_ENGINE_H_
 #define FLEXIWALKER_SRC_WALKER_ENGINE_H_
 

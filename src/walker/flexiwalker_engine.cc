@@ -7,6 +7,69 @@
 
 namespace flexi {
 
+FlexiPreparation PrepareFlexiWalker(const Graph& graph, const WalkLogic& logic,
+                                    const FlexiWalkerOptions& options, DeviceContext& device) {
+  FlexiPreparation prep;
+
+  // --- Compile time: analyze the workload and generate helpers (§4.2). ---
+  Generator generator;
+  prep.helpers = generator.Generate(logic.program());
+
+  // --- Profiling kernels (§5.1): calibrate the EdgeCost ratio. The sample
+  // is sharded over the worker pool; the traffic drains into `device` so
+  // the phase's simulated cost is reported separately. ---
+  prep.params.degree_threshold = options.degree_threshold;
+  if (options.edge_cost_ratio.has_value()) {
+    prep.params.edge_cost_ratio = *options.edge_cost_ratio;
+  } else {
+    CostCounters before = device.mem().counters();
+    prep.params.edge_cost_ratio = ProfileEdgeCostRatio(graph, logic, device, 256, 32,
+                                                       0x9E0F11E5, options.host_threads);
+    CostCounters delta = device.mem().counters() - before;
+    prep.profile_sim_ms = device.profile().SimulatedMsFor(delta);
+  }
+
+  // --- Preprocessing: h_MAX / h_SUM reductions when the plan needs them
+  // and the graph actually stores property weights. ---
+  if (prep.helpers.valid() && graph.weighted()) {
+    CostCounters before = device.mem().counters();
+    prep.preprocessed = RunPreprocess(graph, prep.helpers.plan(), device, options.host_threads);
+    CostCounters delta = device.mem().counters() - before;
+    prep.preprocess_sim_ms = device.profile().SimulatedMsFor(delta);
+  }
+
+  if (options.use_int8_weights && graph.weighted()) {
+    prep.int8_store = Int8WeightStore::Quantize(graph);
+  }
+  return prep;
+}
+
+StepFn MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed) {
+  return [selector, selector_seed](const WalkContext& ctx, const WalkLogic& l,
+                                   const QueryState& q, KernelRng& rng) {
+    // Ballot (§5.2): on the GPU one ballot per warp round decides which
+    // lanes take the warp-cooperative eRVS service. A round is kWarpSize
+    // lane-steps, so the amortized charge lands on every kWarpSize-th step
+    // of a query — query-local, hence independent of worker count.
+    if (q.step % kWarpSize == 0) {
+      ctx.mem().CountCollective(1);
+    }
+    // The kRandom strategy's coin flips come from a per-(query, step)
+    // Philox position instead of a worker-shared stream, keeping
+    // selection — and therefore paths — seed-stable under threading.
+    PhiloxStream selector_rng(selector_seed, q.query_id, /*offset=*/q.step);
+    double bound = 0.0;
+    bool use_rjs = selector->PreferRjs(ctx, q, &bound, selector_rng);
+    if (use_rjs) {
+      return ERjsStep(ctx, l, q, rng, bound);
+    }
+    // Warp-cooperative service: the query's parameters are shared via
+    // shuffles before the warp executes eRVS together.
+    ctx.mem().CountCollective(2);
+    return ERvsJumpStep(ctx, l, q, rng);
+  };
+}
+
 FlexiWalkerEngine::FlexiWalkerEngine(FlexiWalkerOptions options)
     : options_(std::move(options)) {}
 
@@ -30,97 +93,41 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
                                   std::span<const NodeId> starts, uint64_t seed) {
   DeviceContext device(options_.device);
 
-  // --- Compile time: analyze the workload and generate helpers (§4.2). ---
-  Generator generator;
-  helpers_ = generator.Generate(logic.program());
-
-  // --- Profiling kernels (§5.1): calibrate the EdgeCost ratio. The sample
-  // is sharded over the scheduler's workers; the traffic drains into
-  // `device` so the phase's simulated cost is reported separately. ---
-  CostModelParams params;
-  params.degree_threshold = options_.degree_threshold;
-  double profile_sim_ms = 0.0;
-  if (options_.edge_cost_ratio.has_value()) {
-    params.edge_cost_ratio = *options_.edge_cost_ratio;
-    last_profiled_ratio_ = params.edge_cost_ratio;
-  } else {
-    CostCounters before = device.mem().counters();
-    params.edge_cost_ratio = ProfileEdgeCostRatio(graph, logic, device, 256, 32, 0x9E0F11E5,
-                                                  options_.host_threads);
-    last_profiled_ratio_ = params.edge_cost_ratio;
-    CostCounters delta = device.mem().counters() - before;
-    profile_sim_ms = options_.device.SimulatedMsFor(delta);
-  }
-
-  // --- Preprocessing: h_MAX / h_SUM reductions when the plan needs them
-  // and the graph actually stores property weights. ---
-  PreprocessedData preprocessed;
-  double preprocess_sim_ms = 0.0;
-  if (helpers_.valid() && graph.weighted()) {
-    CostCounters before = device.mem().counters();
-    preprocessed = RunPreprocess(graph, helpers_.plan(), device, options_.host_threads);
-    CostCounters delta = device.mem().counters() - before;
-    preprocess_sim_ms = options_.device.SimulatedMsFor(delta);
-  }
-
-  Int8WeightStore int8_store;
-  if (options_.use_int8_weights && graph.weighted()) {
-    int8_store = Int8WeightStore::Quantize(graph);
-  }
+  // One-time phases (compile, profile, preprocess, quantize) — the same
+  // PrepareFlexiWalker the serving factory calls once per service.
+  FlexiPreparation prep = PrepareFlexiWalker(graph, logic, options_, device);
+  helpers_ = std::move(prep.helpers);
+  last_profiled_ratio_ = prep.params.edge_cost_ratio;
 
   // --- Main walk: the mixed kernel (§5.2) over the dynamically scheduled
-  // queue (§5.3), executed by the WalkScheduler's worker pool. Each worker
-  // owns a private DeviceContext and SamplerSelector so per-step selection
-  // and accounting are contention-free; the scheduler merges the counters at
+  // queue (§5.3), executed on the persistent worker pool. Each worker owns
+  // a private DeviceContext and SamplerSelector so per-step selection and
+  // accounting are contention-free; the scheduler merges the counters at
   // drain time, keeping the result's cost scoped to the walk phase alone
   // (profile and preprocess costs are reported separately, Table 3).
   SchedulerOptions scheduler_options;
   scheduler_options.profile = options_.device;
   scheduler_options.num_threads = options_.host_threads;
-  scheduler_options.preprocessed = preprocessed.empty() ? nullptr : &preprocessed;
-  scheduler_options.int8_weights = int8_store.empty() ? nullptr : &int8_store;
+  scheduler_options.preprocessed = prep.preprocessed.empty() ? nullptr : &prep.preprocessed;
+  scheduler_options.int8_weights = prep.int8_store.empty() ? nullptr : &prep.int8_store;
   WalkScheduler scheduler(scheduler_options);
 
   std::vector<SamplerSelector> selectors(
-      scheduler.num_threads(), SamplerSelector(options_.strategy, params, &helpers_));
-  uint64_t selector_seed = seed ^ 0x5E1EC7;
+      scheduler.num_threads(), SamplerSelector(options_.strategy, prep.params, &helpers_));
+  uint64_t selector_seed = FlexiSelectorSeed(seed);
 
   WalkResult result = scheduler.RunWithWorkers(
       graph, logic, starts, seed,
       [&selectors, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
-        SamplerSelector* selector = &selectors[worker];
-        return [selector, selector_seed](const WalkContext& ctx, const WalkLogic& l,
-                                         const QueryState& q, KernelRng& rng) {
-          // Ballot (§5.2): on the GPU one ballot per warp round decides
-          // which lanes take the warp-cooperative eRVS service. A round is
-          // kWarpSize lane-steps, so the amortized charge lands on every
-          // kWarpSize-th step of a query — query-local, hence independent
-          // of worker count.
-          if (q.step % kWarpSize == 0) {
-            ctx.mem().CountCollective(1);
-          }
-          // The kRandom strategy's coin flips come from a per-(query, step)
-          // Philox position instead of a worker-shared stream, keeping
-          // selection — and therefore paths — seed-stable under threading.
-          PhiloxStream selector_rng(selector_seed, q.query_id, /*offset=*/q.step);
-          double bound = 0.0;
-          bool use_rjs = selector->PreferRjs(ctx, q, &bound, selector_rng);
-          if (use_rjs) {
-            return ERjsStep(ctx, l, q, rng, bound);
-          }
-          // Warp-cooperative service: the query's parameters are shared via
-          // shuffles before the warp executes eRVS together.
-          ctx.mem().CountCollective(2);
-          return ERvsJumpStep(ctx, l, q, rng);
-        };
+        return MakeFlexiStep(&selectors[worker], selector_seed);
       });
 
   SelectionCounters selection;
   for (const SamplerSelector& selector : selectors) {
     selection += selector.counters();
   }
-  result.profile_sim_ms = profile_sim_ms;
-  result.preprocess_sim_ms = preprocess_sim_ms;
+  result.profile_sim_ms = prep.profile_sim_ms;
+  result.preprocess_sim_ms = prep.preprocess_sim_ms;
   result.selection = selection;
   return result;
 }

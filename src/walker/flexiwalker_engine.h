@@ -12,6 +12,7 @@
 #include "src/runtime/cost_model.h"
 #include "src/runtime/preprocess.h"
 #include "src/walker/engine.h"
+#include "src/walker/scheduler.h"
 
 namespace flexi {
 
@@ -26,6 +27,41 @@ struct FlexiWalkerOptions {
   // paths are bit-identical for any value — see scheduler.h.
   unsigned host_threads = 0;
 };
+
+// Everything FlexiWalker computes once per (graph, workload) before any
+// query runs: the generated helper bundle (§4.2), the calibrated cost-model
+// parameters (§5.1), the preprocessing reductions, and the optional INT8
+// store. Shared by the one-shot engine (rebuilt per Run) and the streaming
+// WalkService (built once at service construction) so the two can never
+// drift — a service's first batch reproduces an engine Run bit-for-bit.
+struct FlexiPreparation {
+  GeneratedHelpers helpers;
+  CostModelParams params;  // params.edge_cost_ratio is the profiled/pinned ratio
+  PreprocessedData preprocessed;
+  Int8WeightStore int8_store;
+  // Simulated cost of the profiling / preprocessing phases (Table 3);
+  // zero when the phase was skipped.
+  double profile_sim_ms = 0.0;
+  double preprocess_sim_ms = 0.0;
+};
+
+// Runs the one-time phases, charging profiling and preprocessing traffic to
+// `device`.
+FlexiPreparation PrepareFlexiWalker(const Graph& graph, const WalkLogic& logic,
+                                    const FlexiWalkerOptions& options, DeviceContext& device);
+
+// The walk seed's derived selection-RNG seed — one definition so the engine
+// and the serving factory can't disagree.
+inline uint64_t FlexiSelectorSeed(uint64_t seed) { return seed ^ 0x5E1EC7; }
+
+// The per-step mixed-kernel body (§5.2) shared by the one-shot engine and
+// the streaming WalkService: ballot accounting, per-step sampler selection
+// through `selector`, then eRJS / warp-cooperative eRVS dispatch. The
+// kRandom strategy's coin flips come from a per-(query, step) Philox
+// position keyed on `selector_seed`, never from worker-shared state, so
+// selection — and therefore paths — stays seed-stable under threading and
+// across service batches.
+StepFn MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed);
 
 class FlexiWalkerEngine : public Engine {
  public:

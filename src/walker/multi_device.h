@@ -33,14 +33,18 @@ std::vector<std::vector<NodeId>> PartitionQueries(std::span<const NodeId> starts
                                                   uint32_t num_devices, QueryMapping mapping);
 
 // Runs `make_engine()`-produced engines, one per device, each over its query
-// partition. Devices run concurrently on real host threads (one per device;
-// each engine's WalkScheduler may fan out further); the makespan is computed
-// from each device's merged counters at drain time, and is what Fig. 15
-// aggregates. `make_engine` is invoked on the device threads, so it must be
-// safe to call concurrently. Note that with D devices each engine spawns its
-// own scheduler pool, so the host runs up to D * DefaultWorkerThreads()
-// walker threads; on core-starved hosts wall_ms then measures contention
-// while makespan_sim_ms (counter-derived) stays exact.
+// partition. Device bodies run concurrently on the persistent WorkerPool;
+// the makespan is computed from each device's merged counters at drain
+// time, and is what Fig. 15 aggregates. `make_engine` is invoked on the
+// device workers, so it must be safe to call concurrently.
+//
+// Worker budgeting: the D devices split DefaultWorkerThreads() between
+// them — each device body runs under a ScopedWorkerBudget of
+// max(1, total / D), so its engine's WalkScheduler fans out over its share
+// instead of demanding a full pool. The host therefore runs ~total walker
+// tasks however many devices are simulated, instead of the former
+// D * DefaultWorkerThreads() oversubscription; makespan_sim_ms
+// (counter-derived) is identical either way.
 MultiDeviceResult RunMultiDevice(const std::function<std::unique_ptr<Engine>()>& make_engine,
                                  const Graph& graph, const WalkLogic& logic,
                                  std::span<const NodeId> starts, uint32_t num_devices,

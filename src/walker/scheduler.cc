@@ -1,67 +1,22 @@
 #include "src/walker/scheduler.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <thread>
 #include <vector>
 
 namespace flexi {
-namespace {
-
-std::atomic<unsigned> g_default_threads{0};
-
-unsigned HardwareThreads() {
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-}  // namespace
-
-unsigned DefaultWorkerThreads() {
-  unsigned configured = g_default_threads.load(std::memory_order_relaxed);
-  unsigned value = configured == 0 ? HardwareThreads() : configured;
-  return std::clamp(value, 1u, kMaxHostWorkers);
-}
-
-void SetDefaultWorkerThreads(unsigned threads) {
-  g_default_threads.store(threads, std::memory_order_relaxed);
-}
-
-void RunOnWorkers(unsigned workers, const std::function<void(unsigned)>& body) {
-  workers = std::clamp(workers, 1u, kMaxHostWorkers);
-  if (workers == 1) {
-    body(0);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back(body, w);
-  }
-  for (auto& t : pool) {
-    t.join();
-  }
-}
-
-void ParallelForRanges(unsigned threads, size_t n,
-                       const std::function<void(unsigned, size_t, size_t)>& body) {
-  if (n == 0) {
-    return;
-  }
-  unsigned workers = std::clamp(threads, 1u, kMaxHostWorkers);
-  workers = static_cast<unsigned>(std::min<size_t>(workers, n));
-  size_t chunk = (n + workers - 1) / workers;
-  RunOnWorkers(workers, [&body, n, chunk](unsigned w) {
-    size_t begin = std::min(n, static_cast<size_t>(w) * chunk);
-    size_t end = std::min(n, begin + chunk);
-    body(w, begin, end);
-  });
-}
 
 WalkScheduler::WalkScheduler(SchedulerOptions options) : options_(std::move(options)) {
   unsigned requested =
       options_.num_threads == 0 ? DefaultWorkerThreads() : options_.num_threads;
+  // A thread-local budget (RunMultiDevice's per-device share) caps even
+  // explicit requests: the budget owner decided how much of the machine this
+  // context may use. Captured here, at construction time, because Run may
+  // later execute on pool threads that carry no budget of their own.
+  unsigned budget = ScopedWorkerBudget::Current();
+  if (budget != 0) {
+    requested = std::min(requested, budget);
+  }
   num_threads_ = std::clamp(requested, 1u, kMaxHostWorkers);
 }
 
@@ -81,7 +36,7 @@ WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& lo
   result.num_queries = starts.size();
   result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
 
-  // Never spawn more workers than there are queries; tiny batches run inline.
+  // Never occupy more workers than there are queries; tiny batches run inline.
   unsigned workers = static_cast<unsigned>(
       std::clamp<size_t>(starts.size(), 1, num_threads_));
 
@@ -91,20 +46,22 @@ WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& lo
   // One worker: pull queries from the shared queue, run each to completion.
   // Every write a worker makes — path rows, its private DeviceContext — is
   // keyed by the query ids it drew or owned outright, so workers never touch
-  // the same memory; the joins below publish everything to this thread.
+  // the same memory; the pool's job-completion handshake (or the joins of
+  // spawn-per-run dispatch) publishes everything to this thread.
   auto worker_body = [&](unsigned w) {
     DeviceContext& device = devices[w];
     WalkContext ctx{&graph, &device, options_.preprocessed, options_.int8_weights};
     StepFn step = make_step(w, device);
     while (std::optional<QueryQueue::Query> next = queue.Next()) {
       QueryState q;
-      q.query_id = next->id;
+      q.query_id = options_.query_id_offset + next->id;
       q.start = next->start;
       q.cur = q.start;
       logic.Init(q);
       // Per-query Philox subsequence: the walk's randomness is a pure
-      // function of (seed, query_id), independent of the worker running it.
-      PhiloxStream stream(seed, /*subsequence=*/next->id);
+      // function of (seed, global query id), independent of the worker
+      // running it and of how batches were carved up.
+      PhiloxStream stream(seed, /*subsequence=*/q.query_id);
       KernelRng rng(stream, device.mem());
 
       NodeId* path = result.paths.data() + next->id * result.path_stride;
@@ -123,7 +80,11 @@ WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& lo
   };
 
   auto t0 = std::chrono::steady_clock::now();
-  RunOnWorkers(workers, worker_body);
+  if (options_.dispatch == WorkerDispatch::kSpawnPerRun) {
+    RunOnFreshThreads(workers, worker_body);
+  } else {
+    RunOnWorkers(workers, worker_body);
+  }
   auto t1 = std::chrono::steady_clock::now();
 
   // Deterministic drain: fold per-worker counters in worker-index order.

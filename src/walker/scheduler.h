@@ -2,16 +2,22 @@
 //
 // The paper's dynamic query scheduling (§5.3) pairs a global atomic ticket
 // counter with a pool of concurrent processing units. This subsystem is that
-// design realized on the host: a pool of worker threads pulls queries from a
-// QueryQueue, each worker owns a private DeviceContext so kernel accounting
-// is contention-free, and the per-worker CostCounters are merged
-// deterministically (worker-index order) at drain time.
+// design realized on the host: workers from the persistent process-wide
+// WorkerPool (worker_pool.h) pull queries from a QueryQueue, each worker
+// owns a private DeviceContext so kernel accounting is contention-free, and
+// the per-worker CostCounters are merged deterministically (worker-index
+// order) at drain time. A Run spawns no threads — it borrows parked pool
+// workers — so repeated small batches (the WalkService serving loop) cost
+// only the walks themselves.
 //
 // Seed-stable parallelism: every query's randomness comes from its own
 // Philox subsequence — PhiloxStream(seed, query_id) — and every query writes
 // only its own path row. Which worker runs a query therefore cannot affect
 // its walk, so paths are bit-identical for 1, 2, or N worker threads at a
-// fixed seed. scheduler_test.cc enforces this.
+// fixed seed, under either dispatch mode, and across batch boundaries when
+// the WalkService assigns global query ids. scheduler_test.cc and
+// walk_service_test.cc enforce this; docs/ARCHITECTURE.md spells out the
+// full contract with examples.
 #ifndef FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 #define FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 
@@ -20,6 +26,7 @@
 
 #include "src/walker/engine.h"
 #include "src/walker/query_queue.h"
+#include "src/walker/worker_pool.h"
 
 namespace flexi {
 
@@ -33,32 +40,24 @@ using StepFn = std::function<StepResult(const WalkContext&, const WalkLogic&,
 // engine preallocated (e.g. FlexiWalker's per-worker SamplerSelector).
 using WorkerStepFactory = std::function<StepFn(unsigned worker, DeviceContext& device)>;
 
-// Process-wide default worker-thread count: hardware concurrency unless
-// overridden (the CLI's --threads flag and the benches set it explicitly).
-unsigned DefaultWorkerThreads();
-void SetDefaultWorkerThreads(unsigned threads);  // 0 restores the hardware default
-
-// Hard ceiling on host workers per pool. Oversubscription past a few times
-// the core count only adds scheduling noise, and an unchecked request (e.g.
-// a negative CLI value cast to unsigned) must not turn into millions of
-// std::thread spawns.
-inline constexpr unsigned kMaxHostWorkers = 256;
-
-// Runs body(worker) for worker in [0, workers) on real threads, inline when
-// workers == 1. The single pool primitive behind the scheduler,
-// ParallelForRanges, and the partitioned runner; joins before returning.
-void RunOnWorkers(unsigned workers, const std::function<void(unsigned)>& body);
-
-// Shards [0, n) into contiguous ranges, one per worker, and runs `body` on
-// real threads. For preprocessing/profiling kernels whose work is indexed by
-// node rather than by query; `body(begin, end)` must only write state owned
-// by its range. Runs inline when one worker suffices.
-void ParallelForRanges(unsigned threads, size_t n,
-                       const std::function<void(unsigned worker, size_t begin, size_t end)>& body);
+// How a Run's worker bodies reach real threads. The persistent pool is the
+// default everywhere; spawn-per-run survives as the A/B reference that
+// bench_scheduler_scaling measures the pool against. Paths are bit-identical
+// across modes — dispatch moves threads, never randomness.
+enum class WorkerDispatch {
+  kPersistentPool,  // park-and-wake workers from WorkerPool::Global()
+  kSpawnPerRun,     // fresh std::threads, joined before Run returns
+};
 
 struct SchedulerOptions {
   DeviceProfile profile = DeviceProfile::SimulatedGpu();
   unsigned num_threads = 0;  // 0 => DefaultWorkerThreads()
+  WorkerDispatch dispatch = WorkerDispatch::kPersistentPool;
+  // Global id of the batch's first query. One-shot engine Runs leave this 0;
+  // the WalkService sets it to its monotonic submission cursor so a query's
+  // Philox subsequence — (seed, query_id_offset + local id) — is unique
+  // across every batch the service ever runs. Path rows stay batch-local.
+  uint64_t query_id_offset = 0;
   // Read-only per-run data shared by all workers' WalkContexts.
   const PreprocessedData* preprocessed = nullptr;
   const Int8WeightStore* int8_weights = nullptr;

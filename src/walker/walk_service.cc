@@ -1,0 +1,142 @@
+#include "src/walker/walk_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace flexi {
+
+WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options options,
+                         WorkerStepFactory make_step, std::shared_ptr<void> kernel_state)
+    : graph_(graph),
+      logic_(logic),
+      options_(std::move(options)),
+      make_step_(std::move(make_step)),
+      kernel_state_(std::move(kernel_state)) {
+  // Resolve the worker count once, on the constructing thread, so a
+  // ScopedWorkerBudget active here sticks for the service's lifetime and the
+  // dispatcher thread (which carries no budget) can't widen it later.
+  num_threads_ = WalkScheduler(options_.scheduler).num_threads();
+  options_.scheduler.num_threads = num_threads_;
+  dispatcher_ = std::thread([this] { ServeLoop(); });
+}
+
+WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options options,
+                         StepFn step)
+    : WalkService(graph, logic, std::move(options),
+                  [step = std::move(step)](unsigned, DeviceContext&) { return step; }) {}
+
+WalkService::~WalkService() { Shutdown(); }
+
+std::future<BatchResult> WalkService::Submit(WalkBatch batch) {
+  Pending pending;
+  pending.batch = std::move(batch);
+  std::future<BatchResult> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      pending.promise.set_exception(
+          std::make_exception_ptr(std::runtime_error("WalkService is shut down")));
+      return future;
+    }
+    // The id cursor advances under the same lock that orders the queue, so
+    // batch k's ids are exactly the cursor values between submissions k and
+    // k+1 — the property the determinism contract hangs off.
+    pending.first_query_id = next_query_id_;
+    next_query_id_ += pending.batch.starts.size();
+    pending.batch_index = next_batch_index_++;
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void WalkService::ServeLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown, everything drained
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    SchedulerOptions batch_options = options_.scheduler;
+    batch_options.query_id_offset = pending.first_query_id;
+    WalkScheduler scheduler(batch_options);
+    BatchResult result;
+    result.walk = scheduler.RunWithWorkers(graph_, logic_, pending.batch.starts,
+                                           options_.seed, make_step_);
+    result.first_query_id = pending.first_query_id;
+    result.batch_index = pending.batch_index;
+    batches_completed_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+void WalkService::Shutdown() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    // Claim the dispatcher handle under the lock so concurrent Shutdown
+    // calls (e.g. explicit Shutdown racing the destructor) join only once.
+    to_join = std::move(dispatcher_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+}
+
+uint64_t WalkService::queries_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_query_id_;
+}
+
+namespace {
+
+// Everything FlexiWalker prepares once per (graph, workload) and reuses
+// across every served batch. Owned by the service via its kernel_state
+// handle; the step factory captures a raw pointer into it.
+struct FlexiServingState {
+  FlexiPreparation prep;
+  std::vector<SamplerSelector> selectors;
+};
+
+}  // namespace
+
+std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const WalkLogic& logic,
+                                                    FlexiWalkerOptions options, uint64_t seed) {
+  auto state = std::make_shared<FlexiServingState>();
+  DeviceContext device(options.device);
+
+  // The engine's one-time phases — the same PrepareFlexiWalker call
+  // FlexiWalkerEngine::Run makes, so a served batch reproduces the engine.
+  state->prep = PrepareFlexiWalker(graph, logic, options, device);
+
+  WalkService::Options service_options;
+  service_options.seed = seed;
+  service_options.scheduler.profile = options.device;
+  service_options.scheduler.num_threads = options.host_threads;
+  service_options.scheduler.preprocessed =
+      state->prep.preprocessed.empty() ? nullptr : &state->prep.preprocessed;
+  service_options.scheduler.int8_weights =
+      state->prep.int8_store.empty() ? nullptr : &state->prep.int8_store;
+
+  // Per-worker selectors sized to the resolved thread count; built before
+  // any batch can be submitted, so the factory's raw pointer is safe.
+  unsigned workers = WalkScheduler(service_options.scheduler).num_threads();
+  state->selectors.assign(
+      workers, SamplerSelector(options.strategy, state->prep.params, &state->prep.helpers));
+  uint64_t selector_seed = FlexiSelectorSeed(seed);
+  FlexiServingState* raw = state.get();
+  WorkerStepFactory factory = [raw, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
+    return MakeFlexiStep(&raw->selectors[worker], selector_seed);
+  };
+  return std::make_unique<WalkService>(graph, logic, std::move(service_options),
+                                       std::move(factory), std::move(state));
+}
+
+}  // namespace flexi

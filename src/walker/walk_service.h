@@ -1,0 +1,124 @@
+// Streaming front-end over the WalkScheduler: accept walk-query batches
+// continuously instead of one-shot Run() calls (the ROADMAP serving item).
+//
+// Submit(batch) assigns the batch a contiguous range of *global* query ids
+// from a monotonic cursor, enqueues it, and returns a future; a dispatcher
+// thread drains the queue in submission order, running each batch through
+// the shared QueryQueue / DeviceContext machinery on the persistent
+// WorkerPool. Because every query's randomness is a Philox subsequence
+// keyed by its global id — PhiloxStream(seed, query_id) — results are
+// bit-identical regardless of batch interleaving, pipelining depth, or
+// worker count: submitting A and B back-to-back without waiting yields the
+// same paths as submitting A, waiting, then submitting B. The full
+// determinism contract, batch format, and CLI usage live in
+// docs/SERVING.md; walk_service_test.cc enforces the contract.
+#ifndef FLEXIWALKER_SRC_WALKER_WALK_SERVICE_H_
+#define FLEXIWALKER_SRC_WALKER_WALK_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walker/scheduler.h"
+
+namespace flexi {
+
+// One submitted unit of serving work: a set of start nodes walked under the
+// service's (graph, workload, seed). Queries get one path row each, in
+// `starts` order.
+struct WalkBatch {
+  std::vector<NodeId> starts;
+};
+
+struct BatchResult {
+  WalkResult walk;
+  // Global id of starts[0]; the batch occupies [first_query_id,
+  // first_query_id + walk.num_queries). Replaying query q standalone —
+  // PhiloxStream(seed, first_query_id + q) — reproduces its path exactly.
+  uint64_t first_query_id = 0;
+  uint64_t batch_index = 0;  // submission order, 0-based
+};
+
+class WalkService {
+ public:
+  struct Options {
+    SchedulerOptions scheduler;
+    uint64_t seed = 0;
+  };
+
+  // `make_step` builds each scheduler worker's step function, exactly as in
+  // WalkScheduler::RunWithWorkers; it must tolerate every worker index below
+  // the resolved thread count for the service's lifetime. `kernel_state`
+  // optionally pins shared ownership of whatever the factory captures
+  // (helpers, preprocessed arrays, selectors).
+  WalkService(const Graph& graph, const WalkLogic& logic, Options options,
+              WorkerStepFactory make_step, std::shared_ptr<void> kernel_state = nullptr);
+
+  // Convenience: one step function shared by all workers.
+  WalkService(const Graph& graph, const WalkLogic& logic, Options options, StepFn step);
+
+  ~WalkService();  // Shutdown()
+
+  WalkService(const WalkService&) = delete;
+  WalkService& operator=(const WalkService&) = delete;
+
+  // Enqueues the batch and returns immediately. Batches execute FIFO, one at
+  // a time, each fanning out over the worker pool. After Shutdown the
+  // returned future holds a std::runtime_error.
+  std::future<BatchResult> Submit(WalkBatch batch);
+
+  // Stops accepting new batches, drains everything already queued, and joins
+  // the dispatcher. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // Worker threads each batch fans out over (resolved at construction).
+  unsigned num_threads() const { return num_threads_; }
+
+  uint64_t queries_submitted() const;
+  uint64_t batches_completed() const { return batches_completed_.load(); }
+
+ private:
+  struct Pending {
+    WalkBatch batch;
+    uint64_t first_query_id = 0;
+    uint64_t batch_index = 0;
+    std::promise<BatchResult> promise;
+  };
+
+  void ServeLoop();
+
+  const Graph& graph_;
+  const WalkLogic& logic_;
+  Options options_;
+  WorkerStepFactory make_step_;
+  std::shared_ptr<void> kernel_state_;
+  unsigned num_threads_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  uint64_t next_query_id_ = 0;   // guarded by mutex_: the global id cursor
+  uint64_t next_batch_index_ = 0;
+  std::atomic<uint64_t> batches_completed_{0};
+
+  std::thread dispatcher_;
+};
+
+// Builds a serving FlexiWalker: performs the engine's one-time phases —
+// helper generation (§4.2), EdgeCost profiling (§5.1), preprocessing
+// reductions, optional INT8 quantization — exactly once, then serves every
+// batch with the mixed eRJS/eRVS kernel and per-worker SamplerSelectors. A
+// single batch submitted first thing reproduces FlexiWalkerEngine::Run's
+// paths bit-for-bit (same seed, same starts).
+std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const WalkLogic& logic,
+                                                    FlexiWalkerOptions options, uint64_t seed);
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKER_WALK_SERVICE_H_

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/graph/generators.h"
 #include "src/sampling/alias.h"
 #include "src/sampling/inverse_transform.h"
 #include "src/sampling/rejection.h"
@@ -49,6 +50,29 @@ TEST(AliasTable, ProbsInUnitIntervalAndAliasesValid) {
 TEST(AliasTable, EmptyForZeroOrEmptyWeights) {
   EXPECT_TRUE(BuildAliasTable(std::vector<float>{}).empty());
   EXPECT_TRUE(BuildAliasTable(std::vector<float>{0.0f, 0.0f}).empty());
+}
+
+TEST(AliasTable, BatchBuildIdenticalForAnyWorkerCount) {
+  // The pooled per-node batch build must reproduce the sequential two-stack
+  // construction bit-for-bit: each node's build is sequential within its
+  // owning range, only the node range is sharded.
+  Graph graph = GenerateErdosRenyi(300, 6.0, 11);
+  AssignWeights(graph, WeightDistribution::kPareto, 2.0, 12);
+  std::vector<AliasTable> one = BuildNodeAliasTables(graph, 1);
+  std::vector<AliasTable> eight = BuildNodeAliasTables(graph, 8);
+  ASSERT_EQ(one.size(), graph.num_nodes());
+  ASSERT_EQ(eight.size(), graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(one[v].prob, eight[v].prob) << v;
+    EXPECT_EQ(one[v].alias, eight[v].alias) << v;
+    std::vector<float> weights(graph.Degree(v));
+    for (uint32_t i = 0; i < graph.Degree(v); ++i) {
+      weights[i] = graph.PropertyWeight(graph.EdgesBegin(v) + i);
+    }
+    AliasTable direct = BuildAliasTable(weights);
+    EXPECT_EQ(one[v].prob, direct.prob) << v;
+    EXPECT_EQ(one[v].alias, direct.alias) << v;
+  }
 }
 
 TEST(InvertCdf, FindsLeastUpperIndex) {
