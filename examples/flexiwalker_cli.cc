@@ -5,6 +5,8 @@
 //   $ ./flexiwalker_cli --dataset YT --workload node2vec --engine flexiwalker
 //   $ ./flexiwalker_cli --graph edges.txt --workload 2ndpr --queries 1000
 //   $ echo "0 1 2 3" | ./flexiwalker_cli --dataset YT --serve
+//   $ ./flexiwalker_cli --dataset YT --workload deepwalk --listen 7331   # TCP server
+//   $ printf '0 1 2\nquit\n' | ./flexiwalker_cli --connect 7331         # TCP client
 //   $ ./flexiwalker_cli --help
 #include <cerrno>
 #include <cstdio>
@@ -12,15 +14,19 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/walk_analysis.h"
 #include "src/baselines/baselines.h"
 #include "src/graph/datasets.h"
 #include "src/graph/io.h"
+#include "src/net/walk_client.h"
+#include "src/net/walk_server.h"
 #include "src/walker/flexiwalker_engine.h"
 #include "src/walker/scheduler.h"
 #include "src/walker/walk_service.h"
@@ -47,8 +53,24 @@ struct CliOptions {
   uint64_t seed = 2026;
   std::string out_path;
   bool serve = false;
+  // Network serving (docs/SERVING.md "Network serving"):
+  int listen_port = -1;     // >= 0 => run a WalkServer (0 = ephemeral port)
+  std::string connect;      // non-empty => client mode, "port" or "host:port"
+  unsigned coalesce_us = 200;   // request coalescing window
+  size_t max_batch = 512;       // coalescer flush threshold (queries)
+  size_t admit = 1 << 16;       // admission bound (queries, pending + in flight)
+  std::string overflow = "block";  // block|reject when the bound is hit
+  unsigned pipeline = 2;        // WalkService in-flight batch depth
+  bool static_cache = false;    // FlexiWalkerOptions::cache_static_tables
   bool help = false;
 };
+
+// Distinct exit codes so scripts can tell failure modes apart: flag/usage
+// errors, a --serve/--listen engine the serving stack does not support, and
+// malformed stdin input (non-numeric/overflowing start-node tokens).
+constexpr int kExitUsage = 1;
+constexpr int kExitUnsupportedEngine = 2;
+constexpr int kExitMalformedInput = 3;
 
 void PrintUsage() {
   std::printf(
@@ -68,7 +90,36 @@ void PrintUsage() {
       "  --out      <path>        write walks, one per line\n"
       "  --serve                  streaming mode (flexiwalker engine only): read\n"
       "                           batches of start-node ids from stdin, one batch\n"
-      "                           per line, until EOF or \"quit\"; see docs/SERVING.md\n");
+      "                           per line, until EOF or \"quit\"; see docs/SERVING.md\n"
+      "network serving (flexiwalker engine only; docs/SERVING.md \"Network serving\"):\n"
+      "  --listen   <port>        serve over TCP on 127.0.0.1:<port> (0 = ephemeral;\n"
+      "                           the bound port is printed); stdin EOF or \"quit\" stops\n"
+      "  --connect  <[host:]port> client mode: send stdin batches to a WalkServer\n"
+      "  --coalesce-us <n>        server request-coalescing window (default 200)\n"
+      "  --max-batch <n>          coalescer flush threshold, queries (default 512)\n"
+      "  --admit    <n>           admission bound, queries pending+in-flight (default 65536)\n"
+      "  --overflow <block|reject> backpressure when the bound is hit (default block)\n"
+      "  --pipeline <n>           in-flight batch depth on the WalkService (default 2)\n"
+      "  --static-cache           cached static-walk fast path: serve static workloads\n"
+      "                           (deepwalk/unweighted) from per-node alias tables\n"
+      "exit codes: 0 ok | %d usage | %d unsupported engine | %d malformed input\n",
+      kExitUsage, kExitUnsupportedEngine, kExitMalformedInput);
+}
+
+// Strict unsigned parse for the serving flags, where a wrapped negative
+// would mean a 71-minute coalesce window or 4 billion dispatcher threads
+// rather than a harmless default.
+bool ParseUnsignedFlag(const char* flag, const char* text, unsigned long long max_value,
+                       unsigned long long& out) {
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (text[0] == '-' || end == text || *end != '\0' || errno == ERANGE || value > max_value) {
+    std::fprintf(stderr, "bad value for %s: %s\n", flag, text);
+    return false;
+  }
+  out = value;
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
@@ -76,6 +127,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       {"--dataset", &options.dataset},   {"--graph", &options.graph_path},
       {"--workload", &options.workload}, {"--engine", &options.engine},
       {"--weights", &options.weights},   {"--out", &options.out_path},
+      {"--connect", &options.connect},   {"--overflow", &options.overflow},
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -85,6 +137,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
     }
     if (arg == "--serve") {
       options.serve = true;
+      continue;
+    }
+    if (arg == "--static-cache") {
+      options.static_cache = true;
       continue;
     }
     auto needs_value = [&](const char* name) -> const char* {
@@ -130,6 +186,42 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--listen") {
+      const char* value = needs_value("--listen");
+      unsigned long long port = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--listen", value, 65535, port)) {
+        return false;
+      }
+      options.listen_port = static_cast<int>(port);
+    } else if (arg == "--coalesce-us") {
+      const char* value = needs_value("--coalesce-us");
+      unsigned long long us = 0;
+      // 60s ceiling: anything longer is surely a typo, not a window.
+      if (value == nullptr || !ParseUnsignedFlag("--coalesce-us", value, 60'000'000ull, us)) {
+        return false;
+      }
+      options.coalesce_us = static_cast<unsigned>(us);
+    } else if (arg == "--max-batch") {
+      const char* value = needs_value("--max-batch");
+      unsigned long long n = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--max-batch", value, 1ull << 32, n)) {
+        return false;
+      }
+      options.max_batch = static_cast<size_t>(n);
+    } else if (arg == "--admit") {
+      const char* value = needs_value("--admit");
+      unsigned long long n = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--admit", value, 1ull << 32, n)) {
+        return false;
+      }
+      options.admit = static_cast<size_t>(n);
+    } else if (arg == "--pipeline") {
+      const char* value = needs_value("--pipeline");
+      unsigned long long depth = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--pipeline", value, 256, depth)) {
+        return false;
+      }
+      options.pipeline = static_cast<unsigned>(depth);
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -189,8 +281,11 @@ std::unique_ptr<Engine> MakeEngine(const std::string& name) {
 }
 
 // One walk per line, nodes space-separated, truncated at the first
-// kInvalidNode (dead end). Shared by one-shot --out and serve-mode --out.
-void WriteWalks(std::ostream& out, const WalkResult& result) {
+// kInvalidNode (dead end). Shared by one-shot --out, serve-mode --out, and
+// client-mode --out: WalkResult and WalkClient::Result both expose
+// num_queries + Path(q).
+template <typename ResultT>
+void WriteWalks(std::ostream& out, const ResultT& result) {
   for (size_t qid = 0; qid < result.num_queries; ++qid) {
     bool first = true;
     for (NodeId node : result.Path(qid)) {
@@ -204,6 +299,29 @@ void WriteWalks(std::ostream& out, const WalkResult& result) {
   }
 }
 
+// Parses one stdin line of whitespace-separated start-node ids. Returns
+// false on the first malformed token (non-numeric, negative, overflow) —
+// the serving modes exit kExitMalformedInput on that, because walking a
+// partial batch would silently consume global query ids and shift every
+// later batch's id range.
+bool ParseStartsLine(const std::string& line, std::vector<NodeId>& starts,
+                     std::string& bad_token) {
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(token.c_str(), &end, 10);
+    if (token[0] == '-' || end == token.c_str() || *end != '\0' || errno == ERANGE ||
+        id > std::numeric_limits<NodeId>::max()) {
+      bad_token = token;
+      return false;
+    }
+    starts.push_back(static_cast<NodeId>(id));
+  }
+  return true;
+}
+
 // Streaming mode: one WalkService over the prepared (graph, workload), fed
 // batches of start-node ids from stdin — one whitespace-separated batch per
 // line — until EOF or "quit". Query ids are global and monotonic across
@@ -211,12 +329,15 @@ void WriteWalks(std::ostream& out, const WalkResult& result) {
 // the same starts are carved into lines (docs/SERVING.md).
 int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& workload) {
   if (options.engine != "flexiwalker") {
-    std::fprintf(stderr, "--serve supports only --engine flexiwalker\n");
-    return 1;
+    std::fprintf(stderr, "--serve supports only --engine flexiwalker (got --engine %s)\n",
+                 options.engine.c_str());
+    return kExitUnsupportedEngine;
   }
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
-  auto service = MakeFlexiWalkerService(graph, workload, engine_options, options.seed);
+  engine_options.cache_static_tables = options.static_cache;
+  auto service =
+      MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
   std::printf("serving on %u workers | one batch per line of start-node ids | EOF or \"quit\" ends\n",
               service->num_threads());
 
@@ -229,33 +350,27 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
     if (line == "quit") {
       break;
     }
-    // Tokens are validated individually (all digits, in range, no
-    // overflow): walking a partial batch on a malformed line would silently
-    // consume global query ids and shift every later batch's id range, so
-    // the whole line is dropped on the first bad token.
     WalkBatch batch;
-    std::istringstream tokens(line);
-    std::string token;
-    bool valid = true;
-    while (tokens >> token) {
-      errno = 0;
-      char* end = nullptr;
-      unsigned long long id = std::strtoull(token.c_str(), &end, 10);
-      if (token[0] == '-' || end == token.c_str() || *end != '\0' || errno == ERANGE) {
-        std::fprintf(stderr, "batch dropped: malformed token \"%s\" in line \"%s\"\n",
-                     token.c_str(), line.c_str());
-        valid = false;
-        break;
-      }
-      if (id >= graph.num_nodes()) {
-        std::fprintf(stderr, "batch dropped: node %llu out of range (graph has %u nodes)\n",
-                     id, graph.num_nodes());
-        valid = false;
-        break;
-      }
-      batch.starts.push_back(static_cast<NodeId>(id));
+    std::string bad_token;
+    if (!ParseStartsLine(line, batch.starts, bad_token)) {
+      std::fprintf(stderr, "malformed input: token \"%s\" in line \"%s\"\n", bad_token.c_str(),
+                   line.c_str());
+      service->Shutdown();
+      return kExitMalformedInput;
     }
-    if (!valid || batch.starts.empty()) {
+    // Well-formed but out-of-range ids drop the whole batch (walking a
+    // partial batch would shift every later batch's global id range), with
+    // a warning rather than ending the session.
+    bool in_range = true;
+    for (NodeId id : batch.starts) {
+      if (id >= graph.num_nodes()) {
+        std::fprintf(stderr, "batch dropped: node %u out of range (graph has %u nodes)\n", id,
+                     graph.num_nodes());
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range || batch.starts.empty()) {
       continue;
     }
     BatchResult result = service->Submit(std::move(batch)).get();
@@ -279,7 +394,145 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
   return 0;
 }
 
+// --listen: serve the prepared (graph, workload) over TCP until stdin EOF
+// or "quit". Requests coalesce into scheduler-sized batches under the
+// configured window/threshold, with admission backpressure; see
+// docs/SERVING.md ("Network serving").
+int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workload) {
+  if (options.engine != "flexiwalker") {
+    std::fprintf(stderr, "--listen supports only --engine flexiwalker (got --engine %s)\n",
+                 options.engine.c_str());
+    return kExitUnsupportedEngine;
+  }
+  if (options.overflow != "block" && options.overflow != "reject") {
+    std::fprintf(stderr, "unknown --overflow value: %s (want block|reject)\n",
+                 options.overflow.c_str());
+    return kExitUsage;
+  }
+  FlexiWalkerOptions engine_options;
+  engine_options.host_threads = options.threads;
+  engine_options.cache_static_tables = options.static_cache;
+  auto service =
+      MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
+
+  WalkServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(options.listen_port);
+  server_options.coalescer.max_delay_ms = options.coalesce_us / 1000.0;
+  server_options.coalescer.max_batch_queries = options.max_batch;
+  server_options.coalescer.max_outstanding_queries = options.admit;
+  server_options.coalescer.overflow = options.overflow == "reject"
+                                          ? BatchCoalescer::OverflowPolicy::kReject
+                                          : BatchCoalescer::OverflowPolicy::kBlock;
+  WalkServer server(*service, graph.num_nodes(), server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    service->Shutdown();
+    return kExitUsage;
+  }
+  std::printf(
+      "listening on 127.0.0.1:%u | %u workers | coalesce window %u us | max batch %zu | "
+      "pipeline %u | overflow %s | EOF or \"quit\" stops\n",
+      server.port(), service->num_threads(), options.coalesce_us, options.max_batch,
+      service->pipeline_depth(), options.overflow.c_str());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit") {
+      break;
+    }
+  }
+  server.Stop();
+  uint64_t queries = service->queries_submitted();
+  uint64_t batches = service->batches_completed();
+  service->Shutdown();
+  std::printf("served %llu queries in %llu batches | %llu connections | %llu requests "
+              "(%llu rejected, %llu malformed frames)\n",
+              static_cast<unsigned long long>(queries), static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.requests_received()),
+              static_cast<unsigned long long>(server.requests_rejected()),
+              static_cast<unsigned long long>(server.frames_malformed()));
+  return 0;
+}
+
+// --connect: forward stdin batches to a WalkServer and print each result,
+// mirroring serve-mode output so scripts can treat the two alike.
+int Client(const CliOptions& options) {
+  std::string host = "127.0.0.1";
+  std::string port_text = options.connect;
+  if (size_t colon = options.connect.rfind(':'); colon != std::string::npos) {
+    host = options.connect.substr(0, colon);
+    port_text = options.connect.substr(colon + 1);
+  }
+  int port = std::atoi(port_text.c_str());
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad --connect port: %s\n", options.connect.c_str());
+    return kExitUsage;
+  }
+  WalkClient client;
+  std::string error;
+  if (!client.Connect(host, static_cast<uint16_t>(port), &error)) {
+    std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port, error.c_str());
+    return kExitUsage;
+  }
+  std::ofstream out;
+  if (!options.out_path.empty()) {
+    out.open(options.out_path);
+  }
+  uint64_t requests = 0;
+  uint64_t queries = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit") {
+      break;
+    }
+    std::vector<NodeId> starts;
+    std::string bad_token;
+    if (!ParseStartsLine(line, starts, bad_token)) {
+      std::fprintf(stderr, "malformed input: token \"%s\" in line \"%s\"\n", bad_token.c_str(),
+                   line.c_str());
+      return kExitMalformedInput;
+    }
+    if (starts.empty()) {
+      continue;
+    }
+    try {
+      WalkClient::Result result = client.Walk(std::move(starts));
+      std::printf("request %llu: %zu queries | qid [%llu, %llu)\n",
+                  static_cast<unsigned long long>(requests), result.num_queries,
+                  static_cast<unsigned long long>(result.first_query_id),
+                  static_cast<unsigned long long>(result.first_query_id + result.num_queries));
+      queries += result.num_queries;
+      ++requests;
+      if (out.is_open()) {
+        WriteWalks(out, result);
+      }
+    } catch (const std::exception& e) {
+      // Per-request server errors (out-of-range start, overload rejection)
+      // keep the session alive; a dead connection ends it.
+      std::fprintf(stderr, "request failed: %s\n", e.what());
+      if (!client.connected()) {
+        return kExitUsage;
+      }
+    }
+  }
+  client.Close();
+  std::printf("received %llu results (%llu walks)\n", static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(queries));
+  if (out.is_open()) {
+    std::printf("walks written : %s\n", options.out_path.c_str());
+  }
+  return 0;
+}
+
 int Run(const CliOptions& options) {
+  // Client mode talks to a remote server: no graph, workload, or engine is
+  // built locally (the server validates start ids against its own graph).
+  if (!options.connect.empty()) {
+    return Client(options);
+  }
   // Every engine executes through the WalkScheduler; this sets its
   // process-wide worker count (0 keeps the hardware default).
   SetDefaultWorkerThreads(options.threads);
@@ -316,6 +569,9 @@ int Run(const CliOptions& options) {
   if (workload == nullptr) {
     std::fprintf(stderr, "unknown --workload: %s\n", options.workload.c_str());
     return 1;
+  }
+  if (options.listen_port >= 0) {
+    return Listen(options, graph, *workload);
   }
   if (options.serve) {
     return Serve(options, graph, *workload);

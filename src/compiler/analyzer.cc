@@ -32,7 +32,45 @@ bool CheckExpr(const WeightExpr& expr, BranchAnalysis& out) {
   return false;
 }
 
+// Walks a multiplicative expression tree counting h[edge] factors; any
+// additive structure, history-dependent degree term, or opaque node
+// disqualifies (an additive mix like h + c is not proportional to h, and
+// prev-node terms change with the walker's position).
+bool CheckStaticFactor(const WeightExpr& expr, int& property_weight_factors) {
+  switch (expr.kind) {
+    case ExprKind::kConst:
+    case ExprKind::kInvDegreeCur:  // per-node scale; cancels under normalization
+      return true;
+    case ExprKind::kPropertyWeight:
+      ++property_weight_factors;
+      return true;
+    case ExprKind::kMul:
+      return CheckStaticFactor(*expr.left, property_weight_factors) &&
+             CheckStaticFactor(*expr.right, property_weight_factors);
+    case ExprKind::kAdd:
+    case ExprKind::kInvDegreePrev:
+    case ExprKind::kMaxDegreeCurPrev:
+    case ExprKind::kOpaque:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
+
+bool IsStaticTransitionProgram(const WeightProgram& program, bool* uses_property_weight) {
+  if (program.branches.size() != 1 || program.branches[0].cond != CondKind::kOtherwise) {
+    return false;  // guarded branches are step- or history-dependent
+  }
+  int h_factors = 0;
+  if (!CheckStaticFactor(program.branches[0].expr, h_factors) || h_factors > 1) {
+    return false;  // h^2 (or worse) is not the distribution the tables encode
+  }
+  if (uses_property_weight != nullptr) {
+    *uses_property_weight = h_factors == 1;
+  }
+  return true;
+}
 
 AnalysisResult Analyzer::Analyze(const WeightProgram& program) const {
   AnalysisResult result;

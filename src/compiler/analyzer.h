@@ -48,6 +48,21 @@ class Analyzer {
   AnalysisResult Analyze(const WeightProgram& program) const;
 };
 
+// True when the program's transition weight is *static*: a single
+// unconditional branch whose expression is a product of constants,
+// current-node degree terms, and at most one h[edge] factor. Such a weight
+// depends only on (current node, edge index) — never on the walker's
+// history or step — and any per-node factor cancels under normalization, so
+// the per-node transition distribution is fixed for the whole walk and
+// proportional to h (or uniform when h does not appear, reported via
+// `uses_property_weight`). DeepWalk qualifies; Node2Vec (prev-node terms),
+// MetaPath (schema guards), and Opaque programs do not. This is the
+// eligibility check for the cached static-walk fast path
+// (FlexiWalkerOptions::cache_static_tables), which samples from
+// BuildNodeAliasTables output instead of running per-step kernels.
+bool IsStaticTransitionProgram(const WeightProgram& program,
+                               bool* uses_property_weight = nullptr);
+
 }  // namespace flexi
 
 #endif  // FLEXIWALKER_SRC_COMPILER_ANALYZER_H_

@@ -1,0 +1,183 @@
+#include "src/net/batch_coalescer.h"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+namespace flexi {
+
+BatchCoalescer::BatchCoalescer(WalkService& service, Options options)
+    : service_(service), options_(std::move(options)) {
+  flusher_ = std::thread([this] { FlushLoop(); });
+  completer_ = std::thread([this] { CompleteLoop(); });
+}
+
+BatchCoalescer::~BatchCoalescer() { Shutdown(); }
+
+bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done) {
+  size_t queries = starts.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Admission control. The idle special case (outstanding == 0) admits
+  // requests larger than the whole bound — otherwise they could never run.
+  auto has_space = [this, queries] {
+    size_t outstanding = pending_queries_ + inflight_queries_;
+    return outstanding == 0 || outstanding + queries <= options_.max_outstanding_queries;
+  };
+  if (shutdown_) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!has_space()) {
+    if (options_.overflow == OverflowPolicy::kReject) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    cv_space_.wait(lock, [&] { return shutdown_ || has_space(); });
+    if (shutdown_) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (pending_.empty()) {
+    window_opened_ = std::chrono::steady_clock::now();
+  }
+  pending_.push_back({std::move(starts), std::move(done)});
+  pending_queries_ += queries;
+  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  queries_admitted_.fetch_add(queries, std::memory_order_relaxed);
+  cv_flush_.notify_one();
+  return true;
+}
+
+void BatchCoalescer::FlushLocked(size_t request_count) {
+  InFlightBatch batch;
+  batch.requests.assign(std::make_move_iterator(pending_.begin()),
+                        std::make_move_iterator(pending_.begin() + request_count));
+  pending_.erase(pending_.begin(), pending_.begin() + request_count);
+
+  WalkBatch walk_batch;
+  size_t queries = 0;
+  for (const PendingRequest& request : batch.requests) {
+    queries += request.starts.size();
+    walk_batch.starts.insert(walk_batch.starts.end(), request.starts.begin(),
+                             request.starts.end());
+  }
+  pending_queries_ -= queries;
+  inflight_queries_ += queries;
+  // Submit under the lock: the flusher is the only submitter, but holding
+  // the lock pins the (arrival order -> global id) mapping even against a
+  // future second producer, and Submit itself is non-blocking.
+  batch.future = service_.Submit(std::move(walk_batch));
+  inflight_.push_back(std::move(batch));
+  batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+  cv_complete_.notify_one();
+}
+
+void BatchCoalescer::FlushLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_flush_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      break;  // shutdown with nothing left to flush
+    }
+    if (options_.max_delay_ms <= 0.0) {
+      // Coalescing disabled: one batch per request, in admission order.
+      FlushLocked(1);
+      continue;
+    }
+    if (!shutdown_ && pending_queries_ < options_.max_batch_queries) {
+      // Hold the window open for stragglers: flush at the deadline or as
+      // soon as the batch-size threshold trips, whichever is first.
+      auto deadline = window_opened_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                           std::chrono::duration<double, std::milli>(
+                                               options_.max_delay_ms));
+      cv_flush_.wait_until(lock, deadline, [this] {
+        return shutdown_ || pending_queries_ >= options_.max_batch_queries;
+      });
+    }
+    FlushLocked(pending_.size());
+  }
+  flusher_done_ = true;
+  cv_complete_.notify_all();
+}
+
+void BatchCoalescer::CompleteLoop() {
+  for (;;) {
+    InFlightBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_complete_.wait(lock, [this] { return flusher_done_ || !inflight_.empty(); });
+      if (inflight_.empty()) {
+        return;  // flusher exited and everything in flight has completed
+      }
+      batch = std::move(inflight_.front());
+      inflight_.pop_front();
+    }
+    // Batches complete roughly FIFO; blocking on the oldest first keeps the
+    // completer simple and, with pipelining, still overlaps execution.
+    BatchResult result;
+    bool completed = true;
+    try {
+      result = batch.future.get();
+    } catch (const std::exception& e) {
+      // Only reachable when the service was shut down under us — a teardown
+      // order the API forbids (coalescer first, then service). Dropping the
+      // callbacks is the survivable response; letting the exception escape
+      // this thread would be std::terminate.
+      std::fprintf(stderr, "BatchCoalescer: batch failed, dropping %zu request(s): %s\n",
+                   batch.requests.size(), e.what());
+      completed = false;
+    }
+    size_t offset = 0;
+    if (!completed) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const PendingRequest& request : batch.requests) {
+        inflight_queries_ -= request.starts.size();
+      }
+      cv_space_.notify_all();
+      continue;
+    }
+    for (PendingRequest& request : batch.requests) {
+      RequestResult slice;
+      slice.first_query_id = result.first_query_id + offset;
+      slice.path_stride = result.walk.path_stride;
+      slice.num_queries = request.starts.size();
+      const NodeId* rows = result.walk.paths.data() + offset * result.walk.path_stride;
+      slice.paths.assign(rows, rows + slice.num_queries * result.walk.path_stride);
+      offset += slice.num_queries;
+      request.done(std::move(slice));
+    }
+    if (on_batch_complete_) {
+      on_batch_complete_();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_queries_ -= offset;
+    }
+    cv_space_.notify_all();
+  }
+}
+
+void BatchCoalescer::Shutdown() {
+  std::thread flusher;
+  std::thread completer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    // Claim the handles under the lock so concurrent Shutdown calls (e.g.
+    // explicit Shutdown racing the destructor) join only once.
+    flusher = std::move(flusher_);
+    completer = std::move(completer_);
+  }
+  cv_flush_.notify_all();
+  cv_space_.notify_all();
+  cv_complete_.notify_all();
+  if (flusher.joinable()) {
+    flusher.join();
+  }
+  if (completer.joinable()) {
+    completer.join();
+  }
+}
+
+}  // namespace flexi

@@ -1,0 +1,152 @@
+// Request-batch coalescing with backpressure for the serving front-end.
+//
+// Network clients send small requests (often a single start node); the
+// WalkService is happiest with scheduler-sized batches. The BatchCoalescer
+// sits between them: Enqueue() admits a request into the pending window, a
+// flusher thread merges everything pending into one WalkBatch when the
+// window fills (max_batch_queries) or its deadline expires (max_delay_ms
+// after the first pending arrival), and a completer thread carves each
+// finished batch back into per-request results, invoking the request
+// callbacks with their own path rows and service-global first query id.
+//
+// Ordering and determinism: requests join the merged batch in Enqueue
+// order, and only the flusher submits to the service, so the mapping from
+// arrival order to global query ids is exactly the mapping a client would
+// get submitting the same requests directly — coalescing (any window, any
+// flush carving) cannot change a single path (docs/SERVING.md).
+//
+// Backpressure: admission is bounded by max_outstanding_queries, counting
+// pending *and* in-flight queries — the window cannot hide a service that
+// has fallen behind. Overflow either blocks the caller (kBlock, per-
+// connection reader threads absorb the stall, which is TCP's own flow
+// control) or rejects immediately (kReject, the server answers kOverloaded
+// and the client decides). A request larger than the whole bound is
+// admitted only when the coalescer is idle, so it can never deadlock.
+#ifndef FLEXIWALKER_SRC_NET_BATCH_COALESCER_H_
+#define FLEXIWALKER_SRC_NET_BATCH_COALESCER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/walker/walk_service.h"
+
+namespace flexi {
+
+class BatchCoalescer {
+ public:
+  enum class OverflowPolicy {
+    kBlock,   // Enqueue waits for space (socket readers stall => TCP backpressure)
+    kReject,  // Enqueue returns false immediately; caller reports kOverloaded
+  };
+
+  struct Options {
+    // Flush as soon as this many queries are pending, regardless of the
+    // window. Sized to keep one batch within a few scheduler quanta.
+    size_t max_batch_queries = 512;
+    // Coalesce window: how long after the first pending arrival the flusher
+    // waits for more requests before flushing. <= 0 disables coalescing
+    // entirely — every admitted request becomes its own service batch, in
+    // admission order (the baseline bench_net_serving compares against).
+    double max_delay_ms = 0.2;
+    // Admission bound: pending + in-flight queries. Beyond it, Enqueue
+    // blocks or rejects per `overflow`.
+    size_t max_outstanding_queries = 1 << 16;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+  };
+
+  // One admitted request's slice of a finished batch.
+  struct RequestResult {
+    uint64_t first_query_id = 0;  // global id of the request's first query
+    uint32_t path_stride = 0;
+    size_t num_queries = 0;
+    std::vector<NodeId> paths;  // num_queries rows of path_stride nodes
+  };
+
+  // Invoked exactly once per admitted request, from the completer thread.
+  // Must not call back into Enqueue/Shutdown (it may, however, write to
+  // sockets — the server's response path).
+  using DoneFn = std::function<void(RequestResult)>;
+
+  // Optional, runs on the completer thread after every callback of one
+  // batch has run. The WalkServer uses it to flush per-connection corked
+  // response writes — a coalesced batch completing N requests on one
+  // connection then costs one send() instead of N. Set before the first
+  // Enqueue.
+  void SetBatchCompleteHook(std::function<void()> hook) { on_batch_complete_ = std::move(hook); }
+
+  // The service must outlive the coalescer and must not be Shutdown()
+  // until BatchCoalescer::Shutdown() has returned — in-flight batches
+  // complete through it. (A violated order fails the affected requests'
+  // callbacks with a stderr note rather than crashing.)
+  BatchCoalescer(WalkService& service, Options options);
+  ~BatchCoalescer();  // Shutdown()
+
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  // Admits the request into the current window. Returns false — and never
+  // invokes `done` — when the request is rejected (kReject policy with the
+  // bound exceeded, or the coalescer is shut down).
+  bool Enqueue(std::vector<NodeId> starts, DoneFn done);
+
+  // Stops admitting, flushes the pending window, waits for every in-flight
+  // batch to complete and every callback to run, then joins both threads.
+  // Idempotent.
+  void Shutdown();
+
+  uint64_t requests_admitted() const { return requests_admitted_.load(); }
+  uint64_t requests_rejected() const { return requests_rejected_.load(); }
+  uint64_t batches_flushed() const { return batches_flushed_.load(); }
+  uint64_t queries_admitted() const { return queries_admitted_.load(); }
+
+ private:
+  struct PendingRequest {
+    std::vector<NodeId> starts;
+    DoneFn done;
+  };
+  struct InFlightBatch {
+    std::future<BatchResult> future;
+    std::vector<PendingRequest> requests;  // starts kept for slice offsets
+  };
+
+  void FlushLoop();
+  void CompleteLoop();
+  // Called with mutex_ held; moves the first `request_count` pending
+  // requests into one in-flight batch and submits it to the service.
+  void FlushLocked(size_t request_count);
+
+  WalkService& service_;
+  Options options_;
+  std::function<void()> on_batch_complete_;  // may be empty
+
+  std::mutex mutex_;
+  std::condition_variable cv_flush_;       // flusher waits for work/deadline
+  std::condition_variable cv_complete_;    // completer waits for in-flight batches
+  std::condition_variable cv_space_;       // blocked producers wait for room
+  std::vector<PendingRequest> pending_;
+  size_t pending_queries_ = 0;
+  size_t inflight_queries_ = 0;
+  std::chrono::steady_clock::time_point window_opened_{};
+  std::deque<InFlightBatch> inflight_;
+  bool shutdown_ = false;
+  bool flusher_done_ = false;
+
+  std::atomic<uint64_t> requests_admitted_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> batches_flushed_{0};
+  std::atomic<uint64_t> queries_admitted_{0};
+
+  std::thread flusher_;
+  std::thread completer_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_NET_BATCH_COALESCER_H_

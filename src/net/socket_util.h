@@ -1,0 +1,35 @@
+// Tiny shared socket helpers for the net layer. Header-only on purpose:
+// wire.h stays a pure framing module with no socket dependency, and the
+// server/client share one definition of the send loop instead of diverging
+// copies.
+#ifndef FLEXIWALKER_SRC_NET_SOCKET_UTIL_H_
+#define FLEXIWALKER_SRC_NET_SOCKET_UTIL_H_
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace flexi {
+
+// Full-buffer send loop; MSG_NOSIGNAL so a dead peer surfaces as an error
+// return instead of SIGPIPE.
+inline bool SendAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += sent;
+    size -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_NET_SOCKET_UTIL_H_

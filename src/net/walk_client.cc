@@ -1,0 +1,214 @@
+#include "src/net/walk_client.h"
+
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace flexi {
+
+WalkClient::~WalkClient() { Close(); }
+
+bool WalkClient::Connect(const std::string& host, uint16_t port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return false;
+  };
+  if (connected()) {
+    errno = EISCONN;
+    return fail("already connected");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &resolved) != 0 ||
+      resolved == nullptr) {
+    errno = EHOSTUNREACH;
+    return fail("resolve " + host);
+  }
+  fd_ = ::socket(resolved->ai_family, resolved->ai_socktype, resolved->ai_protocol);
+  if (fd_ < 0) {
+    ::freeaddrinfo(resolved);
+    return fail("socket");
+  }
+  int rc = ::connect(fd_, resolved->ai_addr, resolved->ai_addrlen);
+  ::freeaddrinfo(resolved);
+  if (rc != 0) {
+    return fail("connect " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+  }
+  reader_ = std::thread([this] { ReaderLoop(); });
+  return true;
+}
+
+bool WalkClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_;
+}
+
+std::future<WalkClient::Result> WalkClient::Submit(std::vector<NodeId> starts) {
+  std::promise<Result> promise;
+  std::future<Result> future = promise.get_future();
+  uint64_t tag = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!open_) {
+      promise.set_exception(
+          std::make_exception_ptr(std::runtime_error("WalkClient is not connected")));
+      return future;
+    }
+    // The promise must be registered before the frame leaves, or a fast
+    // response could arrive with no one to claim it.
+    tag = next_tag_++;
+    pending_.emplace(tag, std::move(promise));
+  }
+  WireRequest request;
+  request.tag = tag;
+  request.starts = std::move(starts);
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    sent = SendAll(fd_, bytes.data(), bytes.size());
+  }
+  if (!sent) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(tag);
+    if (it != pending_.end()) {  // the reader may have failed it already
+      it->second.set_exception(
+          std::make_exception_ptr(std::runtime_error("send failed: connection lost")));
+      pending_.erase(it);
+    }
+  }
+  return future;
+}
+
+WalkClient::Result WalkClient::Walk(std::vector<NodeId> starts) {
+  return Submit(std::move(starts)).get();
+}
+
+void WalkClient::ReaderLoop() {
+  FrameDecoder decoder;
+  std::vector<uint8_t> chunk(64 << 10);
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      FailAllPending("connection closed");
+      return;
+    }
+    decoder.Append(chunk.data(), static_cast<size_t>(n));
+    for (;;) {
+      WireFrame frame;
+      DecodeStatus status = decoder.Next(frame);
+      if (status == DecodeStatus::kNeedMore) {
+        break;
+      }
+      if (status == DecodeStatus::kMalformed) {
+        FailAllPending("malformed frame from server");
+        return;
+      }
+      if (frame.type == FrameType::kResponse) {
+        std::promise<Result> promise;
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pending_.find(frame.response.tag);
+          if (it != pending_.end()) {
+            promise = std::move(it->second);
+            pending_.erase(it);
+            found = true;
+          }
+        }
+        if (found) {
+          Result result;
+          result.first_query_id = frame.response.first_query_id;
+          result.path_stride = frame.response.path_stride;
+          result.num_queries = frame.response.num_queries;
+          result.paths = std::move(frame.response.paths);
+          promise.set_value(std::move(result));
+        }
+      } else if (frame.type == FrameType::kError) {
+        std::string reason = std::string("server error (") +
+                             WireErrorCodeName(frame.error.code) + "): " + frame.error.message;
+        if (frame.error.tag == 0) {
+          // Not attributable to one request (e.g. the server is about to
+          // close a desynced connection): everything outstanding fails.
+          FailAllPending(reason);
+          return;
+        }
+        std::promise<Result> promise;
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pending_.find(frame.error.tag);
+          if (it != pending_.end()) {
+            promise = std::move(it->second);
+            pending_.erase(it);
+            found = true;
+          }
+        }
+        if (found) {
+          promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
+        }
+      }
+      // A kRequest frame from a server is nonsense; ignore it rather than
+      // tearing down a connection that is otherwise consistent.
+    }
+  }
+}
+
+void WalkClient::FailAllPending(const std::string& reason) {
+  std::unordered_map<uint64_t, std::promise<Result>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = false;
+    orphaned.swap(pending_);
+  }
+  for (auto& [tag, promise] : orphaned) {
+    promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
+  }
+}
+
+void WalkClient::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0) {
+      return;
+    }
+    open_ = false;
+  }
+  ::shutdown(fd_, SHUT_RDWR);  // pops the reader out of recv
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+  FailAllPending("client closed");
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace flexi

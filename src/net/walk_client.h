@@ -1,0 +1,89 @@
+// WalkClient: the client half of the wire protocol — connect to a
+// WalkServer, submit start-node batches, await path results. Usable from
+// tests, benches (bench_net_serving's load generator), and the CLI's
+// --connect mode.
+//
+// Submit() is pipelined: it frames and sends the request immediately and
+// returns a future; a reader thread matches response frames back to futures
+// by tag, so many requests can be in flight on one connection. Server-side
+// errors for a request (out-of-range start, overload rejection) surface as
+// a std::runtime_error thrown from the future; a dropped connection fails
+// every outstanding future the same way.
+//
+// Thread safety: Submit may be called from any thread (sends are
+// serialized); Connect/Close are not safe to race with Submit.
+#ifndef FLEXIWALKER_SRC_NET_WALK_CLIENT_H_
+#define FLEXIWALKER_SRC_NET_WALK_CLIENT_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/wire.h"
+
+namespace flexi {
+
+class WalkClient {
+ public:
+  // One request's served walks: num_queries rows of path_stride nodes, in
+  // the order the request's starts were given, padded with kInvalidNode
+  // after dead ends — the same row format as WalkResult. first_query_id is
+  // the service-global id of the first row (docs/SERVING.md replay handle).
+  struct Result {
+    uint64_t first_query_id = 0;
+    uint32_t path_stride = 0;
+    size_t num_queries = 0;
+    std::vector<NodeId> paths;
+
+    std::span<const NodeId> Path(size_t query) const {
+      return {paths.data() + query * path_stride, path_stride};
+    }
+  };
+
+  WalkClient() = default;
+  ~WalkClient();  // Close()
+
+  WalkClient(const WalkClient&) = delete;
+  WalkClient& operator=(const WalkClient&) = delete;
+
+  // Connects to host:port (IPv4 dotted quad or a resolvable name). Returns
+  // false with *error set (when non-null) on failure.
+  bool Connect(const std::string& host, uint16_t port, std::string* error = nullptr);
+
+  // Sends the request now and returns a future for its result; safe to call
+  // again before earlier futures resolve (pipelining). After Close or a
+  // connection failure the future holds a std::runtime_error.
+  std::future<Result> Submit(std::vector<NodeId> starts);
+
+  // Blocking convenience: Submit + get.
+  Result Walk(std::vector<NodeId> starts);
+
+  // Fails outstanding futures and tears the connection down. Idempotent.
+  void Close();
+
+  bool connected() const;
+
+ private:
+  void ReaderLoop();
+  // Fails every pending future with `reason` and marks the client closed.
+  void FailAllPending(const std::string& reason);
+
+  int fd_ = -1;
+  std::thread reader_;
+
+  mutable std::mutex mutex_;  // guards pending_, next_tag_, open_
+  std::unordered_map<uint64_t, std::promise<Result>> pending_;
+  uint64_t next_tag_ = 1;
+  bool open_ = false;
+
+  std::mutex write_mutex_;  // serializes frame sends
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_NET_WALK_CLIENT_H_

@@ -1,0 +1,289 @@
+#include "src/net/walk_server.h"
+
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace flexi {
+
+WalkServer::Connection::~Connection() {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+WalkServer::WalkServer(WalkService& service, NodeId num_nodes, Options options)
+    : service_(service),
+      num_nodes_(num_nodes),
+      options_(std::move(options)),
+      coalescer_(service_, options_.coalescer) {
+  coalescer_.SetBatchCompleteHook([this] { FlushCorkedWrites(); });
+}
+
+WalkServer::~WalkServer() { Stop(); }
+
+bool WalkServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return fail("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return fail("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void WalkServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down (Stop) or unrecoverable
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      // Reap connections whose reader already exited, so a long-lived
+      // server with churning clients doesn't accumulate dead entries.
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load() && (*it)->reader.joinable()) {
+          (*it)->reader.join();
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      connections_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void WalkServer::SendBytes(const std::shared_ptr<Connection>& conn,
+                           const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->writable) {
+    return;
+  }
+  if (!SendAll(conn->fd, bytes.data(), bytes.size())) {
+    conn->writable = false;
+  }
+}
+
+void WalkServer::SendError(const std::shared_ptr<Connection>& conn, uint64_t tag,
+                           WireErrorCode code, const std::string& message) {
+  std::vector<uint8_t> bytes;
+  AppendErrorFrame(bytes, {tag, code, message});
+  SendBytes(conn, bytes);
+}
+
+void WalkServer::CorkBytes(const std::shared_ptr<Connection>& conn,
+                           const std::vector<uint8_t>& bytes) {
+  bool newly_dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->writable) {
+      return;
+    }
+    newly_dirty = conn->corked.empty();
+    conn->corked.insert(conn->corked.end(), bytes.begin(), bytes.end());
+  }
+  if (newly_dirty) {
+    std::lock_guard<std::mutex> lock(corked_mutex_);
+    corked_connections_.push_back(conn);
+  }
+}
+
+void WalkServer::FlushCorkedWrites() {
+  std::vector<std::shared_ptr<Connection>> dirty;
+  {
+    std::lock_guard<std::mutex> lock(corked_mutex_);
+    dirty.swap(corked_connections_);
+  }
+  for (const auto& conn : dirty) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->corked.empty()) {
+      continue;
+    }
+    if (conn->writable && !SendAll(conn->fd, conn->corked.data(), conn->corked.size())) {
+      conn->writable = false;
+    }
+    conn->corked.clear();
+  }
+}
+
+void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder(options_.max_frame_payload);
+  std::vector<uint8_t> chunk(64 << 10);
+  bool closing = false;
+  while (!closing) {
+    ssize_t n = ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // peer closed, connection error, or Stop()'s SHUT_RD
+    }
+    decoder.Append(chunk.data(), static_cast<size_t>(n));
+    for (;;) {
+      WireFrame frame;
+      DecodeStatus status = decoder.Next(frame);
+      if (status == DecodeStatus::kNeedMore) {
+        break;
+      }
+      if (status == DecodeStatus::kMalformed || frame.type != FrameType::kRequest) {
+        frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, 0, WireErrorCode::kMalformedFrame,
+                  "undecodable frame; closing connection");
+        // The byte stream is desynced for good: flush the error, then shut
+        // the socket both ways so the peer sees EOF immediately.
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mutex);
+          conn->writable = false;
+          ::shutdown(conn->fd, SHUT_RDWR);
+        }
+        closing = true;
+        break;
+      }
+      requests_received_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t tag = frame.request.tag;
+      if (frame.request.starts.size() > options_.max_request_starts) {
+        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, tag, WireErrorCode::kRequestTooLarge,
+                  "request has " + std::to_string(frame.request.starts.size()) +
+                      " starts; the per-request cap is " +
+                      std::to_string(options_.max_request_starts));
+        continue;
+      }
+      bool in_range = true;
+      for (NodeId start : frame.request.starts) {
+        if (start >= num_nodes_) {
+          SendError(conn, tag, WireErrorCode::kNodeOutOfRange,
+                    "start node " + std::to_string(start) + " out of range (graph has " +
+                        std::to_string(num_nodes_) + " nodes)");
+          in_range = false;
+          break;
+        }
+      }
+      if (!in_range) {
+        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // The callback runs on the coalescer's completion thread; `conn` is
+      // kept alive by the capture even if the reader exits first.
+      bool admitted = coalescer_.Enqueue(
+          std::move(frame.request.starts), [this, conn, tag](BatchCoalescer::RequestResult result) {
+            WireResponse response;
+            response.tag = tag;
+            response.first_query_id = result.first_query_id;
+            response.path_stride = result.path_stride;
+            response.num_queries = static_cast<uint32_t>(result.num_queries);
+            response.paths = std::move(result.paths);
+            std::vector<uint8_t> bytes;
+            AppendResponseFrame(bytes, response);
+            CorkBytes(conn, bytes);
+          });
+      if (!admitted) {
+        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, tag,
+                  stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
+                  stopping_.load() ? "server shutting down" : "admission queue full");
+      }
+    }
+  }
+  conn->done.store(true);
+}
+
+void WalkServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  if (!started_) {
+    coalescer_.Shutdown();
+    return;
+  }
+  // 1. Stop accepting: shutting the listener down pops the blocking accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  // 2. Stop reading: half-close each connection so readers drain out, but
+  // keep the write side up — admitted requests still get their responses.
+  for (auto& conn : connections) {
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (auto& conn : connections) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+  }
+  // 3. Drain the coalescer: every admitted request completes and its
+  // response callback writes to the still-open sockets.
+  coalescer_.Shutdown();
+  // 4. Now nothing new can write: full-shutdown each socket so peers see
+  // EOF. The fds themselves close in ~Connection when the last reference
+  // (this vector, or a straggling callback) lets go.
+  for (auto& conn : connections) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->writable = false;
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+}  // namespace flexi

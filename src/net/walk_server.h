@@ -1,0 +1,139 @@
+// WalkServer: the TCP serving front-end over a WalkService.
+//
+// Listens on a socket, speaks the length-prefixed binary protocol of
+// wire.h, and feeds every request through a BatchCoalescer so many small
+// concurrent client requests merge into scheduler-sized WalkService
+// batches. One reader thread per connection decodes frames; responses are
+// written from the coalescer's completion thread through a per-connection
+// write lock, so a connection can pipeline requests and receive responses
+// as they finish. Request handling:
+//
+//   valid request     -> coalesced, answered with a kResponse frame carrying
+//                        the paths and the service-global first_query_id
+//   start out of range-> kError/kNodeOutOfRange for that request; the
+//                        connection stays up
+//   admission refused -> kError/kOverloaded (backpressure, kReject policy)
+//                        or the reader blocks (kBlock policy — TCP flow
+//                        control pushes the stall back to the client)
+//   malformed frame   -> kError/kMalformedFrame, then the connection is
+//                        closed (the byte stream is desynced for good)
+//
+// Determinism across the socket: a single connection's requests reach the
+// coalescer in the order they were written, so one client pipelining
+// requests gets paths bit-identical to submitting the same batches straight
+// into the WalkService — whatever the coalesce window or pipeline depth
+// (net_test.cc ServedPathsMatchOneShotEngine). docs/SERVING.md has the full
+// protocol and semantics.
+#ifndef FLEXIWALKER_SRC_NET_WALK_SERVER_H_
+#define FLEXIWALKER_SRC_NET_WALK_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/batch_coalescer.h"
+#include "src/net/wire.h"
+#include "src/walker/walk_service.h"
+
+namespace flexi {
+
+class WalkServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; the bound port is read back via port()
+    int backlog = 64;
+    size_t max_frame_payload = kDefaultMaxFramePayload;
+    // Per-request start ceiling (rejected with kRequestTooLarge beyond it).
+    // This bounds the *response* frame: a request of S starts yields
+    // S * (walk_length + 1) * 4 path bytes, which must stay under the
+    // peer's max_frame_payload — the request frame alone cannot enforce
+    // that, and an over-ceiling response would kill the client's connection
+    // as malformed (or, past 4 GiB, wrap the u32 length field). The default
+    // keeps any walk up to length 1023 inside kDefaultMaxFramePayload.
+    size_t max_request_starts = 16384;
+    BatchCoalescer::Options coalescer;
+  };
+
+  // `num_nodes` bounds valid start ids; the service must outlive the server
+  // and must not be Shutdown() before WalkServer::Stop() returns.
+  WalkServer(WalkService& service, NodeId num_nodes, Options options);
+  ~WalkServer();  // Stop()
+
+  WalkServer(const WalkServer&) = delete;
+  WalkServer& operator=(const WalkServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Returns false (with *error
+  // set when non-null) if the socket could not be set up.
+  bool Start(std::string* error = nullptr);
+
+  // Stops accepting, drains every request already admitted (their responses
+  // are still written), then closes all connections. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const BatchCoalescer& coalescer() const { return coalescer_; }
+
+  uint64_t connections_accepted() const { return connections_accepted_.load(); }
+  uint64_t requests_received() const { return requests_received_.load(); }
+  uint64_t requests_rejected() const { return requests_rejected_.load(); }
+  uint64_t frames_malformed() const { return frames_malformed_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    bool writable = true;            // guarded by write_mutex
+    std::vector<uint8_t> corked;     // guarded by write_mutex; response frames
+                                     // awaiting the batch-complete flush
+    std::atomic<bool> done{false};   // reader exited; safe to join/reap
+    std::thread reader;
+
+    // The last shared_ptr holder closes the socket — response callbacks can
+    // outlive the reader and the server's connection list, and an fd must
+    // never be reused while any of them could still write.
+    ~Connection();
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  // Serializes `bytes` onto the connection, swallowing write errors (a dead
+  // peer just stops receiving; the reader notices on its side).
+  static void SendBytes(const std::shared_ptr<Connection>& conn,
+                        const std::vector<uint8_t>& bytes);
+  static void SendError(const std::shared_ptr<Connection>& conn, uint64_t tag,
+                        WireErrorCode code, const std::string& message);
+  // Appends a response frame to the connection's cork buffer; everything
+  // corked since the last flush goes out as one send() when the coalescer's
+  // batch-complete hook fires. N same-connection responses per coalesced
+  // batch => 1 syscall, the write-side half of the coalescing win.
+  void CorkBytes(const std::shared_ptr<Connection>& conn, const std::vector<uint8_t>& bytes);
+  void FlushCorkedWrites();
+
+  WalkService& service_;
+  NodeId num_nodes_;
+  Options options_;
+  BatchCoalescer coalescer_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::mutex corked_mutex_;  // guards the dirty list, not the cork buffers
+  std::vector<std::shared_ptr<Connection>> corked_connections_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> frames_malformed_{0};
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_NET_WALK_SERVER_H_

@@ -1,0 +1,126 @@
+// Wire protocol for the TCP serving front-end (walk_server.h / walk_client.h):
+// length-prefixed binary frames over a byte stream.
+//
+// Every frame is `u32 magic | u32 payload_len | payload`, all fixed-width
+// fields little-endian. The payload starts with a one-byte frame type:
+//
+//   kRequest   u8 type | u64 tag | u32 count | count * u32 start nodes
+//   kResponse  u8 type | u64 tag | u64 first_query_id | u32 path_stride |
+//              u32 num_queries | num_queries * path_stride * u32 path nodes
+//   kError     u8 type | u64 tag | u32 code | u32 msg_len | msg bytes
+//
+// The tag is a client-chosen correlation id echoed back verbatim, so one
+// connection can pipeline many requests and match responses arriving in any
+// order (the server's coalescer may merge and reorder completions). The
+// response's first_query_id is the service-global id of the request's first
+// query — the replay handle of docs/SERVING.md, now visible across the wire.
+//
+// Decoding is defensive by construction: a frame is only accepted when the
+// magic matches, the declared payload fits the configured ceiling, the type
+// byte is known, and the payload length agrees *exactly* with the counts it
+// declares. Anything else is kMalformed — the stream is considered desynced
+// and the connection should be closed. Truncated input is kNeedMore, never
+// an error, so readers can feed partial socket reads safely. net_test.cc
+// drives round-trips, truncation, oversize, and garbage through this.
+#ifndef FLEXIWALKER_SRC_NET_WIRE_H_
+#define FLEXIWALKER_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+inline constexpr uint32_t kWireMagic = 0x464C5857;  // "FLXW"
+
+// Ceiling on a single frame's payload. 64 MiB holds ~16M path nodes — far
+// beyond any sane batch — while keeping a hostile length field from
+// ballooning a connection buffer.
+inline constexpr size_t kDefaultMaxFramePayload = 64ull << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+enum class WireErrorCode : uint32_t {
+  kMalformedFrame = 1,   // undecodable bytes; the server closes the connection
+  kNodeOutOfRange = 2,   // a start id >= the served graph's node count
+  kOverloaded = 3,       // backpressure rejection (BatchCoalescer admission)
+  kShuttingDown = 4,     // server stopping; request not accepted
+  kRequestTooLarge = 5,  // more starts than the server's per-request cap
+};
+
+const char* WireErrorCodeName(WireErrorCode code);
+
+struct WireRequest {
+  uint64_t tag = 0;
+  std::vector<NodeId> starts;
+};
+
+struct WireResponse {
+  uint64_t tag = 0;
+  uint64_t first_query_id = 0;
+  uint32_t path_stride = 0;
+  uint32_t num_queries = 0;
+  std::vector<NodeId> paths;  // num_queries rows of path_stride nodes
+};
+
+struct WireError {
+  uint64_t tag = 0;  // 0 when the error is not attributable to one request
+  WireErrorCode code = WireErrorCode::kMalformedFrame;
+  std::string message;
+};
+
+// Serializers append one complete frame to `out` (which may already hold
+// earlier frames — batching writes per send() is the normal pattern).
+void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request);
+void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);
+void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error);
+
+enum class DecodeStatus {
+  kFrame,      // one frame decoded
+  kNeedMore,   // prefix of a valid frame; feed more bytes
+  kMalformed,  // unrecoverable: bad magic/type/length — close the stream
+};
+
+struct WireFrame {
+  FrameType type = FrameType::kRequest;
+  WireRequest request;    // valid when type == kRequest
+  WireResponse response;  // valid when type == kResponse
+  WireError error;        // valid when type == kError
+};
+
+// Tries to decode exactly one frame from [data, data + size). On kFrame,
+// fills `out` and sets `consumed` to the frame's full byte length; the other
+// statuses leave both untouched.
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, WireFrame& out,
+                         size_t& consumed);
+
+// Incremental stream decoder: append raw socket bytes, pull frames until
+// kNeedMore. One instance per connection direction.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Append(const uint8_t* data, size_t size);
+
+  // kFrame fills `out`; kNeedMore means append more bytes; kMalformed means
+  // the stream is desynced for good (close the connection).
+  DecodeStatus Next(WireFrame& out);
+
+  size_t buffered_bytes() const { return buffer_.size() - offset_; }
+
+ private:
+  size_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t offset_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_NET_WIRE_H_

@@ -104,4 +104,17 @@ StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const Query
   return result;
 }
 
+StepResult CachedAliasStep(const WalkContext& ctx, const std::vector<AliasTable>& tables,
+                           const QueryState& q, KernelRng& rng) {
+  StepResult result;
+  const AliasTable& table = tables[q.cur];
+  if (table.empty()) {  // degree 0, or every static weight was zero
+    result.dead_end = true;
+    return result;
+  }
+  ctx.mem().LoadRandom(8);  // one random slot: prob (4B) + alias (4B)
+  result.index = SampleAliasTable(table, rng);
+  return result;
+}
+
 }  // namespace flexi

@@ -43,6 +43,16 @@ uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng);
 StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
                      KernelRng& rng);
 
+// One *static*-walk step against tables built once by BuildNodeAliasTables:
+// no scan, no build — two RNG draws and one random table-slot load, O(1)
+// regardless of degree. Only valid for workloads whose transition weight is
+// proportional to the static property weights at every step
+// (IsStaticTransitionProgram); the FlexiWalker fast path
+// (FlexiWalkerOptions::cache_static_tables) routes DeepWalk-style served
+// workloads here. `tables` must hold one table per graph node.
+StepResult CachedAliasStep(const WalkContext& ctx, const std::vector<AliasTable>& tables,
+                           const QueryState& q, KernelRng& rng);
+
 }  // namespace flexi
 
 #endif  // FLEXIWALKER_SRC_SAMPLING_ALIAS_H_

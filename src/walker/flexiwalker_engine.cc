@@ -41,6 +41,22 @@ FlexiPreparation PrepareFlexiWalker(const Graph& graph, const WalkLogic& logic,
   if (options.use_int8_weights && graph.weighted()) {
     prep.int8_store = Int8WeightStore::Quantize(graph);
   }
+
+  // --- Cached static-walk fast path: when the transition distribution is
+  // fixed per node (static program) and actually proportional to what
+  // BuildNodeAliasTables encodes — h when the program reads it, uniform on
+  // an unweighted graph — build all tables once. The one-time build traffic
+  // (full edge scan + table write-back) is charged as preprocessing. ---
+  bool uses_h = false;
+  if (options.cache_static_tables && IsStaticTransitionProgram(logic.program(), &uses_h) &&
+      (uses_h || !graph.weighted())) {
+    CostCounters before = device.mem().counters();
+    device.mem().LoadCoalesced(1, graph.num_edges() * (sizeof(NodeId) + sizeof(float)));
+    device.mem().StoreCoalesced(1, graph.num_edges() * 8);  // prob + alias per slot
+    prep.static_tables = BuildNodeAliasTables(graph, options.host_threads);
+    CostCounters delta = device.mem().counters() - before;
+    prep.preprocess_sim_ms += device.profile().SimulatedMsFor(delta);
+  }
   return prep;
 }
 
@@ -112,19 +128,29 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   scheduler_options.int8_weights = prep.int8_store.empty() ? nullptr : &prep.int8_store;
   WalkScheduler scheduler(scheduler_options);
 
-  std::vector<SamplerSelector> selectors(
-      scheduler.num_threads(), SamplerSelector(options_.strategy, prep.params, &helpers_));
-  uint64_t selector_seed = FlexiSelectorSeed(seed);
-
-  WalkResult result = scheduler.RunWithWorkers(
-      graph, logic, starts, seed,
-      [&selectors, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
-        return MakeFlexiStep(&selectors[worker], selector_seed);
-      });
-
+  WalkResult result;
   SelectionCounters selection;
-  for (const SamplerSelector& selector : selectors) {
-    selection += selector.counters();
+  if (!prep.static_tables.empty()) {
+    // Static fast path: every step is an O(1) cached-table lookup; no
+    // per-step selection happens, so the selection counters stay zero.
+    const std::vector<AliasTable>* tables = &prep.static_tables;
+    result = scheduler.Run(graph, logic, starts, seed,
+                           [tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                                    KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); });
+  } else {
+    std::vector<SamplerSelector> selectors(
+        scheduler.num_threads(), SamplerSelector(options_.strategy, prep.params, &helpers_));
+    uint64_t selector_seed = FlexiSelectorSeed(seed);
+
+    result = scheduler.RunWithWorkers(
+        graph, logic, starts, seed,
+        [&selectors, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
+          return MakeFlexiStep(&selectors[worker], selector_seed);
+        });
+
+    for (const SamplerSelector& selector : selectors) {
+      selection += selector.counters();
+    }
   }
   result.profile_sim_ms = prep.profile_sim_ms;
   result.preprocess_sim_ms = prep.preprocess_sim_ms;

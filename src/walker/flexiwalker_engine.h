@@ -11,6 +11,7 @@
 #include "src/compiler/generator.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/preprocess.h"
+#include "src/sampling/alias.h"
 #include "src/walker/engine.h"
 #include "src/walker/scheduler.h"
 
@@ -22,6 +23,17 @@ struct FlexiWalkerOptions {
   std::optional<double> edge_cost_ratio;
   uint32_t degree_threshold = 1000;
   bool use_int8_weights = false;  // §7.2 extension
+  // Cached static-walk fast path (ROADMAP serving item): when the workload's
+  // transition weight is static (IsStaticTransitionProgram — DeepWalk,
+  // unweighted first-order walks), build every node's alias table once via
+  // BuildNodeAliasTables and sample each step in O(1) from the cache instead
+  // of running the per-step eRJS/eRVS kernels. Same per-node distribution,
+  // different RNG draw sequence — paths differ from the uncached
+  // configuration but stay bit-identical across thread counts, batch
+  // carvings, and engine-vs-service for a fixed seed and options. No effect
+  // on dynamic workloads. Off by default so existing one-shot results are
+  // unchanged; the serving CLI enables it for static workloads.
+  bool cache_static_tables = false;
   DeviceProfile device = DeviceProfile::SimulatedGpu();
   // Host worker threads for the WalkScheduler (0 = process default). Walk
   // paths are bit-identical for any value — see scheduler.h.
@@ -39,6 +51,10 @@ struct FlexiPreparation {
   CostModelParams params;  // params.edge_cost_ratio is the profiled/pinned ratio
   PreprocessedData preprocessed;
   Int8WeightStore int8_store;
+  // One alias table per node when the cached static-walk fast path applies
+  // (options.cache_static_tables and a static program); empty otherwise.
+  // Non-empty tables route every step through CachedAliasStep.
+  std::vector<AliasTable> static_tables;
   // Simulated cost of the profiling / preprocessing phases (Table 3);
   // zero when the phase was skipped.
   double profile_sim_ms = 0.0;

@@ -1,7 +1,10 @@
 #include "src/walker/walk_service.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "src/sampling/alias.h"
 
 namespace flexi {
 
@@ -17,7 +20,16 @@ WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options opt
   // dispatcher thread (which carries no budget) can't widen it later.
   num_threads_ = WalkScheduler(options_.scheduler).num_threads();
   options_.scheduler.num_threads = num_threads_;
-  dispatcher_ = std::thread([this] { ServeLoop(); });
+  // One dispatcher per pipeline slot: each claims the oldest queued batch,
+  // so up to pipeline_depth batches run on the pool at once. Depth shares
+  // the kMaxHostWorkers rationale — a wild value must not spawn thousands
+  // of threads.
+  pipeline_depth_ = std::clamp(options_.pipeline_depth, 1u, kMaxHostWorkers);
+  unsigned depth = pipeline_depth_;
+  dispatchers_.reserve(depth);
+  for (unsigned d = 0; d < depth; ++d) {
+    dispatchers_.emplace_back([this] { ServeLoop(); });
+  }
 }
 
 WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options options,
@@ -76,17 +88,19 @@ void WalkService::ServeLoop() {
 }
 
 void WalkService::Shutdown() {
-  std::thread to_join;
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
-    // Claim the dispatcher handle under the lock so concurrent Shutdown
+    // Claim the dispatcher handles under the lock so concurrent Shutdown
     // calls (e.g. explicit Shutdown racing the destructor) join only once.
-    to_join = std::move(dispatcher_);
+    to_join.swap(dispatchers_);
   }
   cv_.notify_all();
-  if (to_join.joinable()) {
-    to_join.join();
+  for (std::thread& dispatcher : to_join) {
+    if (dispatcher.joinable()) {
+      dispatcher.join();
+    }
   }
 }
 
@@ -102,13 +116,13 @@ namespace {
 // handle; the step factory captures a raw pointer into it.
 struct FlexiServingState {
   FlexiPreparation prep;
-  std::vector<SamplerSelector> selectors;
 };
 
 }  // namespace
 
 std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const WalkLogic& logic,
-                                                    FlexiWalkerOptions options, uint64_t seed) {
+                                                    FlexiWalkerOptions options, uint64_t seed,
+                                                    unsigned pipeline_depth) {
   auto state = std::make_shared<FlexiServingState>();
   DeviceContext device(options.device);
 
@@ -118,6 +132,7 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
 
   WalkService::Options service_options;
   service_options.seed = seed;
+  service_options.pipeline_depth = pipeline_depth;
   service_options.scheduler.profile = options.device;
   service_options.scheduler.num_threads = options.host_threads;
   service_options.scheduler.preprocessed =
@@ -125,15 +140,27 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
   service_options.scheduler.int8_weights =
       state->prep.int8_store.empty() ? nullptr : &state->prep.int8_store;
 
-  // Per-worker selectors sized to the resolved thread count; built before
-  // any batch can be submitted, so the factory's raw pointer is safe.
-  unsigned workers = WalkScheduler(service_options.scheduler).num_threads();
-  state->selectors.assign(
-      workers, SamplerSelector(options.strategy, state->prep.params, &state->prep.helpers));
   uint64_t selector_seed = FlexiSelectorSeed(seed);
   FlexiServingState* raw = state.get();
-  WorkerStepFactory factory = [raw, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
-    return MakeFlexiStep(&raw->selectors[worker], selector_seed);
+  // The factory runs once per (batch, worker). Selectors are created per
+  // call — not preallocated per worker index — because pipelined batches
+  // execute concurrently and would otherwise race on a shared selector's
+  // counters. Selection behavior is a pure function of (strategy, params,
+  // helpers, selector_seed), so per-batch selectors cannot change paths.
+  WorkerStepFactory factory = [raw, selector_seed,
+                               strategy = options.strategy](unsigned, DeviceContext&) -> StepFn {
+    if (!raw->prep.static_tables.empty()) {
+      const std::vector<AliasTable>* tables = &raw->prep.static_tables;
+      return [tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                      KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); };
+    }
+    auto selector = std::make_shared<SamplerSelector>(strategy, raw->prep.params,
+                                                      &raw->prep.helpers);
+    StepFn step = MakeFlexiStep(selector.get(), selector_seed);
+    return [selector, step = std::move(step)](const WalkContext& ctx, const WalkLogic& l,
+                                              const QueryState& q, KernelRng& rng) {
+      return step(ctx, l, q, rng);
+    };
   };
   return std::make_unique<WalkService>(graph, logic, std::move(service_options),
                                        std::move(factory), std::move(state));

@@ -2,10 +2,12 @@
 // continuously instead of one-shot Run() calls (the ROADMAP serving item).
 //
 // Submit(batch) assigns the batch a contiguous range of *global* query ids
-// from a monotonic cursor, enqueues it, and returns a future; a dispatcher
-// thread drains the queue in submission order, running each batch through
-// the shared QueryQueue / DeviceContext machinery on the persistent
-// WorkerPool. Because every query's randomness is a Philox subsequence
+// from a monotonic cursor, enqueues it, and returns a future; dispatcher
+// threads (one per pipeline slot, Options::pipeline_depth) claim batches in
+// submission order and run each through the shared QueryQueue /
+// DeviceContext machinery on the persistent WorkerPool, so up to
+// pipeline_depth batches overlap. Because every query's randomness is a
+// Philox subsequence
 // keyed by its global id — PhiloxStream(seed, query_id) — results are
 // bit-identical regardless of batch interleaving, pipelining depth, or
 // worker count: submitting A and B back-to-back without waiting yields the
@@ -49,6 +51,13 @@ class WalkService {
   struct Options {
     SchedulerOptions scheduler;
     uint64_t seed = 0;
+    // In-flight batch depth: how many accepted batches may execute on the
+    // WorkerPool at once. 1 keeps the original FIFO one-at-a-time dispatch;
+    // deeper pipelines let small batches (e.g. the network front-end's
+    // coalesced flushes) overlap instead of queueing behind each other.
+    // Paths are unaffected — global ids are assigned at Submit, so
+    // pipelining moves execution, never randomness (docs/SERVING.md).
+    unsigned pipeline_depth = 1;
   };
 
   // `make_step` builds each scheduler worker's step function, exactly as in
@@ -67,17 +76,21 @@ class WalkService {
   WalkService(const WalkService&) = delete;
   WalkService& operator=(const WalkService&) = delete;
 
-  // Enqueues the batch and returns immediately. Batches execute FIFO, one at
-  // a time, each fanning out over the worker pool. After Shutdown the
-  // returned future holds a std::runtime_error.
+  // Enqueues the batch and returns immediately. Batches start in submission
+  // order; up to `pipeline_depth` of them execute concurrently, each fanning
+  // out over the worker pool. After Shutdown the returned future holds a
+  // std::runtime_error.
   std::future<BatchResult> Submit(WalkBatch batch);
 
   // Stops accepting new batches, drains everything already queued, and joins
-  // the dispatcher. Idempotent; the destructor calls it.
+  // the dispatchers. Idempotent; the destructor calls it.
   void Shutdown();
 
   // Worker threads each batch fans out over (resolved at construction).
   unsigned num_threads() const { return num_threads_; }
+
+  // In-flight batch depth resolved at construction (>= 1).
+  unsigned pipeline_depth() const { return pipeline_depth_; }
 
   uint64_t queries_submitted() const;
   uint64_t batches_completed() const { return batches_completed_.load(); }
@@ -98,6 +111,7 @@ class WalkService {
   WorkerStepFactory make_step_;
   std::shared_ptr<void> kernel_state_;
   unsigned num_threads_;
+  unsigned pipeline_depth_ = 1;  // resolved (clamped) at construction
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -107,17 +121,21 @@ class WalkService {
   uint64_t next_batch_index_ = 0;
   std::atomic<uint64_t> batches_completed_{0};
 
-  std::thread dispatcher_;
+  std::vector<std::thread> dispatchers_;  // one per pipeline slot
 };
 
 // Builds a serving FlexiWalker: performs the engine's one-time phases —
 // helper generation (§4.2), EdgeCost profiling (§5.1), preprocessing
-// reductions, optional INT8 quantization — exactly once, then serves every
-// batch with the mixed eRJS/eRVS kernel and per-worker SamplerSelectors. A
-// single batch submitted first thing reproduces FlexiWalkerEngine::Run's
-// paths bit-for-bit (same seed, same starts).
+// reductions, optional INT8 quantization, and (when
+// options.cache_static_tables applies) the cached static-walk alias tables —
+// exactly once, then serves every batch with the mixed eRJS/eRVS kernel and
+// per-batch SamplerSelectors (per-batch so pipelined batches share no
+// mutable state). A single batch submitted first thing reproduces
+// FlexiWalkerEngine::Run's paths bit-for-bit (same seed, same starts, same
+// options). `pipeline_depth` > 1 lets that many batches overlap on the pool.
 std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const WalkLogic& logic,
-                                                    FlexiWalkerOptions options, uint64_t seed);
+                                                    FlexiWalkerOptions options, uint64_t seed,
+                                                    unsigned pipeline_depth = 1);
 
 }  // namespace flexi
 

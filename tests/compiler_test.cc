@@ -229,5 +229,59 @@ TEST(WeightExpr, ToStringRendersTree) {
   EXPECT_EQ(e.ToString(), "(h[e] * (0.8 + 1/d(v')))");
 }
 
+TEST(StaticTransition, DeepWalkIsStaticAndProportionalToH) {
+  DeepWalk walk(4);
+  bool uses_h = false;
+  EXPECT_TRUE(IsStaticTransitionProgram(walk.program(), &uses_h));
+  EXPECT_TRUE(uses_h);
+}
+
+TEST(StaticTransition, HistoryDependentAndOpaqueProgramsAreNotStatic) {
+  // Node2Vec: multiple guarded branches keyed on the previous node.
+  EXPECT_FALSE(IsStaticTransitionProgram(Node2VecWalk(2.0, 0.5).program()));
+  // Opaque: unanalyzable by construction.
+  EXPECT_FALSE(IsStaticTransitionProgram(OpaqueWalk(4).program()));
+  // 2nd-order PR mixes degree-of-prev terms.
+  EXPECT_FALSE(IsStaticTransitionProgram(SecondOrderPageRankWalk(0.2).program()));
+}
+
+TEST(StaticTransition, CurrentNodeScalesAreStaticButAdditiveMixesAreNot) {
+  // c * (1/d(v)) * h: per-node scale factors cancel under normalization.
+  WeightProgram scaled;
+  scaled.branches = {{CondKind::kOtherwise,
+                      WeightExpr::Mul(WeightExpr::Const(0.5),
+                                      WeightExpr::Mul(WeightExpr::InvDegreeCur(),
+                                                      WeightExpr::PropertyWeight())),
+                      1.0}};
+  bool uses_h = false;
+  EXPECT_TRUE(IsStaticTransitionProgram(scaled, &uses_h));
+  EXPECT_TRUE(uses_h);
+
+  // A constant-only program is static and uniform (no h factor).
+  WeightProgram uniform;
+  uniform.branches = {{CondKind::kOtherwise, WeightExpr::Const(1.0), 1.0}};
+  EXPECT_TRUE(IsStaticTransitionProgram(uniform, &uses_h));
+  EXPECT_FALSE(uses_h);
+
+  // h + c is not proportional to h: the cached table would be wrong.
+  WeightProgram additive;
+  additive.branches = {{CondKind::kOtherwise,
+                        WeightExpr::Add(WeightExpr::PropertyWeight(), WeightExpr::Const(1.0)),
+                        1.0}};
+  EXPECT_FALSE(IsStaticTransitionProgram(additive));
+
+  // h * h is a different distribution than h.
+  WeightProgram squared;
+  squared.branches = {{CondKind::kOtherwise,
+                       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::PropertyWeight()),
+                       1.0}};
+  EXPECT_FALSE(IsStaticTransitionProgram(squared));
+
+  // A guarded single branch is not unconditional.
+  WeightProgram guarded;
+  guarded.branches = {{CondKind::kFirstStep, WeightExpr::PropertyWeight(), 1.0}};
+  EXPECT_FALSE(IsStaticTransitionProgram(guarded));
+}
+
 }  // namespace
 }  // namespace flexi

@@ -1,0 +1,524 @@
+// Tests for the network serving subsystem (src/net/): wire-protocol
+// round-trips and rejection of truncated/oversized/garbage frames, the
+// BatchCoalescer's merge/flush/backpressure semantics, and the end-to-end
+// server <-> client contract — paths served over the socket are
+// bit-identical to a one-shot engine run over the same starts and seed,
+// regardless of coalesce window or pipeline depth (the walk_service_test
+// determinism contract extended across TCP).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/net/batch_coalescer.h"
+#include "src/net/walk_client.h"
+#include "src/net/walk_server.h"
+#include "src/net/wire.h"
+#include "src/sampling/inverse_transform.h"
+#include "src/walker/flexiwalker_engine.h"
+#include "src/walker/walk_service.h"
+#include "src/walks/node2vec.h"
+
+namespace flexi {
+namespace {
+
+// ---------------------------------------------------------------- wire ----
+
+TEST(Wire, RequestRoundTrip) {
+  WireRequest request;
+  request.tag = 0xDEADBEEFCAFEull;
+  request.starts = {0, 7, 42, 0xFFFFFFFEu};
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+
+  WireFrame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(consumed, bytes.size());
+  ASSERT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.request.tag, request.tag);
+  EXPECT_EQ(frame.request.starts, request.starts);
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  WireResponse response;
+  response.tag = 3;
+  response.first_query_id = 1ull << 40;
+  response.path_stride = 4;
+  response.num_queries = 2;
+  response.paths = {1, 2, 3, kInvalidNode, 9, 8, 7, 6};
+  std::vector<uint8_t> bytes;
+  AppendResponseFrame(bytes, response);
+
+  WireFrame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kResponse);
+  EXPECT_EQ(frame.response.tag, 3u);
+  EXPECT_EQ(frame.response.first_query_id, 1ull << 40);
+  EXPECT_EQ(frame.response.path_stride, 4u);
+  EXPECT_EQ(frame.response.num_queries, 2u);
+  EXPECT_EQ(frame.response.paths, response.paths);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  WireError error{77, WireErrorCode::kOverloaded, "admission queue full"};
+  std::vector<uint8_t> bytes;
+  AppendErrorFrame(bytes, error);
+
+  WireFrame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.error.tag, 77u);
+  EXPECT_EQ(frame.error.code, WireErrorCode::kOverloaded);
+  EXPECT_EQ(frame.error.message, "admission queue full");
+}
+
+TEST(Wire, TruncatedFramesNeedMoreAtEveryPrefix) {
+  WireRequest request{9, {1, 2, 3}};
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+  for (size_t prefix = 0; prefix < bytes.size(); ++prefix) {
+    WireFrame frame;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(bytes.data(), prefix, kDefaultMaxFramePayload, frame, consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix " << prefix;
+  }
+}
+
+TEST(Wire, GarbageIsMalformedNotCrash) {
+  // ASCII garbage (an HTTP request aimed at the wrong port) and random-ish
+  // bytes must both be rejected without ever decoding a frame.
+  const char* garbage = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  WireFrame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(garbage), std::strlen(garbage),
+                        kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kMalformed);
+
+  std::vector<uint8_t> noise(256);
+  for (size_t i = 0; i < noise.size(); ++i) {
+    noise[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  EXPECT_EQ(DecodeFrame(noise.data(), noise.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kMalformed);
+}
+
+TEST(Wire, OversizedDeclaredPayloadIsMalformed) {
+  WireRequest request{1, {2, 3}};
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+  WireFrame frame;
+  size_t consumed = 0;
+  // The same valid frame decoded under a tiny ceiling must be rejected
+  // before any allocation happens.
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), /*max_payload=*/8, frame, consumed),
+            DecodeStatus::kMalformed);
+}
+
+TEST(Wire, LengthCountMismatchIsMalformed) {
+  WireRequest request{1, {2, 3, 4}};
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+  // Inflate the start count without growing the payload: count says 5,
+  // payload holds 3.
+  bytes[8 + 9] = 5;
+  WireFrame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kMalformed);
+}
+
+TEST(Wire, UnknownFrameTypeIsMalformed) {
+  WireRequest request{1, {2}};
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, request);
+  bytes[8] = 0x7F;  // type byte
+  WireFrame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), kDefaultMaxFramePayload, frame, consumed),
+            DecodeStatus::kMalformed);
+}
+
+TEST(Wire, FrameDecoderReassemblesByteAtATime) {
+  // Three frames dribbled in one byte at a time must come out intact and in
+  // order — the socket-fragmentation case.
+  std::vector<uint8_t> stream;
+  AppendRequestFrame(stream, {1, {10, 11}});
+  AppendResponseFrame(stream, {2, 99, 3, 1, {5, 6, 7}});
+  AppendErrorFrame(stream, {3, WireErrorCode::kNodeOutOfRange, "nope"});
+
+  FrameDecoder decoder;
+  std::vector<WireFrame> frames;
+  for (uint8_t byte : stream) {
+    decoder.Append(&byte, 1);
+    WireFrame frame;
+    while (decoder.Next(frame) == DecodeStatus::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kRequest);
+  EXPECT_EQ(frames[0].request.starts, (std::vector<NodeId>{10, 11}));
+  EXPECT_EQ(frames[1].type, FrameType::kResponse);
+  EXPECT_EQ(frames[1].response.first_query_id, 99u);
+  EXPECT_EQ(frames[2].type, FrameType::kError);
+  EXPECT_EQ(frames[2].error.message, "nope");
+}
+
+// ----------------------------------------------------------- coalescer ----
+
+Graph CoalescerGraph() {
+  Graph g = GenerateErdosRenyi(256, 8.0, 71);
+  AssignWeights(g, WeightDistribution::kUniform, 0.0, 72);
+  return g;
+}
+
+StepFn ItsStep() {
+  return [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
+    return InverseTransformStep(ctx, l, q, rng);
+  };
+}
+
+WalkService::Options ItsOptions(uint64_t seed, unsigned threads = 4, unsigned depth = 1) {
+  WalkService::Options options;
+  options.seed = seed;
+  options.scheduler.num_threads = threads;
+  options.pipeline_depth = depth;
+  return options;
+}
+
+std::vector<NodeId> Range(NodeId begin, NodeId end) {
+  std::vector<NodeId> starts;
+  for (NodeId v = begin; v < end; ++v) {
+    starts.push_back(v);
+  }
+  return starts;
+}
+
+TEST(BatchCoalescer, MergesRequestsAndSlicesMatchDirectSubmission) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 10);
+
+  // Coalesced: five requests admitted inside one 100 ms window become one
+  // service batch.
+  WalkService coalesced_service(graph, walk, ItsOptions(42), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 100.0;
+  options.max_batch_queries = 1 << 20;
+  BatchCoalescer coalescer(coalesced_service, options);
+
+  std::vector<std::pair<NodeId, NodeId>> requests = {{0, 5}, {5, 6}, {6, 30}, {30, 31}, {31, 40}};
+  std::vector<std::promise<BatchCoalescer::RequestResult>> done(requests.size());
+  std::vector<std::future<BatchCoalescer::RequestResult>> futures;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    futures.push_back(done[r].get_future());
+    ASSERT_TRUE(coalescer.Enqueue(Range(requests[r].first, requests[r].second),
+                                  [&done, r](BatchCoalescer::RequestResult result) {
+                                    done[r].set_value(std::move(result));
+                                  }));
+  }
+  std::vector<BatchCoalescer::RequestResult> results;
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  EXPECT_EQ(coalescer.batches_flushed(), 1u);
+  EXPECT_EQ(coalesced_service.batches_completed(), 1u);
+  EXPECT_EQ(coalescer.requests_admitted(), requests.size());
+
+  // Reference: the same 40 starts as one direct batch on an identical
+  // service. Every request's slice must match its offset range, and its
+  // first_query_id must be the offset itself.
+  WalkService direct(graph, walk, ItsOptions(42), ItsStep());
+  BatchResult reference = direct.Submit({Range(0, 40)}).get();
+  uint64_t offset = 0;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    size_t queries = requests[r].second - requests[r].first;
+    EXPECT_EQ(results[r].first_query_id, offset);
+    EXPECT_EQ(results[r].num_queries, queries);
+    std::vector<NodeId> expected(
+        reference.walk.paths.begin() + offset * reference.walk.path_stride,
+        reference.walk.paths.begin() + (offset + queries) * reference.walk.path_stride);
+    EXPECT_EQ(results[r].paths, expected) << "request " << r;
+    offset += queries;
+  }
+}
+
+TEST(BatchCoalescer, RejectPolicyRefusesWhenAdmissionBoundHit) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 6);
+  WalkService service(graph, walk, ItsOptions(7), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 200.0;  // the first request stays pending meanwhile
+  options.max_outstanding_queries = 8;
+  options.overflow = BatchCoalescer::OverflowPolicy::kReject;
+  BatchCoalescer coalescer(service, options);
+
+  std::promise<BatchCoalescer::RequestResult> first_done;
+  auto first_future = first_done.get_future();
+  ASSERT_TRUE(coalescer.Enqueue(Range(0, 8), [&](BatchCoalescer::RequestResult result) {
+    first_done.set_value(std::move(result));
+  }));
+  // 8 outstanding + 1 > 8: rejected immediately, callback never owed.
+  EXPECT_FALSE(coalescer.Enqueue(Range(8, 9), [](BatchCoalescer::RequestResult) {
+    FAIL() << "rejected request must not complete";
+  }));
+  EXPECT_EQ(coalescer.requests_rejected(), 1u);
+
+  coalescer.Shutdown();  // flushes the pending window
+  BatchCoalescer::RequestResult result = first_future.get();
+  EXPECT_EQ(result.num_queries, 8u);
+  EXPECT_EQ(result.first_query_id, 0u);
+}
+
+TEST(BatchCoalescer, BlockPolicyWaitsForSpaceInsteadOfRejecting) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 6);
+  WalkService service(graph, walk, ItsOptions(7), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 5.0;
+  options.max_outstanding_queries = 4;
+  options.overflow = BatchCoalescer::OverflowPolicy::kBlock;
+  BatchCoalescer coalescer(service, options);
+
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(coalescer.Enqueue(Range(0, 4), [&](BatchCoalescer::RequestResult) { ++completed; }));
+  // Over the bound: Enqueue must block until the first batch completes,
+  // then admit — never reject.
+  std::thread producer([&] {
+    EXPECT_TRUE(coalescer.Enqueue(Range(4, 8), [&](BatchCoalescer::RequestResult) { ++completed; }));
+  });
+  producer.join();
+  coalescer.Shutdown();
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(coalescer.requests_rejected(), 0u);
+}
+
+TEST(BatchCoalescer, EmptyRequestCompletes) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 4);
+  WalkService service(graph, walk, ItsOptions(1), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 0.0;
+  BatchCoalescer coalescer(service, options);
+  std::promise<BatchCoalescer::RequestResult> done;
+  auto future = done.get_future();
+  ASSERT_TRUE(coalescer.Enqueue({}, [&](BatchCoalescer::RequestResult result) {
+    done.set_value(std::move(result));
+  }));
+  EXPECT_EQ(future.get().num_queries, 0u);
+}
+
+TEST(BatchCoalescer, EnqueueAfterShutdownIsRejected) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 4);
+  WalkService service(graph, walk, ItsOptions(1), ItsStep());
+  BatchCoalescer coalescer(service, {});
+  coalescer.Shutdown();
+  EXPECT_FALSE(coalescer.Enqueue(Range(0, 4), [](BatchCoalescer::RequestResult) {
+    FAIL() << "must not complete after shutdown";
+  }));
+}
+
+// ------------------------------------------------------------ end to end --
+
+struct ServedStack {
+  Graph graph;
+  Node2VecWalk walk{2.0, 0.5, 12};
+  FlexiWalkerOptions engine_options;
+  std::unique_ptr<WalkService> service;
+  std::unique_ptr<WalkServer> server;
+
+  explicit ServedStack(double coalesce_ms, unsigned pipeline_depth,
+                       BatchCoalescer::Options extra = {}) {
+    graph = CoalescerGraph();
+    engine_options.edge_cost_ratio = 4.0;  // pin: skip profiling in tests
+    engine_options.host_threads = 4;
+    service = MakeFlexiWalkerService(graph, walk, engine_options, /*seed=*/99, pipeline_depth);
+    WalkServer::Options server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.coalescer = extra;
+    server_options.coalescer.max_delay_ms = coalesce_ms;
+    server_options.backlog = 64;
+    server.reset(new WalkServer(*service, graph.num_nodes(), server_options));
+    std::string error;
+    bool ok = server->Start(&error);
+    EXPECT_TRUE(ok) << error;
+  }
+
+  ~ServedStack() {
+    server->Stop();
+    service->Shutdown();
+  }
+};
+
+// The acceptance-criterion test: one client pipelines many small requests;
+// the rows reassembled by first_query_id must equal a one-shot engine run
+// over the same starts in submission order — for no coalescing, a real
+// coalesce window, and pipelined batch execution alike.
+TEST(WalkServerEndToEnd, ServedPathsMatchOneShotEngineAcrossConfigs) {
+  struct Config {
+    double coalesce_ms;
+    unsigned pipeline_depth;
+  };
+  for (Config config : {Config{0.0, 1}, Config{5.0, 1}, Config{5.0, 4}}) {
+    SCOPED_TRACE("coalesce_ms=" + std::to_string(config.coalesce_ms) +
+                 " depth=" + std::to_string(config.pipeline_depth));
+    ServedStack stack(config.coalesce_ms, config.pipeline_depth);
+
+    WalkClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+    // 24 requests, sizes cycling 1..4, fixed start pattern. Submitted
+    // without waiting so the coalescer actually sees concurrent requests.
+    std::vector<NodeId> all_starts;
+    std::vector<std::future<WalkClient::Result>> futures;
+    for (uint32_t r = 0; r < 24; ++r) {
+      std::vector<NodeId> starts;
+      for (uint32_t i = 0; i <= r % 4; ++i) {
+        starts.push_back((r * 11 + i * 3) % stack.graph.num_nodes());
+      }
+      all_starts.insert(all_starts.end(), starts.begin(), starts.end());
+      futures.push_back(client.Submit(std::move(starts)));
+    }
+
+    WalkResult engine_result =
+        FlexiWalkerEngine(stack.engine_options).Run(stack.graph, stack.walk, all_starts, 99);
+
+    std::vector<NodeId> served(engine_result.paths.size(), kInvalidNode);
+    uint32_t stride = 0;
+    for (auto& future : futures) {
+      WalkClient::Result result = future.get();
+      ASSERT_GT(result.path_stride, 0u);
+      stride = result.path_stride;
+      ASSERT_LE((result.first_query_id + result.num_queries) * stride, served.size());
+      std::copy(result.paths.begin(), result.paths.end(),
+                served.begin() + result.first_query_id * stride);
+    }
+    EXPECT_EQ(stride, engine_result.path_stride);
+    EXPECT_EQ(served, engine_result.paths);
+    client.Close();
+  }
+}
+
+TEST(WalkServerEndToEnd, OutOfRangeStartFailsThatRequestOnly) {
+  ServedStack stack(/*coalesce_ms=*/0.5, /*pipeline_depth=*/1);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  EXPECT_THROW(client.Walk({stack.graph.num_nodes() + 5}), std::runtime_error);
+  // The connection survives; a valid request still completes.
+  WalkClient::Result result = client.Walk({1, 2});
+  EXPECT_EQ(result.num_queries, 2u);
+  EXPECT_EQ(result.paths[0], 1u);
+  EXPECT_EQ(stack.server->requests_rejected(), 1u);
+}
+
+TEST(WalkServerEndToEnd, OversizedRequestRejectedWithoutKillingConnection) {
+  // The per-request start cap bounds the *response* frame (starts x stride
+  // x 4 bytes must stay under the peer's decode ceiling); beyond it the
+  // request fails cleanly and the connection lives on.
+  BatchCoalescer::Options coalescer;
+  ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1, coalescer);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  std::vector<NodeId> huge(20000, 1);  // default max_request_starts = 16384
+  EXPECT_THROW(client.Walk(std::move(huge)), std::runtime_error);
+  EXPECT_EQ(stack.server->requests_rejected(), 1u);
+  EXPECT_EQ(client.Walk({2}).num_queries, 1u);
+}
+
+TEST(WalkServerEndToEnd, OverloadRejectionSurfacesAsError) {
+  BatchCoalescer::Options coalescer;
+  coalescer.max_outstanding_queries = 8;
+  coalescer.overflow = BatchCoalescer::OverflowPolicy::kReject;
+  // A long window parks the first request in the pending window, so the
+  // second deterministically exceeds the admission bound.
+  ServedStack stack(/*coalesce_ms=*/200.0, /*pipeline_depth=*/1, coalescer);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  std::future<WalkClient::Result> first = client.Submit(Range(0, 8));
+  EXPECT_THROW(client.Walk({1}), std::runtime_error);  // kOverloaded
+  EXPECT_EQ(first.get().num_queries, 8u);  // flushed at the window deadline
+}
+
+TEST(WalkServerEndToEnd, GarbageBytesCloseThatConnectionOnly) {
+  ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1);
+
+  // Raw socket speaking HTTP at the walk port: the server must answer with
+  // a malformed-frame error and close, without taking the listener down.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(stack.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char* garbage = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, std::strlen(garbage), 0), 0);
+  // Drain until EOF: the server sends its error frame then closes.
+  char buffer[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_GE(stack.server->frames_malformed(), 1u);
+
+  // A well-behaved client on a fresh connection is unaffected.
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  EXPECT_EQ(client.Walk({3}).num_queries, 1u);
+}
+
+TEST(WalkServerEndToEnd, ConcurrentClientsAllComplete) {
+  ServedStack stack(/*coalesce_ms=*/0.5, /*pipeline_depth=*/2);
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      WalkClient client;
+      if (!client.Connect("127.0.0.1", stack.server->port())) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        NodeId start = static_cast<NodeId>((c * 31 + r) % stack.graph.num_nodes());
+        WalkClient::Result result = client.Walk({start});
+        // Arrival order across clients is nondeterministic, so ids differ
+        // run to run — but every row must be this client's requested walk.
+        if (result.num_queries != 1 || result.paths.empty() || result.paths[0] != start) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(stack.service->queries_submitted(), uint64_t{kClients * kRequestsPerClient});
+  EXPECT_EQ(stack.server->requests_received(), uint64_t{kClients * kRequestsPerClient});
+  // Coalescing must have merged at least some of the 150 single-query
+  // requests (worst case every request its own batch — then this still
+  // holds as <=).
+  EXPECT_LE(stack.service->batches_completed(), stack.server->requests_received());
+}
+
+}  // namespace
+}  // namespace flexi

@@ -191,6 +191,53 @@ TEST(ERvs, BaselineRngDrawsScaleWithDegree) {
   EXPECT_EQ(fan.device.mem().counters().rng_draws, 100u);
 }
 
+TEST(CachedAlias, StepSamplesTheStaticDistribution) {
+  // CachedAliasStep over tables built once must reproduce the per-node
+  // property-weight distribution: empirical frequencies at a fan node track
+  // the exact probabilities, with no per-step build traffic.
+  std::vector<float> weights = {1.0f, 4.0f, 2.0f, 8.0f, 1.0f};
+  FanGraph fan(weights);
+  std::vector<AliasTable> tables = BuildNodeAliasTables(fan.graph, 1);
+
+  DeepWalk logic(1);
+  PhiloxStream stream(2026, 0);
+  KernelRng rng(stream, fan.device.mem());
+  constexpr int kSamples = 40000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int s = 0; s < kSamples; ++s) {
+    StepResult result = CachedAliasStep(fan.ctx, tables, fan.query, rng);
+    ASSERT_TRUE(result.ok());
+    ASSERT_LT(result.index, weights.size());
+    ++counts[result.index];
+  }
+  auto exact = fan.ExactProbabilities(logic);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double empirical = static_cast<double>(counts[i]) / kSamples;
+    EXPECT_NEAR(empirical, exact[i], 0.01) << "neighbor " << i;
+  }
+  // O(1) accounting: 2 RNG draws and one random table-slot load per step —
+  // no degree-proportional scan, no table-build stores.
+  EXPECT_EQ(fan.device.mem().counters().rng_draws, uint64_t{2 * kSamples});
+}
+
+TEST(CachedAlias, DeadEndOnZeroDegreeNode) {
+  // A sink node has an empty table; the step must report a dead end rather
+  // than sample.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);  // node 1 is a sink
+  Graph graph = builder.Build();
+  std::vector<AliasTable> tables = BuildNodeAliasTables(graph, 1);
+  DeviceContext device{DeviceProfile::SimulatedGpu()};
+  WalkContext ctx{&graph, &device, nullptr, nullptr};
+  QueryState q;
+  q.cur = 1;
+  PhiloxStream stream(1, 0);
+  KernelRng rng(stream, device.mem());
+  StepResult result = CachedAliasStep(ctx, tables, q, rng);
+  EXPECT_TRUE(result.dead_end);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(SamplerKindNames, AllDistinct) {
   EXPECT_STREQ(SamplerKindName(SamplerKind::kAlias), "ALS");
   EXPECT_STREQ(SamplerKindName(SamplerKind::kInverseTransform), "ITS");

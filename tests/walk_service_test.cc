@@ -12,6 +12,7 @@
 
 #include "src/graph/generators.h"
 #include "src/sampling/inverse_transform.h"
+#include "src/walks/deepwalk.h"
 #include "src/walks/node2vec.h"
 
 namespace flexi {
@@ -155,6 +156,136 @@ TEST(FlexiWalkerService, FirstBatchMatchesOneShotEngine) {
   BatchResult served = service->Submit({starts}).get();
   EXPECT_EQ(engine_result.paths, served.walk.paths);
   EXPECT_EQ(engine_result.cost.rng_draws, served.walk.cost.rng_draws);
+}
+
+TEST(WalkService, PipelinedBatchesMatchSerialBatches) {
+  // pipeline_depth > 1 runs batches concurrently on the pool; global ids are
+  // assigned at Submit, so every batch's paths must match the depth-1
+  // service fed identically — pipelining moves execution, never randomness.
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 10);
+
+  WalkService::Options serial_options = ItsOptions(13, 4);
+  WalkService serial(graph, walk, serial_options, ItsStep());
+  WalkService::Options pipelined_options = ItsOptions(13, 4);
+  pipelined_options.pipeline_depth = 4;
+  WalkService pipelined(graph, walk, pipelined_options, ItsStep());
+  EXPECT_EQ(pipelined.pipeline_depth(), 4u);
+
+  std::vector<std::future<BatchResult>> serial_futures;
+  std::vector<std::future<BatchResult>> pipelined_futures;
+  for (int b = 0; b < 12; ++b) {
+    NodeId begin = static_cast<NodeId>((b * 17) % 200);
+    serial_futures.push_back(serial.Submit({Range(begin, begin + 20)}));
+    pipelined_futures.push_back(pipelined.Submit({Range(begin, begin + 20)}));
+  }
+  for (int b = 0; b < 12; ++b) {
+    BatchResult s = serial_futures[b].get();
+    BatchResult p = pipelined_futures[b].get();
+    EXPECT_EQ(s.first_query_id, p.first_query_id) << "batch " << b;
+    EXPECT_EQ(s.walk.paths, p.walk.paths) << "batch " << b;
+  }
+}
+
+TEST(FlexiWalkerService, PipelinedServiceMatchesEngineAndDepthOne) {
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 12);
+  FlexiWalkerOptions options;
+  options.edge_cost_ratio = 4.0;
+  options.host_threads = 4;
+  auto starts = Range(0, 128);
+
+  auto depth1 = MakeFlexiWalkerService(graph, walk, options, 31, /*pipeline_depth=*/1);
+  auto depth4 = MakeFlexiWalkerService(graph, walk, options, 31, /*pipeline_depth=*/4);
+  std::vector<std::future<BatchResult>> f1;
+  std::vector<std::future<BatchResult>> f4;
+  for (int b = 0; b < 6; ++b) {
+    f1.push_back(depth1->Submit({starts}));
+    f4.push_back(depth4->Submit({starts}));
+  }
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_EQ(f1[b].get().walk.paths, f4[b].get().walk.paths) << "batch " << b;
+  }
+}
+
+TEST(FlexiWalkerService, StaticCacheServiceMatchesStaticCacheEngine) {
+  // The cached static-walk fast path (DeepWalk => per-node alias tables
+  // built once) must keep the serving contract: service batches reproduce
+  // the one-shot engine bit-for-bit under the same options, across thread
+  // counts and pipeline depths.
+  Graph graph = TestGraph();
+  DeepWalk walk(16);
+  auto starts = AllNodesAsStarts(graph);
+
+  FlexiWalkerOptions options;
+  options.edge_cost_ratio = 4.0;
+  options.cache_static_tables = true;
+  options.host_threads = 8;
+  WalkResult engine_result = FlexiWalkerEngine(options).Run(graph, walk, starts, 55);
+
+  auto service = MakeFlexiWalkerService(graph, walk, options, 55, /*pipeline_depth=*/2);
+  BatchResult served = service->Submit({starts}).get();
+  EXPECT_EQ(engine_result.paths, served.walk.paths);
+
+  // Bit-identical across thread counts (the contract every parallel phase
+  // obeys), and no per-step selection happens on the fast path.
+  FlexiWalkerOptions one_thread = options;
+  one_thread.host_threads = 1;
+  WalkResult single = FlexiWalkerEngine(one_thread).Run(graph, walk, starts, 55);
+  EXPECT_EQ(single.paths, engine_result.paths);
+  EXPECT_EQ(engine_result.selection.chose_rjs + engine_result.selection.chose_rvs, 0u);
+
+  // Walk validity: every transition must follow a real out-edge.
+  for (size_t q = 0; q < engine_result.num_queries; ++q) {
+    auto path = engine_result.Path(q);
+    for (size_t s = 1; s < path.size() && path[s] != kInvalidNode; ++s) {
+      bool is_neighbor = false;
+      for (uint32_t i = 0; i < graph.Degree(path[s - 1]); ++i) {
+        if (graph.Neighbor(path[s - 1], i) == path[s]) {
+          is_neighbor = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(is_neighbor) << "query " << q << " step " << s;
+    }
+  }
+}
+
+TEST(FlexiWalkerService, StaticCacheIsNoOpForDynamicWorkloads) {
+  // Node2Vec's weight depends on the previous node: the static analysis
+  // must refuse the cache and leave paths exactly as without the option.
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 10);
+  auto starts = Range(0, 64);
+  FlexiWalkerOptions off;
+  off.edge_cost_ratio = 4.0;
+  off.host_threads = 4;
+  FlexiWalkerOptions on = off;
+  on.cache_static_tables = true;
+  WalkResult without = FlexiWalkerEngine(off).Run(graph, walk, starts, 9);
+  WalkResult with = FlexiWalkerEngine(on).Run(graph, walk, starts, 9);
+  EXPECT_EQ(without.paths, with.paths);
+  EXPECT_GT(with.selection.chose_rjs + with.selection.chose_rvs, 0u);
+}
+
+TEST(FlexiWalkerService, StaticCacheChangesDrawSequenceButStaysSeedStable) {
+  // Cached sampling consumes different RNG draws than eRJS/eRVS, so paths
+  // legitimately differ from the uncached configuration — but two cached
+  // runs at the same seed agree exactly.
+  Graph graph = TestGraph();
+  DeepWalk walk(16);
+  auto starts = Range(0, 128);
+  FlexiWalkerOptions cached;
+  cached.edge_cost_ratio = 4.0;
+  cached.cache_static_tables = true;
+  cached.host_threads = 4;
+  FlexiWalkerOptions uncached = cached;
+  uncached.cache_static_tables = false;
+  WalkResult a = FlexiWalkerEngine(cached).Run(graph, walk, starts, 5);
+  WalkResult b = FlexiWalkerEngine(cached).Run(graph, walk, starts, 5);
+  WalkResult c = FlexiWalkerEngine(uncached).Run(graph, walk, starts, 5);
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_NE(a.paths, c.paths);
 }
 
 TEST(FlexiWalkerService, RepeatedBatchesStayDeterministicPerGlobalId) {
