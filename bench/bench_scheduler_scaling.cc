@@ -1,26 +1,123 @@
-// WalkScheduler strong scaling: the same query batch at 1, 2, 4, ... worker
-// threads up to the host's hardware concurrency. Because walks are
-// seed-stable (scheduler.h), sim_ms and the paths themselves are identical
-// in every row — only wall-clock moves, which is exactly the point: the
-// simulation's numbers are machine-independent while the system itself runs
-// as fast as the host allows. On a >= 4-core host the top row should show a
-// >= 2x wall-clock speedup over single-thread.
+// WalkScheduler strong scaling + query-dispensation contention sweep.
+//
+// Phase 1: the same query batch at 1, 2, 4, ... worker threads up to the
+// host's hardware concurrency. Because walks are seed-stable (scheduler.h),
+// sim_ms and the paths themselves are identical in every row — only
+// wall-clock moves, which is exactly the point: the simulation's numbers are
+// machine-independent while the system itself runs as fast as the host
+// allows.
+//
+// Phase 2: repeated small batches, persistent WorkerPool vs spawn-per-Run —
+// the serving workload's thread-dispatch cost.
+//
+// Phase 3: dispensation contention. First a pure QueryQueue drain (no
+// walking) showing what the global ticket counter costs by itself, then the
+// repeated-small-batch walk workload across {per-query, chunked,
+// chunked+steal} × thread counts, with QPS and p50/p99 batch latency per
+// config. The per-config numbers land in BENCH_scheduler.json (override
+// with --json <path>) so CI keeps a perf trajectory across PRs. Dispatch
+// counts are reported via QueryQueue::dispensed() — the clamped view —
+// so they never exceed the query total even though racing drainers
+// overshoot the raw ticket counter.
+//
+// --quick shrinks every phase for CI smoke. Exit code is non-zero if paths
+// diverge anywhere (dispatch modes, dispensation modes, or thread counts
+// must never change a walk).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/graph/generators.h"
+#include "src/sampling/alias.h"
 #include "src/sampling/inverse_transform.h"
 #include "src/walker/scheduler.h"
+#include "src/walks/deepwalk.h"
 #include "src/walks/node2vec.h"
 
-int main() {
+namespace flexi {
+namespace {
+
+const char* ModeName(DispenseMode mode) {
+  switch (mode) {
+    case DispenseMode::kPerQuery:
+      return "per-query";
+    case DispenseMode::kChunked:
+      return "chunked";
+    case DispenseMode::kChunkedSteal:
+      return "chunked+steal";
+  }
+  return "?";
+}
+
+// Thread counts swept: powers of two up to hardware concurrency, always
+// including at least 1 and 2 so single-core hosts still exercise the
+// contended paths (timeslicing keeps the atomics contended even there).
+std::vector<unsigned> SweepThreads() {
+  unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> threads;
+  for (unsigned t = 1; t <= cores; t *= 2) {
+    threads.push_back(t);
+  }
+  if (threads.back() != cores) {
+    threads.push_back(cores);
+  }
+  if (threads.size() < 2) {
+    threads.push_back(2);
+  }
+  return threads;
+}
+
+// `sorted_ms` must be ascending; callers sort once and read both tails.
+double Percentile(std::span<const double> sorted_ms, double p) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+struct SweepRow {
+  unsigned threads = 0;
+  DispenseMode mode = DispenseMode::kPerQuery;
+  double total_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup = 1.0;  // vs per-query at the same thread count
+};
+
+}  // namespace
+}  // namespace flexi
+
+int main(int argc, char** argv) {
   using namespace flexi;
+  bool quick = false;
+  std::string json_path = "BENCH_scheduler.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 1;
+    }
+  }
+  bool paths_ok = true;
+
   PrintHeader("WalkScheduler strong scaling", "§5.3 dynamic query scheduling");
 
   const DatasetSpec& spec = DatasetByName("YT");
   Graph graph = LoadDataset(spec, WeightDistribution::kUniform);
-  Node2VecWalk walk(2.0, 0.5, 80);
-  auto starts = BenchStarts(graph, 8192);
+  Node2VecWalk walk(2.0, 0.5, quick ? 20u : 80u);
+  auto starts = BenchStarts(graph, quick ? 2048 : 8192);
 
   unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   FlexiWalkerOptions warm_opts;
@@ -42,6 +139,7 @@ int main() {
       reference_paths = result.paths;
     }
     bool identical = result.paths == reference_paths;
+    paths_ok = paths_ok && identical;
     table.AddRow({std::to_string(threads), Table::Num(result.wall_ms),
                   Table::Num(result.sim_ms), Table::Num(single_wall / result.wall_ms) + "x",
                   identical ? "yes" : "NO"});
@@ -57,7 +155,7 @@ int main() {
   // persistent pool parks its workers on a condition variable between
   // batches. Paths are bit-identical in both modes — only wall-clock moves.
   PrintHeader("Repeated small batches", "persistent WorkerPool vs spawn-per-Run");
-  constexpr int kBatches = 400;
+  const int kBatches = quick ? 100 : 400;
   constexpr size_t kBatchQueries = 64;
   Node2VecWalk small_walk(2.0, 0.5, 8);
   auto batch_starts = BenchStarts(graph, kBatchQueries);
@@ -98,8 +196,150 @@ int main() {
                       Table::Num(pool_ms / kBatches), Table::Num(spawn_ms / pool_ms) + "x"});
   batch_table.Print();
   bool identical_modes = pool_paths == spawn_paths;
+  paths_ok = paths_ok && identical_modes;
   std::printf("paths identical across dispatch modes: %s\n", identical_modes ? "yes" : "NO");
-  // Non-zero on divergence so the CI smoke step actually gates dispatch
-  // parity instead of just printing it.
-  return identical_modes ? 0 : 1;
+
+  // --- Phase 3a: pure dispensation drain — the ticket counter in isolation.
+  // T threads hammer one QueryQueue with no walk work at all; per-query mode
+  // is one contended global RMW per ticket, the chunked modes touch the
+  // global counter once per chunk. Dispatch counts use dispensed(), the
+  // clamped view, so the table never reports more tickets than exist.
+  PrintHeader("Query dispensation drain", "ticket-counter contention, no walking");
+  const size_t kDrainIds = quick ? 1'000'000 : 4'000'000;
+  std::vector<NodeId> drain_starts(kDrainIds, 0);
+  std::vector<unsigned> sweep_threads = SweepThreads();
+  Table drain_table({"threads", "mode", "drain ms", "Mticket/s", "dispensed", "speedup"});
+  for (unsigned threads : sweep_threads) {
+    double per_query_ms = 0.0;
+    for (DispenseMode mode :
+         {DispenseMode::kPerQuery, DispenseMode::kChunked, DispenseMode::kChunkedSteal}) {
+      QueryQueue queue(drain_starts, threads, {mode, 0});
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> drainers;
+      for (unsigned w = 0; w < threads; ++w) {
+        drainers.emplace_back([&queue, w] {
+          while (queue.Next(w).has_value()) {
+          }
+        });
+      }
+      for (auto& drainer : drainers) {
+        drainer.join();
+      }
+      double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                      .count();
+      if (mode == DispenseMode::kPerQuery) {
+        per_query_ms = ms;
+      }
+      drain_table.AddRow({std::to_string(threads), ModeName(mode), Table::Num(ms),
+                          Table::Num(static_cast<double>(kDrainIds) / ms / 1000.0),
+                          std::to_string(queue.dispensed()),
+                          Table::Num(per_query_ms / ms) + "x"});
+    }
+  }
+  drain_table.Print();
+
+  // --- Phase 3b: the repeated-small-batch walk workload across dispensation
+  // modes. Cheap O(1) cached-alias steps (the served DeepWalk fast path) keep
+  // per-query work small enough that dispensation cost is visible; QPS and
+  // batch-latency percentiles per config feed BENCH_scheduler.json.
+  PrintHeader("Dispensation contention sweep", "repeated small batches x dispense mode");
+  Graph sweep_graph = GenerateErdosRenyi(4096, 8.0, 7);
+  DeepWalk sweep_walk(4);
+  const size_t kSweepQueries = quick ? 2048 : 4096;
+  const int kSweepBatches = quick ? 30 : 120;
+  std::vector<NodeId> sweep_starts(kSweepQueries);
+  for (size_t i = 0; i < kSweepQueries; ++i) {
+    sweep_starts[i] = static_cast<NodeId>((i * 37) % sweep_graph.num_nodes());
+  }
+  std::vector<AliasTable> tables = BuildNodeAliasTables(sweep_graph, 0);
+  StepFn cached_step = [&tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                                 KernelRng& rng) { return CachedAliasStep(ctx, tables, q, rng); };
+
+  std::vector<SweepRow> rows;
+  std::vector<NodeId> sweep_reference;
+  for (unsigned threads : sweep_threads) {
+    double per_query_ms = 0.0;
+    for (DispenseMode mode :
+         {DispenseMode::kPerQuery, DispenseMode::kChunked, DispenseMode::kChunkedSteal}) {
+      SchedulerOptions options;
+      options.num_threads = threads;
+      options.dispense = {mode, 0};
+      WalkScheduler scheduler(options);
+      scheduler.Run(sweep_graph, sweep_walk, sweep_starts, kBenchSeed, cached_step);  // warm-up
+      std::vector<double> batch_ms;
+      batch_ms.reserve(kSweepBatches);
+      double total_ms = 0.0;
+      for (int b = 0; b < kSweepBatches; ++b) {
+        WalkResult result =
+            scheduler.Run(sweep_graph, sweep_walk, sweep_starts, kBenchSeed, cached_step);
+        batch_ms.push_back(result.wall_ms);
+        total_ms += result.wall_ms;
+        if (b == 0) {
+          if (sweep_reference.empty()) {
+            sweep_reference = std::move(result.paths);
+          } else if (result.paths != sweep_reference) {
+            paths_ok = false;
+            std::printf("PATH DIVERGENCE: threads=%u mode=%s\n", threads, ModeName(mode));
+          }
+        }
+      }
+      SweepRow row;
+      row.threads = threads;
+      row.mode = mode;
+      row.total_ms = total_ms;
+      row.qps = static_cast<double>(kSweepQueries) * kSweepBatches / (total_ms / 1000.0);
+      std::sort(batch_ms.begin(), batch_ms.end());
+      row.p50_ms = Percentile(batch_ms, 0.50);
+      row.p99_ms = Percentile(batch_ms, 0.99);
+      if (mode == DispenseMode::kPerQuery) {
+        per_query_ms = total_ms;
+      }
+      row.speedup = per_query_ms / total_ms;
+      rows.push_back(row);
+    }
+  }
+
+  Table sweep_table({"threads", "mode", "total ms", "QPS", "p50 ms", "p99 ms", "speedup"});
+  for (const SweepRow& row : rows) {
+    sweep_table.AddRow({std::to_string(row.threads), ModeName(row.mode),
+                        Table::Num(row.total_ms), Table::Num(row.qps), Table::Num(row.p50_ms),
+                        Table::Num(row.p99_ms), Table::Num(row.speedup) + "x"});
+  }
+  sweep_table.Print();
+  std::printf(
+      "paths identical across dispensation modes and thread counts: %s\n"
+      "(chunked claiming hits the global counter O(total/K) times; stealing\n"
+      "rebalances drained cursors — query_queue.h)\n",
+      paths_ok ? "yes" : "NO");
+
+  // --- BENCH_scheduler.json: the sweep's per-config numbers for CI trend
+  // tracking. Schema: {bench, quick, hardware_concurrency, workload,
+  // configs:[{threads, mode, total_ms, qps, p50_ms, p99_ms,
+  // speedup_vs_per_query}]}.
+  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"scheduler_scaling\",\n  \"quick\": %s,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"workload\": {\"queries_per_batch\": %zu, \"walk_length\": 4, "
+                 "\"batches\": %d},\n  \"configs\": [\n",
+                 quick ? "true" : "false", cores, kSweepQueries, kSweepBatches);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& row = rows[i];
+      std::fprintf(json,
+                   "    {\"threads\": %u, \"mode\": \"%s\", \"total_ms\": %.3f, "
+                   "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                   "\"speedup_vs_per_query\": %.3f}%s\n",
+                   row.threads, ModeName(row.mode), row.total_ms, row.qps, row.p50_ms,
+                   row.p99_ms, row.speedup, i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("per-config QPS/p50/p99 written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
+
+  // Non-zero on divergence so the CI smoke step actually gates determinism
+  // instead of just printing it.
+  return paths_ok ? 0 : 1;
 }

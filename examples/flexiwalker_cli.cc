@@ -52,6 +52,12 @@ struct CliOptions {
   unsigned threads = 0;  // 0 = hardware concurrency
   uint64_t seed = 2026;
   std::string out_path;
+  // Query-id dispensation (flexiwalker engine + serving modes; walk paths
+  // are identical for every setting — see query_queue.h).
+  unsigned chunk = 0;          // ids per global claim; 0 = adaptive
+  std::string steal = "on";    // raw --steal text; steal_on is the parsed truth
+  bool steal_on = true;
+  bool dispense_set = false;   // either flag given explicitly
   bool serve = false;
   // Network serving (docs/SERVING.md "Network serving"):
   int listen_port = -1;     // >= 0 => run a WalkServer (0 = ephemeral port)
@@ -62,6 +68,9 @@ struct CliOptions {
   std::string overflow = "block";  // block|reject when the bound is hit
   unsigned pipeline = 2;        // WalkService in-flight batch depth
   bool static_cache = false;    // FlexiWalkerOptions::cache_static_tables
+  std::string adaptive_window = "on";  // raw --adaptive-window text
+  bool adaptive_window_on = true;
+  bool adaptive_window_set = false;  // flag given explicitly
   bool help = false;
 };
 
@@ -86,6 +95,11 @@ void PrintUsage() {
       "  --queries  <n>           number of start nodes (default: every node)\n"
       "  --threads  <n>           host worker threads (default: hardware concurrency;\n"
       "                           walk paths are identical for any value)\n"
+      "  --chunk    <n>           query ids claimed per global-counter RMW, 1..%u\n"
+      "                           (flexiwalker engine; default 0 = adaptive; paths\n"
+      "                           identical for any value)\n"
+      "  --steal    <on|off>      work-stealing between worker chunk cursors\n"
+      "                           (flexiwalker engine; default on; paths identical)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
       "  --out      <path>        write walks, one per line\n"
       "  --serve                  streaming mode (flexiwalker engine only): read\n"
@@ -102,8 +116,11 @@ void PrintUsage() {
       "  --pipeline <n>           in-flight batch depth on the WalkService (default 2)\n"
       "  --static-cache           cached static-walk fast path: serve static workloads\n"
       "                           (deepwalk/unweighted) from per-node alias tables\n"
+      "  --adaptive-window <on|off> EWMA-adaptive coalesce window: flush immediately\n"
+      "                           when traffic is sparse, so idle-period requests pay\n"
+      "                           walk latency instead of the window (default on)\n"
       "exit codes: 0 ok | %d usage | %d unsupported engine | %d malformed input\n",
-      kExitUsage, kExitUnsupportedEngine, kExitMalformedInput);
+      kMaxDispenseChunk, kExitUsage, kExitUnsupportedEngine, kExitMalformedInput);
 }
 
 // Strict unsigned parse for the serving flags, where a wrapped negative
@@ -122,12 +139,28 @@ bool ParseUnsignedFlag(const char* flag, const char* text, unsigned long long ma
   return true;
 }
 
+// Strict on|off parse for the boolean-valued flags; anything else is a
+// usage error, matching the numeric-flag convention.
+bool ParseOnOff(const char* flag, const std::string& text, bool& out) {
+  if (text == "on") {
+    out = true;
+    return true;
+  }
+  if (text == "off") {
+    out = false;
+    return true;
+  }
+  std::fprintf(stderr, "bad value for %s: %s (want on|off)\n", flag, text.c_str());
+  return false;
+}
+
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
   std::map<std::string, std::string*> string_flags = {
       {"--dataset", &options.dataset},   {"--graph", &options.graph_path},
       {"--workload", &options.workload}, {"--engine", &options.engine},
       {"--weights", &options.weights},   {"--out", &options.out_path},
       {"--connect", &options.connect},   {"--overflow", &options.overflow},
+      {"--steal", &options.steal},       {"--adaptive-window", &options.adaptive_window},
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -156,6 +189,11 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         return false;
       }
       *it->second = value;
+      if (arg == "--steal") {
+        options.dispense_set = true;
+      } else if (arg == "--adaptive-window") {
+        options.adaptive_window_set = true;
+      }
     } else if (arg == "--alpha") {
       const char* value = needs_value("--alpha");
       if (value == nullptr) {
@@ -186,6 +224,16 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--chunk") {
+      const char* value = needs_value("--chunk");
+      unsigned long long chunk = 0;
+      // The queue clamps chunks to kMaxDispenseChunk; reject rather than
+      // silently shrink a wild request.
+      if (value == nullptr || !ParseUnsignedFlag("--chunk", value, kMaxDispenseChunk, chunk)) {
+        return false;
+      }
+      options.chunk = static_cast<unsigned>(chunk);
+      options.dispense_set = true;
     } else if (arg == "--listen") {
       const char* value = needs_value("--listen");
       unsigned long long port = 0;
@@ -227,7 +275,18 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  return true;
+  // Resolve the on|off flags once, here, so every consumer reads one bool
+  // instead of re-deriving the mapping from the raw text.
+  return ParseOnOff("--steal", options.steal, options.steal_on) &&
+         ParseOnOff("--adaptive-window", options.adaptive_window, options.adaptive_window_on);
+}
+
+// --steal was parsed into steal_on by ParseArgs; --chunk range-checked too.
+DispenseOptions MakeDispense(const CliOptions& options) {
+  DispenseOptions dispense;
+  dispense.chunk_size = options.chunk;
+  dispense.mode = options.steal_on ? DispenseMode::kChunkedSteal : DispenseMode::kChunked;
+  return dispense;
 }
 
 std::unique_ptr<WalkLogic> MakeWorkload(const CliOptions& options) {
@@ -252,9 +311,12 @@ std::unique_ptr<WalkLogic> MakeWorkload(const CliOptions& options) {
   return nullptr;
 }
 
-std::unique_ptr<Engine> MakeEngine(const std::string& name) {
+std::unique_ptr<Engine> MakeEngine(const CliOptions& options) {
+  const std::string& name = options.engine;
   if (name == "flexiwalker") {
-    return std::make_unique<FlexiWalkerEngine>();
+    FlexiWalkerOptions engine_options;
+    engine_options.dispense = MakeDispense(options);
+    return std::make_unique<FlexiWalkerEngine>(engine_options);
   }
   if (name == "flowwalker") {
     return std::make_unique<FlowWalkerEngine>();
@@ -336,6 +398,7 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
+  engine_options.dispense = MakeDispense(options);
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
   std::printf("serving on %u workers | one batch per line of start-node ids | EOF or \"quit\" ends\n",
@@ -412,12 +475,14 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
+  engine_options.dispense = MakeDispense(options);
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
 
   WalkServer::Options server_options;
   server_options.port = static_cast<uint16_t>(options.listen_port);
   server_options.coalescer.max_delay_ms = options.coalesce_us / 1000.0;
+  server_options.coalescer.adaptive_window = options.adaptive_window_on;
   server_options.coalescer.max_batch_queries = options.max_batch;
   server_options.coalescer.max_outstanding_queries = options.admit;
   server_options.coalescer.overflow = options.overflow == "reject"
@@ -528,6 +593,12 @@ int Client(const CliOptions& options) {
 }
 
 int Run(const CliOptions& options) {
+  // The coalescer — and therefore the adaptive window — exists only in the
+  // TCP server; reject rather than silently ignore the flag elsewhere.
+  if (options.adaptive_window_set && options.listen_port < 0) {
+    std::fprintf(stderr, "--adaptive-window applies only to --listen mode\n");
+    return kExitUsage;
+  }
   // Client mode talks to a remote server: no graph, workload, or engine is
   // built locally (the server validates start ids against its own graph).
   if (!options.connect.empty()) {
@@ -576,7 +647,15 @@ int Run(const CliOptions& options) {
   if (options.serve) {
     return Serve(options, graph, *workload);
   }
-  std::unique_ptr<Engine> engine = MakeEngine(options.engine);
+  // The baseline engines build their own SchedulerOptions internally, so
+  // the dispensation flags cannot reach them; reject rather than silently
+  // run with the defaults the user just tried to override.
+  if (options.dispense_set && options.engine != "flexiwalker") {
+    std::fprintf(stderr, "--chunk/--steal apply only to --engine flexiwalker (got --engine %s)\n",
+                 options.engine.c_str());
+    return kExitUsage;
+  }
+  std::unique_ptr<Engine> engine = MakeEngine(options);
   if (engine == nullptr) {
     std::fprintf(stderr, "unknown --engine: %s\n", options.engine.c_str());
     return 1;

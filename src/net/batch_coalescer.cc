@@ -1,7 +1,10 @@
 #include "src/net/batch_coalescer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <utility>
 
 namespace flexi {
@@ -38,8 +41,38 @@ bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done) {
       return false;
     }
   }
+  auto now = std::chrono::steady_clock::now();
+  if (options_.adaptive_window) {
+    // One gap computation feeds both the sparse decision and the EWMA, so
+    // the two can never disagree about the same arrival. A cold-start
+    // queue (no prior arrival) counts as idle-forever.
+    double gap_ms = have_last_arrival_
+                        ? std::chrono::duration<double, std::milli>(now - last_arrival_).count()
+                        : std::numeric_limits<double>::infinity();
+    if (pending_.empty()) {
+      // The satellite contract: a window opening after the queue sat idle
+      // longer than the window flushes immediately — whatever the EWMA
+      // remembers from before the idle period, nobody is coming inside
+      // this window, so holding it open is pure latency.
+      window_sparse_ = gap_ms > options_.max_delay_ms;
+    }
+    if (have_last_arrival_ && gap_ms <= options_.max_delay_ms) {
+      // Half-weight EWMA over *intra-window* gaps only: idle-period gaps
+      // are already handled by the sparse immediate flush above, and
+      // blending them in would poison the dense-traffic estimate for many
+      // windows after every idle stretch. The first real gap seeds the
+      // estimate outright (blending with the cold-start infinity would
+      // pin it there). The flusher uses this to shrink an open window's
+      // deadline under dense traffic (see FlushLoop).
+      ewma_gap_ms_ = std::isinf(ewma_gap_ms_) ? gap_ms : 0.5 * gap_ms + 0.5 * ewma_gap_ms_;
+    }
+    have_last_arrival_ = true;
+    last_arrival_ = now;
+  } else if (pending_.empty()) {
+    window_sparse_ = false;
+  }
   if (pending_.empty()) {
-    window_opened_ = std::chrono::steady_clock::now();
+    window_opened_ = now;
   }
   pending_.push_back({std::move(starts), std::move(done)});
   pending_queries_ += queries;
@@ -49,25 +82,38 @@ bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done) {
   return true;
 }
 
-void BatchCoalescer::FlushLocked(size_t request_count) {
+void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count) {
   InFlightBatch batch;
   batch.requests.assign(std::make_move_iterator(pending_.begin()),
                         std::make_move_iterator(pending_.begin() + request_count));
   pending_.erase(pending_.begin(), pending_.begin() + request_count);
 
-  WalkBatch walk_batch;
   size_t queries = 0;
   for (const PendingRequest& request : batch.requests) {
     queries += request.starts.size();
-    walk_batch.starts.insert(walk_batch.starts.end(), request.starts.begin(),
-                             request.starts.end());
   }
   pending_queries_ -= queries;
   inflight_queries_ += queries;
-  // Submit under the lock: the flusher is the only submitter, but holding
-  // the lock pins the (arrival order -> global id) mapping even against a
-  // future second producer, and Submit itself is non-blocking.
-  batch.future = service_.Submit(std::move(walk_batch));
+
+  // Build and submit the batch outside the lock: concatenating starts and
+  // prefilling a potentially multi-megabyte arena must not stall every
+  // concurrent Enqueue. The flusher is the only submitter and this
+  // function is only ever entered from its loop, so dropping the lock
+  // cannot reorder submissions — the (arrival order -> global id) mapping
+  // is pinned by the single-threaded flush order itself.
+  lock.unlock();
+  WalkBatch walk_batch;
+  walk_batch.starts.reserve(queries);
+  for (const PendingRequest& request : batch.requests) {
+    walk_batch.starts.insert(walk_batch.starts.end(), request.starts.begin(),
+                             request.starts.end());
+  }
+  // One arena for the whole flushed batch: the scheduler's workers write
+  // every request's rows straight into it, and completion below hands out
+  // slices of the same allocation.
+  batch.arena = std::make_shared<PathArena>(queries, service_.path_stride());
+  batch.future = service_.SubmitInto(std::move(walk_batch), batch.arena->view());
+  lock.lock();
   inflight_.push_back(std::move(batch));
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
   cv_complete_.notify_one();
@@ -82,20 +128,31 @@ void BatchCoalescer::FlushLoop() {
     }
     if (options_.max_delay_ms <= 0.0) {
       // Coalescing disabled: one batch per request, in admission order.
-      FlushLocked(1);
+      FlushWithLock(lock, 1);
       continue;
     }
-    if (!shutdown_ && pending_queries_ < options_.max_batch_queries) {
+    if (!shutdown_ && pending_queries_ < options_.max_batch_queries &&
+        !(options_.adaptive_window && window_sparse_)) {
       // Hold the window open for stragglers: flush at the deadline or as
-      // soon as the batch-size threshold trips, whichever is first.
+      // soon as the batch-size threshold trips, whichever is first. A
+      // sparse-opened window (adaptive mode) skips the wait entirely —
+      // the queue sat idle longer than the window, so nobody is coming.
+      double delay_ms = options_.max_delay_ms;
+      if (options_.adaptive_window && !std::isinf(ewma_gap_ms_)) {
+        // Dense traffic: companions land within ~one EWMA gap of each
+        // other, so a few multiples of it catch the batch; holding the
+        // window longer only adds latency. Clamped to [5% of the window,
+        // the window], so the estimate can shrink but never stretch it.
+        delay_ms = std::clamp(4.0 * ewma_gap_ms_, 0.05 * options_.max_delay_ms,
+                              options_.max_delay_ms);
+      }
       auto deadline = window_opened_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                           std::chrono::duration<double, std::milli>(
-                                               options_.max_delay_ms));
+                                           std::chrono::duration<double, std::milli>(delay_ms));
       cv_flush_.wait_until(lock, deadline, [this] {
         return shutdown_ || pending_queries_ >= options_.max_batch_queries;
       });
     }
-    FlushLocked(pending_.size());
+    FlushWithLock(lock, pending_.size());
   }
   flusher_done_ = true;
   cv_complete_.notify_all();
@@ -142,8 +199,11 @@ void BatchCoalescer::CompleteLoop() {
       slice.first_query_id = result.first_query_id + offset;
       slice.path_stride = result.walk.path_stride;
       slice.num_queries = request.starts.size();
-      const NodeId* rows = result.walk.paths.data() + offset * result.walk.path_stride;
-      slice.paths.assign(rows, rows + slice.num_queries * result.walk.path_stride);
+      // Zero-copy: the slice aliases the batch arena the workers wrote;
+      // shared ownership keeps the rows alive for as long as any callback
+      // holds its result.
+      slice.paths = batch.arena->Slice(offset, slice.num_queries);
+      slice.arena = batch.arena;
       offset += slice.num_queries;
       request.done(std::move(slice));
     }

@@ -31,10 +31,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "src/walker/path_arena.h"
 #include "src/walker/walk_service.h"
 
 namespace flexi {
@@ -55,18 +59,35 @@ class BatchCoalescer {
     // entirely — every admitted request becomes its own service batch, in
     // admission order (the baseline bench_net_serving compares against).
     double max_delay_ms = 0.2;
+    // Adaptive coalesce window (ROADMAP serving item): track an EWMA of
+    // request inter-arrival gaps and, when a window opens after the queue
+    // has been idle longer than the window — and the EWMA agrees traffic is
+    // sparse — flush immediately instead of holding the window open.
+    // Sparse traffic then pays walk latency, not max_delay_ms; dense
+    // traffic (bursts, sustained load) quickly drags the EWMA under the
+    // window and keeps full coalescing. The first request of a burst after
+    // an idle period flushes alone; everything behind it coalesces. Off by
+    // default so fixed-window behavior is exact; the CLI serving mode turns
+    // it on (--adaptive-window).
+    bool adaptive_window = false;
     // Admission bound: pending + in-flight queries. Beyond it, Enqueue
     // blocks or rejects per `overflow`.
     size_t max_outstanding_queries = 1 << 16;
     OverflowPolicy overflow = OverflowPolicy::kBlock;
   };
 
-  // One admitted request's slice of a finished batch.
+  // One admitted request's slice of a finished batch. `paths` is a view of
+  // the batch's shared PathArena — the very rows the scheduler's workers
+  // wrote, never copied — valid for as long as `arena` (held by this
+  // result, or any copy of it) lives. A callback that needs the nodes past
+  // its own lifetime copies the span; the WalkServer instead serializes it
+  // straight into the connection's corked write buffer.
   struct RequestResult {
     uint64_t first_query_id = 0;  // global id of the request's first query
     uint32_t path_stride = 0;
     size_t num_queries = 0;
-    std::vector<NodeId> paths;  // num_queries rows of path_stride nodes
+    std::span<const NodeId> paths;  // num_queries rows of path_stride nodes
+    std::shared_ptr<const PathArena> arena;  // keeps `paths` alive
   };
 
   // Invoked exactly once per admitted request, from the completer thread.
@@ -114,13 +135,22 @@ class BatchCoalescer {
   struct InFlightBatch {
     std::future<BatchResult> future;
     std::vector<PendingRequest> requests;  // starts kept for slice offsets
+    // The batch's path storage: the scheduler's workers write rows directly
+    // into it (WalkService::SubmitInto) and completion hands each request a
+    // slice of it. Shared so straggling RequestResult holders keep it alive
+    // after the batch retires.
+    std::shared_ptr<PathArena> arena;
   };
 
   void FlushLoop();
   void CompleteLoop();
-  // Called with mutex_ held; moves the first `request_count` pending
-  // requests into one in-flight batch and submits it to the service.
-  void FlushLocked(size_t request_count);
+  // Called by the flusher with `lock` (on mutex_) held; moves the first
+  // `request_count` pending requests into one in-flight batch and submits
+  // it to the service. Drops the lock around the batch build + arena
+  // allocation + Submit (so big flushes don't stall Enqueue) and retakes
+  // it before queueing the in-flight entry; single-flusher ordering keeps
+  // the arrival-order -> global-id mapping intact.
+  void FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count);
 
   WalkService& service_;
   Options options_;
@@ -134,6 +164,15 @@ class BatchCoalescer {
   size_t pending_queries_ = 0;
   size_t inflight_queries_ = 0;
   std::chrono::steady_clock::time_point window_opened_{};
+  // Adaptive-window state (guarded by mutex_): when the last admission
+  // happened, the inter-arrival EWMA, and whether the currently open window
+  // was opened by a sparse arrival (flush it immediately).
+  std::chrono::steady_clock::time_point last_arrival_{};
+  bool have_last_arrival_ = false;
+  // Starts at infinity — a queue that has never seen traffic reads as
+  // idle-forever, so the first request is never window-delayed.
+  double ewma_gap_ms_ = std::numeric_limits<double>::infinity();
+  bool window_sparse_ = false;
   std::deque<InFlightBatch> inflight_;
   bool shutdown_ = false;
   bool flusher_done_ = false;

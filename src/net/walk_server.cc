@@ -124,8 +124,8 @@ void WalkServer::SendError(const std::shared_ptr<Connection>& conn, uint64_t tag
   SendBytes(conn, bytes);
 }
 
-void WalkServer::CorkBytes(const std::shared_ptr<Connection>& conn,
-                           const std::vector<uint8_t>& bytes) {
+void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
+                              const WireResponseView& response) {
   bool newly_dirty = false;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -133,7 +133,7 @@ void WalkServer::CorkBytes(const std::shared_ptr<Connection>& conn,
       return;
     }
     newly_dirty = conn->corked.empty();
-    conn->corked.insert(conn->corked.end(), bytes.begin(), bytes.end());
+    AppendResponseFrame(conn->corked, response);
   }
   if (newly_dirty) {
     std::lock_guard<std::mutex> lock(corked_mutex_);
@@ -220,15 +220,12 @@ void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
       // kept alive by the capture even if the reader exits first.
       bool admitted = coalescer_.Enqueue(
           std::move(frame.request.starts), [this, conn, tag](BatchCoalescer::RequestResult result) {
-            WireResponse response;
-            response.tag = tag;
-            response.first_query_id = result.first_query_id;
-            response.path_stride = result.path_stride;
-            response.num_queries = static_cast<uint32_t>(result.num_queries);
-            response.paths = std::move(result.paths);
-            std::vector<uint8_t> bytes;
-            AppendResponseFrame(bytes, response);
-            CorkBytes(conn, bytes);
+            // The view aliases the batch arena (kept alive by result.arena
+            // across this call); CorkResponse serializes it straight into
+            // the connection's cork buffer — the only copy on the way out.
+            WireResponseView response{tag, result.first_query_id, result.path_stride,
+                                      static_cast<uint32_t>(result.num_queries), result.paths};
+            CorkResponse(conn, response);
           });
       if (!admitted) {
         requests_rejected_.fetch_add(1, std::memory_order_relaxed);

@@ -106,11 +106,14 @@ class WalkServer {
                         const std::vector<uint8_t>& bytes);
   static void SendError(const std::shared_ptr<Connection>& conn, uint64_t tag,
                         WireErrorCode code, const std::string& message);
-  // Appends a response frame to the connection's cork buffer; everything
-  // corked since the last flush goes out as one send() when the coalescer's
-  // batch-complete hook fires. N same-connection responses per coalesced
-  // batch => 1 syscall, the write-side half of the coalescing win.
-  void CorkBytes(const std::shared_ptr<Connection>& conn, const std::vector<uint8_t>& bytes);
+  // Serializes a response frame straight into the connection's cork buffer
+  // — the payload span is the request's PathArena slice, so the walk rows
+  // move exactly once, arena bytes -> cork buffer; no intermediate frame
+  // vector exists. Everything corked since the last flush goes out as one
+  // send() when the coalescer's batch-complete hook fires: N
+  // same-connection responses per coalesced batch => 1 syscall, the
+  // write-side half of the coalescing win.
+  void CorkResponse(const std::shared_ptr<Connection>& conn, const WireResponseView& response);
   void FlushCorkedWrites();
 
   WalkService& service_;

@@ -1,5 +1,6 @@
 #include "src/net/wire.h"
 
+#include <bit>
 #include <cstring>
 
 namespace flexi {
@@ -26,6 +27,21 @@ uint32_t GetU32(const uint8_t* p) {
 
 uint64_t GetU64(const uint8_t* p) {
   return static_cast<uint64_t>(GetU32(p)) | static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+// Bulk little-endian append of a u32 span — the response payload body. On a
+// little-endian host (every deployment target) this is one memcpy-style
+// insert of the arena slice; the byte-by-byte loop is the big-endian
+// fallback that keeps the wire format fixed.
+void PutU32Span(std::vector<uint8_t>& out, std::span<const uint32_t> values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(values.data());
+    out.insert(out.end(), bytes, bytes + values.size() * sizeof(uint32_t));
+  } else {
+    for (uint32_t v : values) {
+      PutU32(out, v);
+    }
+  }
 }
 
 // Patches the payload-length field once the payload has been appended, so
@@ -78,15 +94,19 @@ void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request) {
   }
 }
 
-void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response) {
+void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& response) {
   FrameWriter frame(out, FrameType::kResponse);
   PutU64(out, response.tag);
   PutU64(out, response.first_query_id);
   PutU32(out, response.path_stride);
   PutU32(out, response.num_queries);
-  for (NodeId node : response.paths) {
-    PutU32(out, node);
-  }
+  PutU32Span(out, response.paths);
+}
+
+void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response) {
+  AppendResponseFrame(out, WireResponseView{response.tag, response.first_query_id,
+                                            response.path_stride, response.num_queries,
+                                            response.paths});
 }
 
 void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error) {

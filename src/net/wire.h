@@ -26,6 +26,7 @@
 #define FLEXIWALKER_SRC_NET_WIRE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,9 +76,22 @@ struct WireError {
   std::string message;
 };
 
+// A response whose path rows live in borrowed storage — a slice of the
+// serving stack's per-batch PathArena. Serializing one of these copies the
+// nodes exactly once, arena bytes -> frame bytes; no owning WireResponse is
+// ever materialized on the server's hot path.
+struct WireResponseView {
+  uint64_t tag = 0;
+  uint64_t first_query_id = 0;
+  uint32_t path_stride = 0;
+  uint32_t num_queries = 0;
+  std::span<const NodeId> paths;  // num_queries rows of path_stride nodes
+};
+
 // Serializers append one complete frame to `out` (which may already hold
 // earlier frames — batching writes per send() is the normal pattern).
 void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request);
+void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& response);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);
 void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error);
 

@@ -124,6 +124,7 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   SchedulerOptions scheduler_options;
   scheduler_options.profile = options_.device;
   scheduler_options.num_threads = options_.host_threads;
+  scheduler_options.dispense = options_.dispense;
   scheduler_options.preprocessed = prep.preprocessed.empty() ? nullptr : &prep.preprocessed;
   scheduler_options.int8_weights = prep.int8_store.empty() ? nullptr : &prep.int8_store;
   WalkScheduler scheduler(scheduler_options);

@@ -38,6 +38,10 @@ struct FlexiWalkerOptions {
   // Host worker threads for the WalkScheduler (0 = process default). Walk
   // paths are bit-identical for any value — see scheduler.h.
   unsigned host_threads = 0;
+  // Query-id dispensation (query_queue.h): chunked claiming with bounded
+  // stealing by default. Like host_threads, any setting leaves walk paths
+  // bit-identical; the CLI's --chunk/--steal flags land here.
+  DispenseOptions dispense;
 };
 
 // Everything FlexiWalker computes once per (graph, workload) before any

@@ -1,0 +1,75 @@
+// PathArena: the contiguous row-major path storage behind every walk run.
+//
+// One arena holds `rows` path rows of `stride` nodes each, in one
+// allocation, with row i owned exclusively by query id i — the write layout
+// the WalkScheduler's workers share without ever touching the same bytes.
+// The owning PathArena can release its storage as a plain
+// std::vector<NodeId> (WalkResult::paths is exactly that), and the
+// non-owning PathArenaView lets a caller point a run at memory it already
+// owns: the serving stack allocates one arena per coalesced batch, the
+// scheduler's workers write their rows straight into it, and the response
+// writer serializes per-request slices of the same bytes — no per-query
+// vectors, no merge-then-copy (docs/ARCHITECTURE.md, "Path arenas").
+#ifndef FLEXIWALKER_SRC_WALKER_PATH_ARENA_H_
+#define FLEXIWALKER_SRC_WALKER_PATH_ARENA_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace flexi {
+
+// Non-owning view of row-major path storage. The pointee must stay alive and
+// sized rows * stride for the view's lifetime; rows are the caller's to
+// alias or slice (each scheduler worker writes only the rows of the ids it
+// drew, so concurrent writers never overlap).
+struct PathArenaView {
+  NodeId* data = nullptr;
+  uint32_t stride = 0;
+  size_t rows = 0;
+
+  bool empty() const { return data == nullptr || rows == 0; }
+  NodeId* Row(size_t row) { return data + row * stride; }
+  std::span<const NodeId> Slice(size_t first_row, size_t row_count) const {
+    return {data + first_row * stride, row_count * stride};
+  }
+};
+
+// Owning arena: one allocation for all rows, prefilled with kInvalidNode so
+// early-terminated walks (dead ends) read as padded rows without any
+// per-row bookkeeping.
+class PathArena {
+ public:
+  PathArena() = default;
+  PathArena(size_t rows, uint32_t stride) : stride_(stride), rows_(rows) {
+    nodes_.assign(rows * stride, kInvalidNode);
+  }
+
+  uint32_t stride() const { return stride_; }
+  size_t rows() const { return rows_; }
+  bool empty() const { return nodes_.empty(); }
+
+  PathArenaView view() { return {nodes_.data(), stride_, rows_}; }
+  std::span<const NodeId> Slice(size_t first_row, size_t row_count) const {
+    return {nodes_.data() + first_row * stride_, row_count * stride_};
+  }
+
+  // Releases the storage (e.g. into WalkResult::paths). The arena is empty
+  // afterwards.
+  std::vector<NodeId> TakeNodes() {
+    rows_ = 0;
+    return std::move(nodes_);
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+  uint32_t stride_ = 0;
+  size_t rows_ = 0;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKER_PATH_ARENA_H_

@@ -1,6 +1,7 @@
 #include "src/walker/scheduler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <vector>
 
@@ -30,17 +31,33 @@ WalkResult WalkScheduler::Run(const Graph& graph, const WalkLogic& logic,
 WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& logic,
                                          std::span<const NodeId> starts, uint64_t seed,
                                          const WorkerStepFactory& make_step) const {
+  // One contiguous arena, one row per query; the storage moves into
+  // result.paths at drain time, so the classic vector-of-paths result is
+  // the arena, not a copy of it.
+  PathArena arena(starts.size(), logic.walk_length() + 1);
+  WalkResult result = RunWithWorkersInto(graph, logic, starts, seed, make_step, arena.view());
+  result.paths = arena.TakeNodes();
+  return result;
+}
+
+WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic& logic,
+                                             std::span<const NodeId> starts, uint64_t seed,
+                                             const WorkerStepFactory& make_step,
+                                             PathArenaView out) const {
   uint32_t length = logic.walk_length();
+  // Contract (see header): the caller's arena rows/stride must fit this
+  // run. WalkService::SubmitInto validates user-facing submissions; this
+  // assert catches direct scheduler misuse before any out-of-arena write.
+  assert(starts.empty() || (out.stride == length + 1 && out.rows >= starts.size()));
   WalkResult result;
   result.path_stride = length + 1;
   result.num_queries = starts.size();
-  result.paths.assign(starts.size() * result.path_stride, kInvalidNode);
 
   // Never occupy more workers than there are queries; tiny batches run inline.
   unsigned workers = static_cast<unsigned>(
       std::clamp<size_t>(starts.size(), 1, num_threads_));
 
-  QueryQueue queue(starts);
+  QueryQueue queue(starts, workers, options_.dispense);
   std::vector<DeviceContext> devices(workers, DeviceContext(options_.profile));
 
   // One worker: pull queries from the shared queue, run each to completion.
@@ -52,7 +69,7 @@ WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& lo
     DeviceContext& device = devices[w];
     WalkContext ctx{&graph, &device, options_.preprocessed, options_.int8_weights};
     StepFn step = make_step(w, device);
-    while (std::optional<QueryQueue::Query> next = queue.Next()) {
+    while (std::optional<QueryQueue::Query> next = queue.Next(w)) {
       QueryState q;
       q.query_id = options_.query_id_offset + next->id;
       q.start = next->start;
@@ -64,7 +81,7 @@ WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& lo
       PhiloxStream stream(seed, /*subsequence=*/q.query_id);
       KernelRng rng(stream, device.mem());
 
-      NodeId* path = result.paths.data() + next->id * result.path_stride;
+      NodeId* path = out.Row(next->id);
       path[0] = q.cur;
       for (uint32_t s = 0; s < length; ++s) {
         StepResult step_result = step(ctx, logic, q, rng);

@@ -25,6 +25,7 @@
 #include <span>
 
 #include "src/walker/engine.h"
+#include "src/walker/path_arena.h"
 #include "src/walker/query_queue.h"
 #include "src/walker/worker_pool.h"
 
@@ -58,6 +59,12 @@ struct SchedulerOptions {
   // Philox subsequence — (seed, query_id_offset + local id) — is unique
   // across every batch the service ever runs. Path rows stay batch-local.
   uint64_t query_id_offset = 0;
+  // How workers draw query ids from the QueryQueue (query_queue.h): chunked
+  // claiming with bounded stealing by default, per-query ticketing as the
+  // contention baseline bench_scheduler_scaling measures against. Paths are
+  // bit-identical across modes and chunk sizes — dispensation moves ids
+  // between workers, never randomness.
+  DispenseOptions dispense;
   // Read-only per-run data shared by all workers' WalkContexts.
   const PreprocessedData* preprocessed = nullptr;
   const Int8WeightStore* int8_weights = nullptr;
@@ -81,6 +88,18 @@ class WalkScheduler {
   WalkResult RunWithWorkers(const Graph& graph, const WalkLogic& logic,
                             std::span<const NodeId> starts, uint64_t seed,
                             const WorkerStepFactory& make_step) const;
+
+  // As RunWithWorkers, but path rows are written into caller-owned arena
+  // storage instead of a result-owned allocation: `out` must have
+  // stride == logic.walk_length() + 1 and at least starts.size() rows, and
+  // row i must be prefilled with kInvalidNode (PathArena's constructor
+  // does) so dead-end padding holds. The returned WalkResult carries the
+  // run's metadata and cost with `paths` left empty — the serving stack
+  // uses this to walk straight into a per-batch arena whose slices feed the
+  // wire writer with no intermediate copy.
+  WalkResult RunWithWorkersInto(const Graph& graph, const WalkLogic& logic,
+                                std::span<const NodeId> starts, uint64_t seed,
+                                const WorkerStepFactory& make_step, PathArenaView out) const;
 
  private:
   SchedulerOptions options_;

@@ -40,9 +40,24 @@ WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options opt
 WalkService::~WalkService() { Shutdown(); }
 
 std::future<BatchResult> WalkService::Submit(WalkBatch batch) {
+  return SubmitInto(std::move(batch), PathArenaView{});
+}
+
+std::future<BatchResult> WalkService::SubmitInto(WalkBatch batch, PathArenaView out) {
   Pending pending;
   pending.batch = std::move(batch);
+  pending.out = out;
   std::future<BatchResult> future = pending.promise.get_future();
+  // A mismatched arena would have scheduler workers writing past the
+  // caller's allocation; fail the future on the submitting thread instead
+  // of corrupting memory on a dispatcher.
+  if (!out.empty() && (out.stride != path_stride() || out.rows < pending.batch.starts.size())) {
+    pending.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+        "SubmitInto arena mismatch: need stride " + std::to_string(path_stride()) + " and " +
+        std::to_string(pending.batch.starts.size()) + " rows, got stride " +
+        std::to_string(out.stride) + " and " + std::to_string(out.rows) + " rows")));
+    return future;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
@@ -78,8 +93,15 @@ void WalkService::ServeLoop() {
     batch_options.query_id_offset = pending.first_query_id;
     WalkScheduler scheduler(batch_options);
     BatchResult result;
-    result.walk = scheduler.RunWithWorkers(graph_, logic_, pending.batch.starts,
-                                           options_.seed, make_step_);
+    if (pending.out.empty()) {
+      result.walk = scheduler.RunWithWorkers(graph_, logic_, pending.batch.starts,
+                                             options_.seed, make_step_);
+    } else {
+      // Zero-copy path: rows land in the submitter's arena; walk.paths
+      // stays empty on purpose.
+      result.walk = scheduler.RunWithWorkersInto(graph_, logic_, pending.batch.starts,
+                                                 options_.seed, make_step_, pending.out);
+    }
     result.first_query_id = pending.first_query_id;
     result.batch_index = pending.batch_index;
     batches_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -135,6 +157,7 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
   service_options.pipeline_depth = pipeline_depth;
   service_options.scheduler.profile = options.device;
   service_options.scheduler.num_threads = options.host_threads;
+  service_options.scheduler.dispense = options.dispense;
   service_options.scheduler.preprocessed =
       state->prep.preprocessed.empty() ? nullptr : &state->prep.preprocessed;
   service_options.scheduler.int8_weights =

@@ -82,12 +82,25 @@ class WalkService {
   // std::runtime_error.
   std::future<BatchResult> Submit(WalkBatch batch);
 
+  // As Submit, but the batch's path rows are written straight into `out` —
+  // caller-owned arena storage with stride == path_stride() and at least
+  // batch.starts.size() rows, valid until the returned future resolves. The
+  // completed BatchResult's walk.paths is empty; the caller reads rows from
+  // its arena. This is the zero-copy serving path: the BatchCoalescer
+  // allocates one PathArena per flushed batch and hands per-request slices
+  // of it to the response writer.
+  std::future<BatchResult> SubmitInto(WalkBatch batch, PathArenaView out);
+
   // Stops accepting new batches, drains everything already queued, and joins
   // the dispatchers. Idempotent; the destructor calls it.
   void Shutdown();
 
   // Worker threads each batch fans out over (resolved at construction).
   unsigned num_threads() const { return num_threads_; }
+
+  // Nodes per path row every served batch produces (walk length + 1) — the
+  // row pitch a caller sizing a SubmitInto arena must use.
+  uint32_t path_stride() const { return logic_.walk_length() + 1; }
 
   // In-flight batch depth resolved at construction (>= 1).
   unsigned pipeline_depth() const { return pipeline_depth_; }
@@ -98,6 +111,7 @@ class WalkService {
  private:
   struct Pending {
     WalkBatch batch;
+    PathArenaView out;  // empty => the batch allocates its own walk.paths
     uint64_t first_query_id = 0;
     uint64_t batch_index = 0;
     std::promise<BatchResult> promise;

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <string>
@@ -254,7 +255,10 @@ TEST(BatchCoalescer, MergesRequestsAndSlicesMatchDirectSubmission) {
     std::vector<NodeId> expected(
         reference.walk.paths.begin() + offset * reference.walk.path_stride,
         reference.walk.paths.begin() + (offset + queries) * reference.walk.path_stride);
-    EXPECT_EQ(results[r].paths, expected) << "request " << r;
+    // RequestResult::paths is a zero-copy arena slice; materialize it for
+    // the comparison.
+    std::vector<NodeId> sliced(results[r].paths.begin(), results[r].paths.end());
+    EXPECT_EQ(sliced, expected) << "request " << r;
     offset += queries;
   }
 }
@@ -322,6 +326,143 @@ TEST(BatchCoalescer, EmptyRequestCompletes) {
     done.set_value(std::move(result));
   }));
   EXPECT_EQ(future.get().num_queries, 0u);
+}
+
+TEST(BatchCoalescer, AdaptiveWindowFlushesSparseTrafficImmediately) {
+  // A 10-second window would normally hold every request for 10 s; with the
+  // adaptive window on, a cold-start request (the queue has been idle
+  // forever) and a request arriving after a gap longer than the window must
+  // both flush immediately — sparse traffic pays walk latency, not
+  // max_delay_ms. The giant window doubles as the flakiness guard: if the
+  // adaptive path failed, the .get() calls below would stall 10 s each.
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 6);
+  WalkService service(graph, walk, ItsOptions(7), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 10'000.0;
+  options.adaptive_window = true;
+  BatchCoalescer coalescer(service, options);
+
+  auto walk_one = [&](NodeId start) {
+    std::promise<BatchCoalescer::RequestResult> done;
+    auto future = done.get_future();
+    EXPECT_TRUE(coalescer.Enqueue({start}, [&done](BatchCoalescer::RequestResult result) {
+      done.set_value(std::move(result));
+    }));
+    return future.get();
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  walk_one(1);  // cold start: idle-forever counts as sparse
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed_ms, 5'000.0);
+  EXPECT_EQ(coalescer.batches_flushed(), 1u);
+}
+
+TEST(BatchCoalescer, AdaptiveWindowFlushesPostIdleGapImmediately) {
+  // A request arriving after the queue sat idle longer than the window must
+  // not wait the window out. With a 1 s window and a 1.2 s idle gap, the
+  // adaptive path completes both requests in ~the gap itself; the fixed
+  // window would take ~gap + 2 windows (>= 3.2 s), so the 2.4 s bound
+  // discriminates with a wide margin on a noisy host.
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 6);
+  WalkService service(graph, walk, ItsOptions(7), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 1'000.0;
+  options.adaptive_window = true;
+  BatchCoalescer coalescer(service, options);
+
+  auto walk_one = [&](NodeId start) {
+    std::promise<BatchCoalescer::RequestResult> done;
+    auto future = done.get_future();
+    EXPECT_TRUE(coalescer.Enqueue({start}, [&done](BatchCoalescer::RequestResult result) {
+      done.set_value(std::move(result));
+    }));
+    return future.get();
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  walk_one(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1'200));  // idle > window
+  walk_one(2);
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed_ms, 2'400.0);
+  EXPECT_EQ(coalescer.batches_flushed(), 2u);
+}
+
+TEST(BatchCoalescer, AdaptiveWindowStillCoalescesDenseTraffic) {
+  // After the cold-start flush, back-to-back arrivals must read as dense:
+  // the window stays open and the concurrent requests merge exactly as with
+  // the fixed window.
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 6);
+  WalkService service(graph, walk, ItsOptions(7), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 1'000.0;
+  // Size-triggered flush for the dense run, so the test never waits out
+  // the window even if a scheduling hiccup misclassifies a request.
+  options.max_batch_queries = 4;
+  options.adaptive_window = true;
+  BatchCoalescer coalescer(service, options);
+
+  std::promise<BatchCoalescer::RequestResult> cold_done;
+  auto cold = cold_done.get_future();
+  ASSERT_TRUE(coalescer.Enqueue({1}, [&](BatchCoalescer::RequestResult result) {
+    cold_done.set_value(std::move(result));
+  }));
+  // Wait for the cold FLUSH (not completion): the sparse/dense decision
+  // keys off enqueue-to-enqueue gaps, so gating on batches_flushed keeps
+  // the dense enqueues' gaps tiny regardless of how long the cold walk
+  // itself takes on a loaded host.
+  for (int spin = 0; spin < 2000 && coalescer.batches_flushed() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(coalescer.batches_flushed(), 1u);
+
+  std::vector<std::promise<BatchCoalescer::RequestResult>> done(4);
+  std::vector<std::future<BatchCoalescer::RequestResult>> futures;
+  for (size_t r = 0; r < done.size(); ++r) {
+    futures.push_back(done[r].get_future());
+    ASSERT_TRUE(coalescer.Enqueue({static_cast<NodeId>(r)},
+                                  [&done, r](BatchCoalescer::RequestResult result) {
+                                    done[r].set_value(std::move(result));
+                                  }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  // Dense run: one window, one merged batch (2 total with the cold start).
+  EXPECT_EQ(coalescer.batches_flushed(), 2u);
+  cold.get();
+}
+
+TEST(BatchCoalescer, RequestResultArenaOutlivesCoalescer) {
+  // The zero-copy contract: a RequestResult's path span aliases the batch's
+  // shared PathArena, and the shared_ptr it carries must keep those rows
+  // valid after the batch retires and even after the coalescer itself is
+  // destroyed.
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 8);
+  WalkService service(graph, walk, ItsOptions(11), ItsStep());
+  BatchCoalescer::RequestResult kept;
+  {
+    BatchCoalescer::Options options;
+    options.max_delay_ms = 0.0;
+    BatchCoalescer coalescer(service, options);
+    std::promise<BatchCoalescer::RequestResult> done;
+    auto future = done.get_future();
+    ASSERT_TRUE(coalescer.Enqueue(Range(3, 6), [&](BatchCoalescer::RequestResult result) {
+      done.set_value(std::move(result));
+    }));
+    kept = future.get();
+  }
+  ASSERT_EQ(kept.num_queries, 3u);
+  ASSERT_TRUE(kept.arena != nullptr);
+  ASSERT_EQ(kept.paths.size(), 3u * kept.path_stride);
+  for (size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(kept.paths[q * kept.path_stride], 3 + q) << "row " << q << " start node";
+  }
 }
 
 TEST(BatchCoalescer, EnqueueAfterShutdownIsRejected) {

@@ -1,10 +1,13 @@
 // Tests for the WalkScheduler: seed-stable parallelism (paths bit-identical
-// for any worker count), deterministic counter merging, exactly-once query
-// dispensation under contention, and the dispensed() progress clamp.
+// for any worker count, dispensation mode, chunk size, and steal schedule),
+// deterministic counter merging, exactly-once query dispensation under
+// contention — including chunked claiming and range stealing — and the
+// dispensed() progress clamp.
 #include "src/walker/scheduler.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -83,6 +86,134 @@ TEST(WalkScheduler, EveryQueryRunsExactlyOnceUnderContention) {
       EXPECT_NE(node, kInvalidNode) << qid;
     }
   }
+}
+
+TEST(WalkScheduler, PathsBitIdenticalAcrossDispenseMatrix) {
+  // The tentpole determinism contract: every query's Philox stream is keyed
+  // by its global id, so chunk size, steal schedule, dispensation mode, and
+  // thread count may only move ids between workers — never change a path.
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 16);
+  auto starts = AllNodesAsStarts(graph);
+
+  SchedulerOptions reference_options;
+  reference_options.num_threads = 1;
+  reference_options.dispense = {DispenseMode::kPerQuery, 0};
+  WalkResult reference =
+      WalkScheduler(reference_options).Run(graph, walk, starts, /*seed=*/1234, ItsStep());
+
+  for (DispenseMode mode :
+       {DispenseMode::kPerQuery, DispenseMode::kChunked, DispenseMode::kChunkedSteal}) {
+    for (uint32_t chunk : {uint32_t{0}, uint32_t{1}, uint32_t{3}, uint32_t{64},
+                           kMaxDispenseChunk}) {
+      for (unsigned threads : {1u, 2u, 8u}) {
+        SchedulerOptions options;
+        options.num_threads = threads;
+        options.dispense = {mode, chunk};
+        WalkResult result =
+            WalkScheduler(options).Run(graph, walk, starts, /*seed=*/1234, ItsStep());
+        EXPECT_EQ(result.paths, reference.paths)
+            << "mode=" << static_cast<int>(mode) << " chunk=" << chunk
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(QueryQueueChunked, ExactlyOnceAcrossModesUnderContention) {
+  // 8 real threads hammer one queue in each mode; a per-id claim counter
+  // proves every id is dispensed exactly once — no drops from a stolen
+  // range, no duplicates from a racing refill.
+  constexpr size_t kIds = 20000;
+  std::vector<NodeId> starts(kIds, 1);
+  for (DispenseMode mode :
+       {DispenseMode::kPerQuery, DispenseMode::kChunked, DispenseMode::kChunkedSteal}) {
+    for (uint32_t chunk : {uint32_t{0}, uint32_t{7}}) {
+      QueryQueue queue(starts, /*workers=*/8, {mode, chunk});
+      std::vector<std::atomic<uint32_t>> claimed(kIds);
+      std::vector<std::thread> workers;
+      for (unsigned w = 0; w < 8; ++w) {
+        workers.emplace_back([&queue, &claimed, w] {
+          while (std::optional<QueryQueue::Query> next = queue.Next(w)) {
+            claimed[next->id].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (auto& worker : workers) {
+        worker.join();
+      }
+      for (size_t id = 0; id < kIds; ++id) {
+        ASSERT_EQ(claimed[id].load(), 1u)
+            << "id " << id << " mode " << static_cast<int>(mode) << " chunk " << chunk;
+      }
+      EXPECT_EQ(queue.dispensed(), kIds);
+    }
+  }
+}
+
+TEST(QueryQueueChunked, StealUnderSkewedChunksRunsEveryIdExactlyOnce) {
+  // Deliberate skew: with chunk_size == kMaxDispenseChunk and exactly
+  // kMaxDispenseChunk ids, worker 0's first claim takes the entire queue.
+  // Worker 1 finds the global counter drained on arrival and can make
+  // progress only by stealing from worker 0's cursor; the queue must still
+  // dispense every id exactly once, and at least one steal must occur.
+  constexpr size_t kIds = kMaxDispenseChunk;
+  std::vector<NodeId> starts(kIds, 1);
+  QueryQueue queue(starts, /*workers=*/2, {DispenseMode::kChunkedSteal, kMaxDispenseChunk});
+
+  // Worker 0 claims the whole range up front, before worker 1 arrives.
+  std::optional<QueryQueue::Query> first = queue.Next(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 0u);
+  EXPECT_EQ(queue.dispensed(), kIds);  // all ids already claimed into cursors
+  EXPECT_EQ(queue.steals(), 0u);
+
+  // Worker 1's first pull cannot refill (the counter is drained): the only
+  // way forward is stealing the back half of worker 0's remaining
+  // [1, kIds). This is deterministic — no thread timing involved.
+  std::optional<QueryQueue::Query> stolen = queue.Next(1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(queue.steals(), 1u);
+  EXPECT_GE(stolen->id, kIds / 2) << "a thief takes from the victim's back half";
+
+  // Drain both cursors concurrently; every id must land exactly once.
+  std::vector<std::atomic<uint32_t>> claimed(kIds);
+  claimed[first->id].fetch_add(1);
+  claimed[stolen->id].fetch_add(1);
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      while (std::optional<QueryQueue::Query> next = queue.Next(w)) {
+        claimed[next->id].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  for (size_t id = 0; id < kIds; ++id) {
+    ASSERT_EQ(claimed[id].load(), 1u) << "id " << id;
+  }
+}
+
+TEST(QueryQueueChunked, RefillsStayFarBelowPerQueryTicketCount) {
+  // The contention claim made concrete: draining N ids in chunked mode must
+  // touch the global counter O(N / K) times, not N times.
+  constexpr size_t kIds = 4096;
+  std::vector<NodeId> starts(kIds, 1);
+  QueryQueue queue(starts, /*workers=*/4, {DispenseMode::kChunked, 64});
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < 4; ++w) {
+    workers.emplace_back([&queue, w] {
+      while (queue.Next(w).has_value()) {
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(queue.dispensed(), kIds);
+  EXPECT_LE(queue.refills(), kIds / 64 + 4);  // one claim per chunk (+ racing tails)
 }
 
 TEST(WalkScheduler, EmptyStartSetYieldsEmptyResult) {

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
+#include <span>
 #include <vector>
 
 #include "src/graph/generators.h"
@@ -91,6 +93,34 @@ TEST(WalkService, BatchCarvingDoesNotChangePaths) {
     stitched.insert(stitched.end(), part.walk.paths.begin(), part.walk.paths.end());
   }
   EXPECT_EQ(whole.walk.paths, stitched);
+}
+
+TEST(WalkService, SubmitIntoWritesCallerArenaBitIdenticalToSubmit) {
+  // The zero-copy serving path: rows land in a caller-owned PathArena and
+  // walk.paths stays empty — but the bytes must equal a plain Submit of the
+  // same starts, and interleaved arena/non-arena batches must share the
+  // global id cursor.
+  Graph graph = TestGraph();
+  Node2VecWalk walk(2.0, 0.5, 12);
+
+  WalkService plain(graph, walk, ItsOptions(42, 8), ItsStep());
+  BatchResult expected_a = plain.Submit({Range(0, 100)}).get();
+  BatchResult expected_b = plain.Submit({Range(100, 256)}).get();
+
+  WalkService arena_service(graph, walk, ItsOptions(42, 8), ItsStep());
+  EXPECT_EQ(arena_service.path_stride(), walk.walk_length() + 1);
+  PathArena arena_a(100, arena_service.path_stride());
+  BatchResult got_a = arena_service.SubmitInto({Range(0, 100)}, arena_a.view()).get();
+  BatchResult got_b = arena_service.Submit({Range(100, 256)}).get();
+
+  EXPECT_TRUE(got_a.walk.paths.empty());  // rows live in the arena
+  EXPECT_EQ(got_a.walk.num_queries, 100u);
+  EXPECT_EQ(got_a.first_query_id, expected_a.first_query_id);
+  std::span<const NodeId> rows = arena_a.Slice(0, 100);
+  EXPECT_TRUE(std::equal(rows.begin(), rows.end(), expected_a.walk.paths.begin(),
+                         expected_a.walk.paths.end()));
+  EXPECT_EQ(got_b.walk.paths, expected_b.walk.paths);
+  EXPECT_EQ(got_b.first_query_id, expected_b.first_query_id);
 }
 
 TEST(WalkService, QueryIdsAreContiguousAcrossBatches) {
