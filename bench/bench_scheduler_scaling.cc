@@ -20,9 +20,16 @@
 // so they never exceed the query total even though racing drainers
 // overshoot the raw ticket counter.
 //
+// Phase 4: wavefront stepping. The batched inner loop (scheduler.cc) at
+// widths {1, 4, 16} across thread counts, reported as steps/sec with W=1
+// (walk-at-a-time) as the baseline; per-config numbers join the JSON as
+// wavefront_configs, and the whole document is stamped with git SHA, date,
+// and hardware concurrency (bench_util.h) so trajectory diffs are
+// attributable.
+//
 // --quick shrinks every phase for CI smoke. Exit code is non-zero if paths
-// diverge anywhere (dispatch modes, dispensation modes, or thread counts
-// must never change a walk).
+// diverge anywhere (dispatch modes, dispensation modes, wavefront widths,
+// or thread counts must never change a walk).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -159,8 +166,8 @@ int main(int argc, char** argv) {
   constexpr size_t kBatchQueries = 64;
   Node2VecWalk small_walk(2.0, 0.5, 8);
   auto batch_starts = BenchStarts(graph, kBatchQueries);
-  StepFn its_step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
-                       KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); };
+  StepKernel its_step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                           KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); };
 
   // At least two workers, even on a single-core host: the comparison is
   // thread dispatch cost (spawn+join vs park+wake), which inline execution
@@ -252,8 +259,8 @@ int main(int argc, char** argv) {
     sweep_starts[i] = static_cast<NodeId>((i * 37) % sweep_graph.num_nodes());
   }
   std::vector<AliasTable> tables = BuildNodeAliasTables(sweep_graph, 0);
-  StepFn cached_step = [&tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
-                                 KernelRng& rng) { return CachedAliasStep(ctx, tables, q, rng); };
+  StepKernel cached_step = [&tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                                     KernelRng& rng) { return CachedAliasStep(ctx, tables, q, rng); };
 
   std::vector<SweepRow> rows;
   std::vector<NodeId> sweep_reference;
@@ -312,13 +319,77 @@ int main(int argc, char** argv) {
       "rebalances drained cursors — query_queue.h)\n",
       paths_ok ? "yes" : "NO");
 
-  // --- BENCH_scheduler.json: the sweep's per-config numbers for CI trend
-  // tracking. Schema: {bench, quick, hardware_concurrency, workload,
+  // --- Phase 4: wavefront stepping sweep — the batched inner loop at
+  // widths {1, 4, 16} across thread counts on the Phase-1 walk workload.
+  // Steps/sec is wall-clock over actually-sampled steps; W=1 (walk-at-a-
+  // time, the pre-wavefront loop shape) is the per-thread-count baseline.
+  // Paths must stay bit-identical across every (width, threads) cell.
+  PrintHeader("Wavefront stepping sweep", "batched multi-walk execution + prefetch staging");
+  StepKernel wave_step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                            KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); };
+  struct WaveRow {
+    unsigned threads = 0;
+    uint32_t wavefront = 0;
+    double wall_ms = 0.0;
+    double steps_per_sec = 0.0;
+    double speedup = 1.0;  // vs wavefront=1 at the same thread count
+  };
+  std::vector<WaveRow> wave_rows;
+  std::vector<NodeId> wave_reference;
+  Table wave_table({"threads", "wavefront", "wall_ms", "Msteps/s", "vs W=1", "paths identical"});
+  for (unsigned threads : sweep_threads) {
+    double w1_ms = 0.0;
+    for (uint32_t wavefront : {1u, 4u, 16u}) {
+      SchedulerOptions options;
+      options.num_threads = threads;
+      options.wavefront = wavefront;
+      WalkScheduler scheduler(options);
+      scheduler.Run(graph, walk, starts, kBenchSeed, wave_step);  // warm-up
+      WalkResult result = scheduler.Run(graph, walk, starts, kBenchSeed, wave_step);
+      uint64_t steps = CountSampledSteps(result);
+      bool identical = true;
+      if (wave_reference.empty()) {
+        wave_reference = std::move(result.paths);
+      } else {
+        identical = result.paths == wave_reference;
+        paths_ok = paths_ok && identical;
+      }
+      if (wavefront == 1) {
+        w1_ms = result.wall_ms;
+      }
+      WaveRow row;
+      row.threads = threads;
+      row.wavefront = wavefront;
+      row.wall_ms = result.wall_ms;
+      row.steps_per_sec = static_cast<double>(steps) / (result.wall_ms / 1000.0);
+      row.speedup = w1_ms / result.wall_ms;
+      wave_rows.push_back(row);
+      wave_table.AddRow({std::to_string(threads), std::to_string(wavefront),
+                         Table::Num(row.wall_ms), Table::Num(row.steps_per_sec / 1e6),
+                         Table::Num(row.speedup) + "x", identical ? "yes" : "NO"});
+    }
+  }
+  wave_table.Print();
+  std::printf(
+      "paths identical across wavefront widths and thread counts: %s\n"
+      "(W in-flight walks per worker advance one step per pass; prefetch\n"
+      "staging hides CSR row misses behind the other slots' sampling —\n"
+      "scheduler.cc. Expect parity at 1 thread on 1 core; the win needs\n"
+      "real memory-level parallelism.)\n",
+      paths_ok ? "yes" : "NO");
+
+  // --- BENCH_scheduler.json: the sweeps' per-config numbers for CI trend
+  // tracking. Schema: {meta: {bench, quick, git_sha, date_utc,
+  // hardware_concurrency}, bench, quick, hardware_concurrency, workload,
   // configs:[{threads, mode, total_ms, qps, p50_ms, p99_ms,
-  // speedup_vs_per_query}]}.
+  // speedup_vs_per_query}], wavefront_configs:[{threads, wavefront,
+  // wall_ms, steps_per_sec, speedup_vs_w1}]}. The pre-meta top-level
+  // fields are kept so older trajectory tooling still parses new files.
   if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json, "{\n");
+    WriteBenchMetaJson(json, "scheduler_scaling", quick);
     std::fprintf(json,
-                 "{\n  \"bench\": \"scheduler_scaling\",\n  \"quick\": %s,\n"
+                 "  \"bench\": \"scheduler_scaling\",\n  \"quick\": %s,\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"workload\": {\"queries_per_batch\": %zu, \"walk_length\": 4, "
                  "\"batches\": %d},\n  \"configs\": [\n",
@@ -332,9 +403,19 @@ int main(int argc, char** argv) {
                    row.threads, ModeName(row.mode), row.total_ms, row.qps, row.p50_ms,
                    row.p99_ms, row.speedup, i + 1 == rows.size() ? "" : ",");
     }
+    std::fprintf(json, "  ],\n  \"wavefront_configs\": [\n");
+    for (size_t i = 0; i < wave_rows.size(); ++i) {
+      const WaveRow& row = wave_rows[i];
+      std::fprintf(json,
+                   "    {\"threads\": %u, \"wavefront\": %u, \"wall_ms\": %.3f, "
+                   "\"steps_per_sec\": %.1f, \"speedup_vs_w1\": %.3f}%s\n",
+                   row.threads, row.wavefront, row.wall_ms, row.steps_per_sec, row.speedup,
+                   i + 1 == wave_rows.size() ? "" : ",");
+    }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
-    std::printf("per-config QPS/p50/p99 written to %s\n", json_path.c_str());
+    std::printf("per-config QPS/p50/p99 + wavefront steps/sec written to %s\n",
+                json_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
   }

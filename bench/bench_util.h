@@ -11,9 +11,13 @@
 #ifndef FLEXIWALKER_BENCH_BENCH_UTIL_H_
 #define FLEXIWALKER_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/baselines/baselines.h"
@@ -66,6 +70,63 @@ inline double MaxWatts(const WalkResult& result, const DeviceProfile& profile) {
                  : static_cast<double>(result.cost.coalesced_transactions) /
                        static_cast<double>(total);
   return profile.idle_watts + (profile.peak_watts - profile.idle_watts) * coalesced_fraction;
+}
+
+// Total neighbor-sampling steps a result actually took (dead ends cut walks
+// short, so this counts written transitions, not queries x length). The
+// numerator of every steps/sec figure the benches report.
+inline uint64_t CountSampledSteps(const WalkResult& result) {
+  uint64_t steps = 0;
+  for (size_t qid = 0; qid < result.num_queries; ++qid) {
+    auto path = result.Path(qid);
+    for (size_t s = 1; s < path.size() && path[s] != kInvalidNode; ++s) {
+      ++steps;
+    }
+  }
+  return steps;
+}
+
+// --- Bench run metadata (perf-trajectory attribution) ----------------------
+//
+// Every --json bench emitter stamps these fields so a CI diff between two
+// runs (scripts/perf_trajectory.py) can attribute a swing to a commit, a
+// date, or a machine shape instead of guessing.
+
+// Commit under test: GITHUB_SHA in CI, `git rev-parse HEAD` locally,
+// "unknown" outside a checkout.
+inline std::string BenchGitSha() {
+  if (const char* sha = std::getenv("GITHUB_SHA"); sha != nullptr && sha[0] != '\0') {
+    return sha;
+  }
+  std::string sha;
+  if (std::FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    pclose(pipe);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string BenchDateUtc() {
+  std::time_t now = std::time(nullptr);
+  char buf[32] = {};
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  return buf;
+}
+
+// Writes the shared `"meta": {...},` object (with trailing comma) as the
+// first member of a bench's JSON document.
+inline void WriteBenchMetaJson(std::FILE* f, const char* bench_name, bool quick) {
+  std::fprintf(f,
+               "  \"meta\": {\"bench\": \"%s\", \"quick\": %s, \"git_sha\": \"%s\", "
+               "\"date_utc\": \"%s\", \"hardware_concurrency\": %u},\n",
+               bench_name, quick ? "true" : "false", BenchGitSha().c_str(),
+               BenchDateUtc().c_str(), std::max(1u, std::thread::hardware_concurrency()));
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

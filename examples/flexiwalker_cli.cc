@@ -58,6 +58,10 @@ struct CliOptions {
   std::string steal = "on";    // raw --steal text; steal_on is the parsed truth
   bool steal_on = true;
   bool dispense_set = false;   // either flag given explicitly
+  // Wavefront width for the scheduler's batched inner loop (scheduler.h);
+  // 0 = the scheduler default. Paths are identical for every width.
+  unsigned wavefront = 0;
+  bool wavefront_set = false;
   bool serve = false;
   // Network serving (docs/SERVING.md "Network serving"):
   int listen_port = -1;     // >= 0 => run a WalkServer (0 = ephemeral port)
@@ -100,6 +104,10 @@ void PrintUsage() {
       "                           identical for any value)\n"
       "  --steal    <on|off>      work-stealing between worker chunk cursors\n"
       "                           (flexiwalker engine; default on; paths identical)\n"
+      "  --wavefront <n>          in-flight walks per worker in the scheduler's\n"
+      "                           batched inner loop, 1..%u (flexiwalker engine;\n"
+      "                           default 0 = scheduler default; 1 = walk-at-a-time;\n"
+      "                           paths identical for any width)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
       "  --out      <path>        write walks, one per line\n"
       "  --serve                  streaming mode (flexiwalker engine only): read\n"
@@ -120,7 +128,8 @@ void PrintUsage() {
       "                           when traffic is sparse, so idle-period requests pay\n"
       "                           walk latency instead of the window (default on)\n"
       "exit codes: 0 ok | %d usage | %d unsupported engine | %d malformed input\n",
-      kMaxDispenseChunk, kExitUsage, kExitUnsupportedEngine, kExitMalformedInput);
+      kMaxDispenseChunk, kMaxWavefront, kExitUsage, kExitUnsupportedEngine,
+      kExitMalformedInput);
 }
 
 // Strict unsigned parse for the serving flags, where a wrapped negative
@@ -234,6 +243,17 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       }
       options.chunk = static_cast<unsigned>(chunk);
       options.dispense_set = true;
+    } else if (arg == "--wavefront") {
+      const char* value = needs_value("--wavefront");
+      unsigned long long wavefront = 0;
+      // The scheduler clamps widths to kMaxWavefront; reject rather than
+      // silently shrink a wild request (matching --chunk).
+      if (value == nullptr ||
+          !ParseUnsignedFlag("--wavefront", value, kMaxWavefront, wavefront)) {
+        return false;
+      }
+      options.wavefront = static_cast<unsigned>(wavefront);
+      options.wavefront_set = true;
     } else if (arg == "--listen") {
       const char* value = needs_value("--listen");
       unsigned long long port = 0;
@@ -316,6 +336,7 @@ std::unique_ptr<Engine> MakeEngine(const CliOptions& options) {
   if (name == "flexiwalker") {
     FlexiWalkerOptions engine_options;
     engine_options.dispense = MakeDispense(options);
+    engine_options.wavefront = options.wavefront;
     return std::make_unique<FlexiWalkerEngine>(engine_options);
   }
   if (name == "flowwalker") {
@@ -399,6 +420,7 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
   engine_options.dispense = MakeDispense(options);
+  engine_options.wavefront = options.wavefront;
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
   std::printf("serving on %u workers | one batch per line of start-node ids | EOF or \"quit\" ends\n",
@@ -476,6 +498,7 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
   engine_options.dispense = MakeDispense(options);
+  engine_options.wavefront = options.wavefront;
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
 
@@ -648,10 +671,12 @@ int Run(const CliOptions& options) {
     return Serve(options, graph, *workload);
   }
   // The baseline engines build their own SchedulerOptions internally, so
-  // the dispensation flags cannot reach them; reject rather than silently
-  // run with the defaults the user just tried to override.
-  if (options.dispense_set && options.engine != "flexiwalker") {
-    std::fprintf(stderr, "--chunk/--steal apply only to --engine flexiwalker (got --engine %s)\n",
+  // the dispensation/wavefront flags cannot reach them; reject rather than
+  // silently run with the defaults the user just tried to override.
+  if ((options.dispense_set || options.wavefront_set) && options.engine != "flexiwalker") {
+    std::fprintf(stderr,
+                 "--chunk/--steal/--wavefront apply only to --engine flexiwalker "
+                 "(got --engine %s)\n",
                  options.engine.c_str());
     return kExitUsage;
   }

@@ -36,6 +36,13 @@ class Graph {
     return {col_idx_.data() + row_ptr_[v], Degree(v)};
   }
 
+  // Raw CSR array views for prefetch staging (sampler.h's prefetch hints):
+  // row_offsets()[v] is EdgesBegin(v) (and [v+1] closes the row, giving the
+  // degree); adjacency() is the concatenated neighbor array every
+  // Neighbors(v) span points into.
+  std::span<const EdgeId> row_offsets() const { return row_ptr_; }
+  std::span<const NodeId> adjacency() const { return col_idx_; }
+
   // Binary search over the sorted adjacency of v; true iff edge (v,u) exists.
   bool HasEdge(NodeId v, NodeId u) const;
 

@@ -8,6 +8,7 @@
 #define FLEXIWALKER_SRC_GRAPH_INT8_WEIGHTS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -31,6 +32,11 @@ class Int8WeightStore {
   }
   bool empty() const { return codes_.empty(); }
   size_t size_bytes() const { return codes_.size(); }
+
+  // Raw code array, indexed by EdgeId like the graph's weight array — the
+  // prefetch hints (sampler.h) stage a row's code span alongside its
+  // adjacency span.
+  std::span<const uint8_t> codes() const { return codes_; }
 
   float scale() const { return scale_; }
   float offset() const { return offset_; }

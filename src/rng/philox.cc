@@ -1,7 +1,5 @@
 #include "src/rng/philox.h"
 
-#include <cmath>
-
 namespace flexi {
 namespace {
 
@@ -37,51 +35,35 @@ PhiloxStream::PhiloxStream(uint64_t seed, uint64_t subsequence, uint64_t offset)
   SeekTo(offset);
 }
 
-void PhiloxStream::SeekTo(uint64_t offset) {
-  offset_ = offset;
-  buffered_ = 0;
-}
-
 void PhiloxStream::Refill() {
-  // The counter encodes (block index, subsequence); the key encodes the seed.
-  uint64_t block = offset_ / 4;
-  Philox4x32::Counter ctr = {
-      static_cast<uint32_t>(block), static_cast<uint32_t>(block >> 32),
-      static_cast<uint32_t>(subsequence_), static_cast<uint32_t>(subsequence_ >> 32)};
+  // Block-buffered generation: evaluate consecutive keystream blocks
+  // starting at the block containing offset_, so one refill serves many
+  // sequential draws. The buffer always starts on a block boundary;
+  // cursor_ skips the draws of the first block that a mid-block offset (a
+  // SeekTo target) has already consumed, keeping the value at every
+  // absolute offset identical to the unbuffered definition
+  // Block(offset/4)[offset%4].
+  //
+  // Demand-sized: the first refill after construction/SeekTo evaluates one
+  // block — per-step throwaway streams (e.g. the selector coin) draw once
+  // and must not pay for four — and only a stream consumed past that block
+  // buys the full kBufferBlocks batch.
+  uint32_t blocks = warm_ ? kBufferBlocks : 1;
+  warm_ = true;
+  uint64_t block = offset_ / kBlockDraws;
   Philox4x32::Key key = {static_cast<uint32_t>(seed_), static_cast<uint32_t>(seed_ >> 32)};
-  buffer_ = Philox4x32::Block(ctr, key);
-  buffered_ = 4 - static_cast<uint32_t>(offset_ % 4);
-}
-
-uint32_t PhiloxStream::Next() {
-  if (buffered_ == 0) {
-    Refill();
+  for (uint32_t b = 0; b < blocks; ++b) {
+    uint64_t index = block + b;
+    Philox4x32::Counter ctr = {
+        static_cast<uint32_t>(index), static_cast<uint32_t>(index >> 32),
+        static_cast<uint32_t>(subsequence_), static_cast<uint32_t>(subsequence_ >> 32)};
+    Philox4x32::Counter out = Philox4x32::Block(ctr, key);
+    for (uint32_t i = 0; i < kBlockDraws; ++i) {
+      buffer_[b * kBlockDraws + i] = out[i];
+    }
   }
-  uint32_t value = buffer_[4 - buffered_];
-  --buffered_;
-  ++offset_;
-  return value;
-}
-
-double PhiloxStream::NextUniform() {
-  return static_cast<double>(Next()) * 0x1.0p-32;
-}
-
-double PhiloxStream::NextUniformOpen() {
-  return (static_cast<double>(Next()) + 1.0) * 0x1.0p-32;
-}
-
-uint32_t PhiloxStream::NextBounded(uint32_t bound) {
-  uint64_t product = static_cast<uint64_t>(Next()) * bound;
-  return static_cast<uint32_t>(product >> 32);
-}
-
-double PhiloxStream::NextExponential() {
-  return -std::log(NextUniformOpen());
-}
-
-double PhiloxStream::NextPareto(double alpha) {
-  return std::pow(NextUniformOpen(), -1.0 / alpha) - 1.0;
+  cursor_ = static_cast<uint32_t>(offset_ % kBlockDraws);
+  filled_ = blocks * kBlockDraws;
 }
 
 }  // namespace flexi

@@ -12,6 +12,7 @@
 #define FLEXIWALKER_SRC_RNG_PHILOX_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace flexi {
@@ -31,16 +32,40 @@ struct Philox4x32 {
 };
 
 // A seekable stream of uniform random numbers, analogous to a cuRAND Philox
-// state: (seed, subsequence, offset). Each call consumes one 32-bit output;
-// four outputs are produced per block evaluation and buffered.
+// state: (seed, subsequence, offset). The draw at absolute offset k is
+// output k%4 of keystream block k/4 — a pure function of (seed,
+// subsequence, k) — so buffering can never change a value, only when it is
+// computed.
+//
+// Generation is block-buffered and demand-sized: the first refill after
+// construction or a seek evaluates one keystream block (a throwaway
+// one-draw stream pays for exactly what it uses), and a stream consumed
+// past it refills kBufferBlocks consecutive blocks into one flat buffer,
+// amortizing the counter/key setup across kBufferDraws draws. The hot path
+// (Next and the distributions over it) is a
+// bounds check plus an array read, inline in this header — the walk
+// scheduler's wavefront loop calls it once or more per step per in-flight
+// walk. SeekTo discards the buffer (the next draw may be anywhere in the
+// keystream); sequential consumption after a seek re-buffers from the
+// containing block, which is what keeps seeked and sequential streams
+// bit-identical (philox_test.cc, BlockBufferedMatchesPerDrawPath).
 class PhiloxStream {
  public:
+  static constexpr uint32_t kBlockDraws = 4;   // 32-bit outputs per block
+  static constexpr uint32_t kBufferBlocks = 4; // blocks evaluated per refill
+  static constexpr uint32_t kBufferDraws = kBlockDraws * kBufferBlocks;
+
   PhiloxStream() : PhiloxStream(0, 0, 0) {}
   PhiloxStream(uint64_t seed, uint64_t subsequence, uint64_t offset = 0);
 
   // Repositions the stream to an absolute offset (in units of 32-bit draws)
   // within the same (seed, subsequence). O(1), like curand skipahead.
-  void SeekTo(uint64_t offset);
+  void SeekTo(uint64_t offset) {
+    offset_ = offset;
+    cursor_ = 0;
+    filled_ = 0;
+    warm_ = false;
+  }
 
   // Advances by `n` draws without generating them.
   void Skip(uint64_t n) { SeekTo(offset_ + n); }
@@ -50,31 +75,50 @@ class PhiloxStream {
   uint64_t seed() const { return seed_; }
 
   // Next raw 32-bit output.
-  uint32_t Next();
+  uint32_t Next() {
+    if (cursor_ == filled_) {
+      Refill();
+    }
+    ++offset_;
+    return buffer_[cursor_++];
+  }
 
   // Uniform double in [0, 1) with 32 bits of randomness. One draw.
-  double NextUniform();
+  double NextUniform() { return static_cast<double>(Next()) * 0x1.0p-32; }
 
   // Uniform double in (0, 1]: never returns 0, which makes it safe as the
   // argument of log() in exponential/key transforms. One draw.
-  double NextUniformOpen();
+  double NextUniformOpen() { return (static_cast<double>(Next()) + 1.0) * 0x1.0p-32; }
 
   // Uniform integer in [0, bound) via 64-bit multiply-shift. One draw.
-  uint32_t NextBounded(uint32_t bound);
+  uint32_t NextBounded(uint32_t bound) {
+    uint64_t product = static_cast<uint64_t>(Next()) * bound;
+    return static_cast<uint32_t>(product >> 32);
+  }
 
   // Exponential(1) variate: -log(U) with U in (0,1]. One draw.
-  double NextExponential();
+  double NextExponential() { return -std::log(NextUniformOpen()); }
 
   // Pareto variate with shape `alpha` and scale 1: (U)^(-1/alpha) - 1 is the
   // numpy convention (np.random.pareto), returning values in [0, inf).
-  double NextPareto(double alpha);
+  double NextPareto(double alpha) {
+    return std::pow(NextUniformOpen(), -1.0 / alpha) - 1.0;
+  }
 
  private:
   uint64_t seed_;
   uint64_t subsequence_;
   uint64_t offset_;
-  Philox4x32::Counter buffer_{};
-  uint32_t buffered_ = 0;  // number of valid outputs remaining in buffer_
+  // Uninitialized on purpose: cursor_ == filled_ == 0 forces a Refill
+  // before any read, and throwaway streams (constructed per step for one
+  // selection draw) should not pay a 64-byte clear.
+  std::array<uint32_t, kBufferDraws> buffer_;
+  uint32_t cursor_ = 0;  // next unread index into buffer_
+  uint32_t filled_ = 0;  // valid outputs in buffer_; cursor_ == filled_ => refill
+  // False until the first refill after construction/SeekTo: that refill
+  // evaluates a single block (throwaway streams draw once or twice), and
+  // only streams consumed past it buy the full kBufferBlocks batch.
+  bool warm_ = false;
 
   void Refill();
 };

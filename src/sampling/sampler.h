@@ -13,6 +13,7 @@
 #ifndef FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
 #define FLEXIWALKER_SRC_SAMPLING_SAMPLER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -72,6 +73,67 @@ class KernelRng {
   PhiloxStream& stream_;
   MemoryModel& mem_;
 };
+
+// --- Prefetch hints for batched (wavefront) execution ------------------
+//
+// The scheduler's wavefront loop (scheduler.cc) advances W in-flight walks
+// one step per pass and stages the *next* access's cache lines while the
+// current slot samples — the CPU recovery of the memory-level parallelism
+// the paper's warp-lockstep kernels get for free. These are hints only:
+// they charge nothing to the device model, touch no state, and cannot
+// affect a sampled path; on compilers without __builtin_prefetch they
+// compile to nothing.
+
+inline void PrefetchHint(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// How much of a row's adjacency / weight span one hint pulls in. Four cache
+// lines covers the whole row for degrees up to 64 (NodeId) — beyond that the
+// kernels' sequential scans trigger the hardware streamer anyway.
+inline constexpr size_t kPrefetchSpanBytes = 256;
+
+inline void PrefetchSpan(const void* p, size_t bytes) {
+  const char* c = static_cast<const char*>(p);
+  size_t n = bytes < kPrefetchSpanBytes ? bytes : kPrefetchSpanBytes;
+  for (size_t off = 0; off < n; off += 64) {
+    PrefetchHint(c + off);
+  }
+}
+
+// Stage v's CSR row offsets (EdgesBegin and the closing offset that yields
+// the degree). Issued when a step decides its next node, one full pass
+// before that node is sampled.
+inline void PrefetchRowOffsets(const WalkContext& ctx, NodeId v) {
+  const EdgeId* row = ctx.graph->row_offsets().data() + v;
+  PrefetchHint(row);
+  PrefetchHint(row + 1);
+}
+
+// Stage the leading cache lines of v's adjacency span and its property
+// weight span (float array, or the INT8 code array when that store is
+// active). Reads the row offsets — which PrefetchRowOffsets staged a pass
+// earlier — to compute the span addresses. Issued at the head of a pass,
+// several slot-steps before the kernel scans the row.
+inline void PrefetchEdgeSpans(const WalkContext& ctx, NodeId v) {
+  const Graph& g = *ctx.graph;
+  uint32_t degree = g.Degree(v);
+  if (degree == 0) {
+    return;
+  }
+  EdgeId begin = g.EdgesBegin(v);
+  PrefetchSpan(g.adjacency().data() + begin, static_cast<size_t>(degree) * sizeof(NodeId));
+  if (ctx.int8_weights != nullptr && !ctx.int8_weights->empty()) {
+    PrefetchSpan(ctx.int8_weights->codes().data() + begin, degree);
+  } else if (g.weighted()) {
+    PrefetchSpan(g.property_weights().data() + begin,
+                 static_cast<size_t>(degree) * sizeof(float));
+  }
+}
 
 // Charges the memory traffic of one full scan over the adjacency and
 // property weights of `count` neighbors (coalesced CSR access).

@@ -60,7 +60,7 @@ FlexiPreparation PrepareFlexiWalker(const Graph& graph, const WalkLogic& logic,
   return prep;
 }
 
-StepFn MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed) {
+StepKernel MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed) {
   return [selector, selector_seed](const WalkContext& ctx, const WalkLogic& l,
                                    const QueryState& q, KernelRng& rng) {
     // Ballot (§5.2): on the GPU one ballot per warp round decides which
@@ -125,6 +125,7 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
   scheduler_options.profile = options_.device;
   scheduler_options.num_threads = options_.host_threads;
   scheduler_options.dispense = options_.dispense;
+  scheduler_options.wavefront = options_.wavefront;
   scheduler_options.preprocessed = prep.preprocessed.empty() ? nullptr : &prep.preprocessed;
   scheduler_options.int8_weights = prep.int8_store.empty() ? nullptr : &prep.int8_store;
   WalkScheduler scheduler(scheduler_options);
@@ -145,7 +146,7 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
 
     result = scheduler.RunWithWorkers(
         graph, logic, starts, seed,
-        [&selectors, selector_seed](unsigned worker, DeviceContext&) -> StepFn {
+        [&selectors, selector_seed](unsigned worker, DeviceContext&) -> WorkerKernel {
           return MakeFlexiStep(&selectors[worker], selector_seed);
         });
 

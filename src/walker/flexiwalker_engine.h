@@ -42,6 +42,11 @@ struct FlexiWalkerOptions {
   // stealing by default. Like host_threads, any setting leaves walk paths
   // bit-identical; the CLI's --chunk/--steal flags land here.
   DispenseOptions dispense;
+  // Wavefront width for the scheduler's batched inner loop (scheduler.h):
+  // in-flight walks each worker advances per pass. 0 = kDefaultWavefront,
+  // 1 = walk-at-a-time. Any width leaves walk paths bit-identical; the
+  // CLI's --wavefront flag lands here.
+  uint32_t wavefront = 0;
 };
 
 // Everything FlexiWalker computes once per (graph, workload) before any
@@ -80,8 +85,11 @@ inline uint64_t FlexiSelectorSeed(uint64_t seed) { return seed ^ 0x5E1EC7; }
 // kRandom strategy's coin flips come from a per-(query, step) Philox
 // position keyed on `selector_seed`, never from worker-shared state, so
 // selection — and therefore paths — stays seed-stable under threading and
-// across service batches.
-StepFn MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed);
+// across service batches. Returned as a non-allocating StepKernel; the
+// selector must outlive the run it is used in (the engine preallocates
+// per-worker selectors, the serving factory pins per-batch ones through
+// WorkerKernel::state).
+StepKernel MakeFlexiStep(SamplerSelector* selector, uint64_t selector_seed);
 
 class FlexiWalkerEngine : public Engine {
  public:

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <vector>
 
+#include "src/sampling/sampler.h"
+
 namespace flexi {
+namespace {
+
+// One in-flight walk in a worker's wavefront: the query's state, its Philox
+// stream (consumed strictly in per-query order — interleaving slots can
+// never reorder a query's own draws), its arena row, and the number of path
+// nodes written so far. `path == nullptr` marks an idle slot.
+struct WalkSlot {
+  QueryState q;
+  PhiloxStream stream;
+  NodeId* path = nullptr;
+  uint32_t written = 0;
+};
+
+}  // namespace
 
 WalkScheduler::WalkScheduler(SchedulerOptions options) : options_(std::move(options)) {
   unsigned requested =
@@ -19,13 +36,16 @@ WalkScheduler::WalkScheduler(SchedulerOptions options) : options_(std::move(opti
     requested = std::min(requested, budget);
   }
   num_threads_ = std::clamp(requested, 1u, kMaxHostWorkers);
+  // 0 stays 0 — the auto width is resolved per Run against the graph's
+  // footprint (see RunWithWorkersInto); explicit widths are clamped here.
+  wavefront_ = options_.wavefront == 0 ? 0 : std::clamp(options_.wavefront, 1u, kMaxWavefront);
 }
 
 WalkResult WalkScheduler::Run(const Graph& graph, const WalkLogic& logic,
                               std::span<const NodeId> starts, uint64_t seed,
-                              const StepFn& step) const {
+                              StepKernel step) const {
   return RunWithWorkers(graph, logic, starts, seed,
-                        [&step](unsigned, DeviceContext&) { return step; });
+                        [step](unsigned, DeviceContext&) { return WorkerKernel(step); });
 }
 
 WalkResult WalkScheduler::RunWithWorkers(const Graph& graph, const WalkLogic& logic,
@@ -60,38 +80,123 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
   QueryQueue queue(starts, workers, options_.dispense);
   std::vector<DeviceContext> devices(workers, DeviceContext(options_.profile));
 
-  // One worker: pull queries from the shared queue, run each to completion.
-  // Every write a worker makes — path rows, its private DeviceContext — is
-  // keyed by the query ids it drew or owned outright, so workers never touch
-  // the same memory; the pool's job-completion handshake (or the joins of
+  // One worker: drain the queue through a wavefront of up to W in-flight
+  // walks, advancing every live slot one step per pass. Every write a
+  // worker makes — path rows, its private DeviceContext — is keyed by the
+  // query ids it drew or owned outright, so workers never touch the same
+  // memory; the pool's job-completion handshake (or the joins of
   // spawn-per-run dispatch) publishes everything to this thread.
+  //
+  // Auto width: wavefronts pay a small staging cost per step and win it
+  // back by overlapping CSR row misses — which only exist when the graph
+  // outgrows the cache. Below the threshold the default is walk-at-a-time;
+  // an explicit SchedulerOptions::wavefront is always honored (the parity
+  // tests and benches sweep widths on small graphs).
+  uint32_t width = wavefront_;
+  if (width == 0) {
+    width = graph.MemoryFootprintBytes() > kWavefrontAutoBytes ? kDefaultWavefront : 1;
+  }
   auto worker_body = [&](unsigned w) {
     DeviceContext& device = devices[w];
     WalkContext ctx{&graph, &device, options_.preprocessed, options_.int8_weights};
-    StepFn step = make_step(w, device);
-    while (std::optional<QueryQueue::Query> next = queue.Next(w)) {
-      QueryState q;
-      q.query_id = options_.query_id_offset + next->id;
-      q.start = next->start;
-      q.cur = q.start;
-      logic.Init(q);
+    WorkerKernel kernel = make_step(w, device);  // keepalive lives to end of drain
+    const StepKernel step = kernel.step;
+
+    // Claims the next query into `slot`; false once the queue has drained.
+    // Stages the new walk's row offsets so the pass that first samples it
+    // finds them cached.
+    auto launch = [&](WalkSlot& slot) {
+      std::optional<QueryQueue::Query> next = queue.Next(w);
+      if (!next.has_value()) {
+        slot.path = nullptr;
+        return false;
+      }
+      slot.q = QueryState{};
       // Per-query Philox subsequence: the walk's randomness is a pure
       // function of (seed, global query id), independent of the worker
-      // running it and of how batches were carved up.
-      PhiloxStream stream(seed, /*subsequence=*/q.query_id);
-      KernelRng rng(stream, device.mem());
+      // running it, the wavefront slot it lands in, and how batches were
+      // carved up.
+      slot.q.query_id = options_.query_id_offset + next->id;
+      slot.q.start = next->start;
+      slot.q.cur = next->start;
+      logic.Init(slot.q);
+      slot.stream = PhiloxStream(seed, /*subsequence=*/slot.q.query_id);
+      slot.path = out.Row(next->id);
+      slot.path[0] = slot.q.cur;
+      slot.written = 0;
+      PrefetchRowOffsets(ctx, slot.q.cur);
+      return true;
+    };
 
-      NodeId* path = out.Row(next->id);
-      path[0] = q.cur;
-      for (uint32_t s = 0; s < length; ++s) {
-        StepResult step_result = step(ctx, logic, q, rng);
-        if (!step_result.ok()) {
-          break;  // dead end
+    // Advances `slot` one step; false when the walk finished (dead end or
+    // full length — padding after a dead end is already in the row). On a
+    // live continuation, stages the next node's row offsets: by the time
+    // the next pass returns to this slot, the offsets are cached and the
+    // pass-head span prefetch can compute the row's addresses cheaply.
+    auto advance = [&](WalkSlot& slot) {
+      KernelRng rng(slot.stream, device.mem());
+      StepResult step_result = step(ctx, logic, slot.q, rng);
+      if (!step_result.ok()) {
+        return false;
+      }
+      NodeId next_node = graph.Neighbor(slot.q.cur, step_result.index);
+      logic.Update(ctx, slot.q, next_node, step_result.index);
+      slot.path[++slot.written] = next_node;
+      device.mem().StoreCoalesced(1, sizeof(NodeId));
+      if (slot.written == length) {
+        return false;
+      }
+      PrefetchRowOffsets(ctx, next_node);
+      return true;
+    };
+
+    if (length == 0) {
+      // Degenerate walks: every query is just its start node.
+      WalkSlot slot;
+      while (launch(slot)) {
+      }
+      return;
+    }
+    if (width == 1) {
+      // Walk-at-a-time: one slot run to completion per claim. With a single
+      // walk in flight there is no other slot's work to hide prefetch
+      // latency behind, so no span staging happens here.
+      WalkSlot slot;
+      while (launch(slot)) {
+        while (advance(slot)) {
         }
-        NodeId next_node = graph.Neighbor(q.cur, step_result.index);
-        logic.Update(ctx, q, next_node, step_result.index);
-        path[s + 1] = next_node;
-        device.mem().StoreCoalesced(1, sizeof(NodeId));
+      }
+      return;
+    }
+
+    std::vector<WalkSlot> slots(width);
+    size_t active = 0;
+    for (WalkSlot& slot : slots) {
+      if (!launch(slot)) {
+        break;
+      }
+      ++active;
+    }
+    while (active > 0) {
+      // One pass: each live slot stages the following slot's adjacency +
+      // weight spans (whose row offsets the previous pass prefetched) and
+      // then takes its own step — so every span prefetch has one full
+      // slot-step of sampling work to hide behind, and the wrap-around
+      // stages slot 0 for the next pass. A finished slot immediately
+      // relaunches on the next dispensed query so the wavefront stays full
+      // until the queue drains.
+      for (uint32_t i = 0; i < width; ++i) {
+        WalkSlot& slot = slots[i];
+        if (slot.path == nullptr) {
+          continue;
+        }
+        WalkSlot& staged = slots[(i + 1) % width];
+        if (staged.path != nullptr) {
+          PrefetchEdgeSpans(ctx, staged.q.cur);
+        }
+        if (!advance(slot) && !launch(slot)) {
+          --active;
+        }
       }
     }
   };

@@ -10,19 +10,34 @@
 // workers — so repeated small batches (the WalkService serving loop) cost
 // only the walks themselves.
 //
+// The worker inner loop executes *wavefronts*: each worker advances a batch
+// of W in-flight walks one step per pass, staging the next access's CSR
+// cache lines with prefetch hints while the current slot samples — the CPU
+// recovery of the memory-level parallelism the paper's warp-lockstep GPU
+// kernels get from their lanes (docs/ARCHITECTURE.md, "The hot loop"). Step
+// kernels are invoked through StepKernel, a non-allocating trivially
+// copyable delegate, so no std::function sits on the per-step path.
+//
 // Seed-stable parallelism: every query's randomness comes from its own
 // Philox subsequence — PhiloxStream(seed, query_id) — and every query writes
-// only its own path row. Which worker runs a query therefore cannot affect
-// its walk, so paths are bit-identical for 1, 2, or N worker threads at a
-// fixed seed, under either dispatch mode, and across batch boundaries when
-// the WalkService assigns global query ids. scheduler_test.cc and
+// only its own path row. Which worker runs a query — and how its steps
+// interleave with other wavefront slots — therefore cannot affect its walk,
+// so paths are bit-identical for 1, 2, or N worker threads, any wavefront
+// width, either dispatch mode, and across batch boundaries when the
+// WalkService assigns global query ids. scheduler_test.cc and
 // walk_service_test.cc enforce this; docs/ARCHITECTURE.md spells out the
 // full contract with examples.
 #ifndef FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 #define FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 
+#include <cassert>
+#include <cstddef>
 #include <functional>
+#include <memory>
+#include <new>
 #include <span>
+#include <type_traits>
+#include <utility>
 
 #include "src/walker/engine.h"
 #include "src/walker/path_arena.h"
@@ -31,15 +46,78 @@
 
 namespace flexi {
 
-// Samples one neighbor for the query's current node. Type-erased so engines
-// dispatch any kernel (or per-step kernel selection) through one loop.
-using StepFn = std::function<StepResult(const WalkContext&, const WalkLogic&,
-                                        const QueryState&, KernelRng&)>;
+// Samples one neighbor for the query's current node. A non-allocating
+// delegate: the callable (any lambda whose captures are trivially copyable
+// and fit kMaxStateBytes — kernel/table/selector pointers, pinned bounds)
+// is stored inline and invoked through one function pointer, so the
+// per-step cost is a direct indirect call with no std::function dispatch or
+// heap traffic. Engines needing owned per-run state pair one of these with
+// a keepalive in WorkerKernel.
+class StepKernel {
+ public:
+  static constexpr size_t kMaxStateBytes = 48;
 
-// Builds a worker's step function. Called once on each worker thread before
-// it starts pulling queries; `worker` indexes any per-worker state the
-// engine preallocated (e.g. FlexiWalker's per-worker SamplerSelector).
-using WorkerStepFactory = std::function<StepFn(unsigned worker, DeviceContext& device)>;
+  StepKernel() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, StepKernel> &&
+                std::is_invocable_r_v<StepResult, const std::decay_t<F>&, const WalkContext&,
+                                      const WalkLogic&, const QueryState&, KernelRng&>>>
+  StepKernel(F fn) {  // NOLINT(google-explicit-constructor): adapter by design
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kMaxStateBytes,
+                  "step kernel captures exceed StepKernel::kMaxStateBytes; "
+                  "capture pointers to run-owned state instead");
+    static_assert(std::is_trivially_copyable_v<Fn>,
+                  "step kernel captures must be trivially copyable (no "
+                  "owning captures — put ownership in WorkerKernel::state)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(state_)) Fn(fn);
+    invoke_ = [](const void* state, const WalkContext& ctx, const WalkLogic& logic,
+                 const QueryState& q, KernelRng& rng) -> StepResult {
+      return (*static_cast<const Fn*>(state))(ctx, logic, q, rng);
+    };
+  }
+
+  StepResult operator()(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
+                        KernelRng& rng) const {
+    // A default-constructed kernel has no callable; fail diagnosably (the
+    // std::function it replaced threw bad_function_call) rather than
+    // jumping through null. Free in release builds.
+    assert(invoke_ != nullptr);
+    return invoke_(state_, ctx, logic, q, rng);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  using InvokeFn = StepResult (*)(const void*, const WalkContext&, const WalkLogic&,
+                                  const QueryState&, KernelRng&);
+
+  alignas(std::max_align_t) unsigned char state_[kMaxStateBytes] = {};
+  InvokeFn invoke_ = nullptr;
+};
+
+// What a worker runs with for one Run: the step delegate plus optional
+// shared ownership of whatever per-run state the delegate's captured
+// pointers reach (e.g. a serving batch's SamplerSelector). The worker body
+// holds `state` alive for the duration of its drain loop; the delegate
+// itself stays trivially copyable.
+struct WorkerKernel {
+  StepKernel step;
+  std::shared_ptr<void> state;
+
+  WorkerKernel() = default;
+  WorkerKernel(StepKernel s, std::shared_ptr<void> keepalive = nullptr)  // NOLINT
+      : step(s), state(std::move(keepalive)) {}
+};
+
+// Builds a worker's kernel. Called once on each worker thread per Run —
+// never on the per-step path — before it starts pulling queries; `worker`
+// indexes any per-worker state the engine preallocated (e.g. FlexiWalker's
+// per-worker SamplerSelector).
+using WorkerStepFactory = std::function<WorkerKernel(unsigned worker, DeviceContext& device)>;
 
 // How a Run's worker bodies reach real threads. The persistent pool is the
 // default everywhere; spawn-per-run survives as the A/B reference that
@@ -49,6 +127,20 @@ enum class WorkerDispatch {
   kPersistentPool,  // park-and-wake workers from WorkerPool::Global()
   kSpawnPerRun,     // fresh std::threads, joined before Run returns
 };
+
+// Wavefront width bounds. The default is wide enough to hide one DRAM miss
+// behind the other slots' sampling work on current cores; the cap keeps a
+// worker's staged cache lines from evicting each other (W rows x up to
+// ~6 lines per row stays well inside L1).
+inline constexpr uint32_t kDefaultWavefront = 8;
+inline constexpr uint32_t kMaxWavefront = 64;
+
+// Auto-width threshold: with SchedulerOptions::wavefront == 0, batched
+// passes (width kDefaultWavefront) engage only when the graph's CSR
+// footprint exceeds this — smaller graphs are cache-resident, so there are
+// no row misses to overlap and the staging cost would be pure loss. Sized
+// past the L3 of typical serving hosts.
+inline constexpr size_t kWavefrontAutoBytes = size_t{32} << 20;
 
 struct SchedulerOptions {
   DeviceProfile profile = DeviceProfile::SimulatedGpu();
@@ -65,6 +157,14 @@ struct SchedulerOptions {
   // bit-identical across modes and chunk sizes — dispensation moves ids
   // between workers, never randomness.
   DispenseOptions dispense;
+  // In-flight walks each worker advances in lockstep passes. 0 = auto:
+  // kDefaultWavefront when the graph outgrows kWavefrontAutoBytes,
+  // walk-at-a-time otherwise. Explicit widths (1 = walk-at-a-time, no
+  // prefetch staging) are always honored, clamped to kMaxWavefront. Pure
+  // execution shaping: every query's draws come from its own Philox stream
+  // consumed in per-query order, so paths are bit-identical for every
+  // width (scheduler_test.cc, WavefrontPathParityMatrix).
+  uint32_t wavefront = 0;
   // Read-only per-run data shared by all workers' WalkContexts.
   const PreprocessedData* preprocessed = nullptr;
   const Int8WeightStore* int8_weights = nullptr;
@@ -75,16 +175,19 @@ class WalkScheduler {
   explicit WalkScheduler(SchedulerOptions options = {});
 
   unsigned num_threads() const { return num_threads_; }
+  // Configured wavefront width; 0 = auto (resolved per Run against the
+  // graph's footprint).
+  uint32_t wavefront() const { return wavefront_; }
   const DeviceProfile& profile() const { return options_.profile; }
 
-  // Runs every query in `starts` to completion with one step function shared
+  // Runs every query in `starts` to completion with one step kernel shared
   // by all workers (the single-kernel engines).
   WalkResult Run(const Graph& graph, const WalkLogic& logic,
                  std::span<const NodeId> starts, uint64_t seed,
-                 const StepFn& step) const;
+                 StepKernel step) const;
 
-  // As Run, but each worker builds its own step function — for engines that
-  // keep mutable per-worker state such as selection counters.
+  // As Run, but each worker builds its own kernel — for engines that keep
+  // mutable per-worker state such as selection counters.
   WalkResult RunWithWorkers(const Graph& graph, const WalkLogic& logic,
                             std::span<const NodeId> starts, uint64_t seed,
                             const WorkerStepFactory& make_step) const;
@@ -104,6 +207,7 @@ class WalkScheduler {
  private:
   SchedulerOptions options_;
   unsigned num_threads_;
+  uint32_t wavefront_;
 };
 
 }  // namespace flexi

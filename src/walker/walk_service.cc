@@ -33,9 +33,9 @@ WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options opt
 }
 
 WalkService::WalkService(const Graph& graph, const WalkLogic& logic, Options options,
-                         StepFn step)
+                         StepKernel step)
     : WalkService(graph, logic, std::move(options),
-                  [step = std::move(step)](unsigned, DeviceContext&) { return step; }) {}
+                  [step](unsigned, DeviceContext&) { return WorkerKernel(step); }) {}
 
 WalkService::~WalkService() { Shutdown(); }
 
@@ -158,6 +158,7 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
   service_options.scheduler.profile = options.device;
   service_options.scheduler.num_threads = options.host_threads;
   service_options.scheduler.dispense = options.dispense;
+  service_options.scheduler.wavefront = options.wavefront;
   service_options.scheduler.preprocessed =
       state->prep.preprocessed.empty() ? nullptr : &state->prep.preprocessed;
   service_options.scheduler.int8_weights =
@@ -170,20 +171,19 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
   // execute concurrently and would otherwise race on a shared selector's
   // counters. Selection behavior is a pure function of (strategy, params,
   // helpers, selector_seed), so per-batch selectors cannot change paths.
-  WorkerStepFactory factory = [raw, selector_seed,
-                               strategy = options.strategy](unsigned, DeviceContext&) -> StepFn {
+  // The selector's ownership rides in the WorkerKernel keepalive — the
+  // worker's drain loop pins it — so the per-step delegate stays a
+  // non-allocating pointer capture.
+  WorkerStepFactory factory = [raw, selector_seed, strategy = options.strategy](
+                                  unsigned, DeviceContext&) -> WorkerKernel {
     if (!raw->prep.static_tables.empty()) {
       const std::vector<AliasTable>* tables = &raw->prep.static_tables;
-      return [tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
-                      KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); };
+      return StepKernel([tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                                 KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); });
     }
     auto selector = std::make_shared<SamplerSelector>(strategy, raw->prep.params,
                                                       &raw->prep.helpers);
-    StepFn step = MakeFlexiStep(selector.get(), selector_seed);
-    return [selector, step = std::move(step)](const WalkContext& ctx, const WalkLogic& l,
-                                              const QueryState& q, KernelRng& rng) {
-      return step(ctx, l, q, rng);
-    };
+    return WorkerKernel(MakeFlexiStep(selector.get(), selector_seed), selector);
   };
   return std::make_unique<WalkService>(graph, logic, std::move(service_options),
                                        std::move(factory), std::move(state));

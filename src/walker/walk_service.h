@@ -60,16 +60,17 @@ class WalkService {
     unsigned pipeline_depth = 1;
   };
 
-  // `make_step` builds each scheduler worker's step function, exactly as in
+  // `make_step` builds each scheduler worker's kernel, exactly as in
   // WalkScheduler::RunWithWorkers; it must tolerate every worker index below
   // the resolved thread count for the service's lifetime. `kernel_state`
   // optionally pins shared ownership of whatever the factory captures
-  // (helpers, preprocessed arrays, selectors).
+  // (helpers, preprocessed arrays, selectors); per-(batch, worker) state
+  // rides in each returned WorkerKernel's own keepalive.
   WalkService(const Graph& graph, const WalkLogic& logic, Options options,
               WorkerStepFactory make_step, std::shared_ptr<void> kernel_state = nullptr);
 
-  // Convenience: one step function shared by all workers.
-  WalkService(const Graph& graph, const WalkLogic& logic, Options options, StepFn step);
+  // Convenience: one step kernel shared by all workers.
+  WalkService(const Graph& graph, const WalkLogic& logic, Options options, StepKernel step);
 
   ~WalkService();  // Shutdown()
 

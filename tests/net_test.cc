@@ -190,7 +190,7 @@ Graph CoalescerGraph() {
   return g;
 }
 
-StepFn ItsStep() {
+StepKernel ItsStep() {
   return [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
     return InverseTransformStep(ctx, l, q, rng);
   };

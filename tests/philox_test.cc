@@ -148,6 +148,37 @@ TEST(Philox, ParetoShapeControlsTail) {
   EXPECT_GT(tail1.mean(), tail4.mean());
 }
 
+TEST(Philox, BlockBufferedMatchesPerDrawPath) {
+  // The stream refills a multi-block keystream buffer and serves draws out
+  // of it; the per-draw path evaluates one block per value by seeking a
+  // fresh stream to each absolute offset. Identical sequences prove the
+  // buffering changes when blocks are computed, never what any draw is.
+  PhiloxStream buffered(123, 45);
+  for (uint64_t k = 0; k < 3 * PhiloxStream::kBufferDraws + 5; ++k) {
+    PhiloxStream per_draw(123, 45, /*offset=*/k);
+    EXPECT_EQ(buffered.Next(), per_draw.Next()) << "offset " << k;
+  }
+}
+
+TEST(Philox, BlockBufferSurvivesUnalignedSeeks) {
+  // Seeking into the middle of a block (and the middle of the wider refill
+  // buffer) must resume the exact keystream: draw k is always output k%4 of
+  // block k/4 regardless of how the buffer happens to be aligned.
+  PhiloxStream reference(9, 3);
+  std::vector<uint32_t> sequence(2 * PhiloxStream::kBufferDraws);
+  for (auto& v : sequence) {
+    v = reference.Next();
+  }
+  for (uint64_t offset : {1ull, 2ull, 3ull, 5ull, 7ull, 13ull, 17ull, 23ull}) {
+    PhiloxStream seeked(9, 3);
+    seeked.Next();  // force a refill so SeekTo discards a live buffer
+    seeked.SeekTo(offset);
+    for (uint64_t k = offset; k < sequence.size(); ++k) {
+      ASSERT_EQ(seeked.Next(), sequence[k]) << "seek " << offset << " draw " << k;
+    }
+  }
+}
+
 TEST(Philox, BlockFunctionIsStableAcrossCalls) {
   // Regression pin: the raw block function must never change silently, or
   // every seeded test and bench in the repo shifts.

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "src/graph/generators.h"
+#include "src/sampling/alias.h"
 #include "src/sampling/inverse_transform.h"
+#include "src/sampling/reservoir.h"
 #include "src/walker/flexiwalker_engine.h"
 #include "src/walker/partitioned.h"
 #include "src/walks/deepwalk.h"
@@ -27,7 +29,7 @@ Graph TestGraph() {
   return g;
 }
 
-StepFn ItsStep() {
+StepKernel ItsStep() {
   return [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q, KernelRng& rng) {
     return InverseTransformStep(ctx, l, q, rng);
   };
@@ -115,6 +117,96 @@ TEST(WalkScheduler, PathsBitIdenticalAcrossDispenseMatrix) {
         EXPECT_EQ(result.paths, reference.paths)
             << "mode=" << static_cast<int>(mode) << " chunk=" << chunk
             << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(WalkScheduler, WavefrontPathParityMatrix) {
+  // The wavefront tentpole's determinism contract: a query's draws come
+  // from its own Philox stream, consumed strictly in per-query order, so
+  // how many walks a worker keeps in flight — and how their steps
+  // interleave — can never change a path. Swept over every sampler family
+  // the hot loop serves (including the static-cache fast path's
+  // CachedAliasStep) x wavefront x threads x dispensation mode, each
+  // against a walk-at-a-time single-thread reference.
+  Graph graph = TestGraph();
+  std::vector<AliasTable> tables = BuildNodeAliasTables(graph, /*threads=*/1);
+  const std::vector<AliasTable>* tables_ptr = &tables;
+  struct NamedKernel {
+    const char* name;
+    StepKernel step;
+  };
+  const NamedKernel kernels[] = {
+      {"its", StepKernel([](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                            KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); })},
+      {"alias", StepKernel([](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                              KernelRng& rng) { return AliasStep(ctx, l, q, rng); })},
+      {"reservoir",
+       StepKernel([](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+                     KernelRng& rng) { return ReservoirStep(ctx, l, q, rng); })},
+      {"cached-alias",
+       StepKernel([tables_ptr](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                               KernelRng& rng) { return CachedAliasStep(ctx, *tables_ptr, q, rng); })},
+  };
+  Node2VecWalk walk(2.0, 0.5, 12);
+  auto starts = AllNodesAsStarts(graph);
+
+  for (const NamedKernel& kernel : kernels) {
+    SchedulerOptions reference_options;
+    reference_options.num_threads = 1;
+    reference_options.wavefront = 1;
+    reference_options.dispense = {DispenseMode::kPerQuery, 0};
+    WalkResult reference =
+        WalkScheduler(reference_options).Run(graph, walk, starts, /*seed=*/77, kernel.step);
+
+    for (uint32_t wavefront : {1u, 4u, 16u}) {
+      for (unsigned threads : {1u, 2u, 8u}) {
+        for (DispenseMode mode :
+             {DispenseMode::kPerQuery, DispenseMode::kChunked, DispenseMode::kChunkedSteal}) {
+          SchedulerOptions options;
+          options.num_threads = threads;
+          options.wavefront = wavefront;
+          options.dispense = {mode, 0};
+          WalkResult result =
+              WalkScheduler(options).Run(graph, walk, starts, /*seed=*/77, kernel.step);
+          EXPECT_EQ(result.paths, reference.paths)
+              << kernel.name << " wavefront=" << wavefront << " threads=" << threads
+              << " mode=" << static_cast<int>(mode);
+          EXPECT_EQ(result.cost.rng_draws, reference.cost.rng_draws) << kernel.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlexiWalkerParallel, WavefrontWidthsPreservePathsIncludingStaticCache) {
+  // Engine-level wavefront parity, covering the mixed eRJS/eRVS kernel and
+  // the cached static-walk fast path the serving CLI enables.
+  Graph weighted = TestGraph();
+  Graph unweighted = GenerateErdosRenyi(256, 8.0, 71);
+  Node2VecWalk n2v(2.0, 0.5, 12);
+  DeepWalk deepwalk(12);
+  struct Case {
+    const Graph* graph;
+    const WalkLogic* logic;
+    bool static_cache;
+  };
+  const Case cases[] = {{&weighted, &n2v, false}, {&unweighted, &deepwalk, true}};
+  for (const Case& c : cases) {
+    auto starts = AllNodesAsStarts(*c.graph);
+    std::vector<NodeId> reference;
+    for (uint32_t wavefront : {1u, 4u, 16u}) {
+      FlexiWalkerOptions options;
+      options.cache_static_tables = c.static_cache;
+      options.wavefront = wavefront;
+      options.host_threads = wavefront == 4 ? 8 : 1;  // vary threads with width too
+      WalkResult result = FlexiWalkerEngine(options).Run(*c.graph, *c.logic, starts, 99);
+      if (reference.empty()) {
+        reference = std::move(result.paths);
+      } else {
+        EXPECT_EQ(result.paths, reference)
+            << "wavefront=" << wavefront << " static_cache=" << c.static_cache;
       }
     }
   }

@@ -158,7 +158,7 @@ TEST(SchedulerDispatch, PoolAndSpawnPerRunProduceIdenticalPaths) {
   AssignWeights(graph, WeightDistribution::kUniform, 0.0, 72);
   Node2VecWalk walk(2.0, 0.5, 16);
   auto starts = AllNodesAsStarts(graph);
-  StepFn step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
+  StepKernel step = [](const WalkContext& ctx, const WalkLogic& l, const QueryState& q,
                    KernelRng& rng) { return InverseTransformStep(ctx, l, q, rng); };
   SchedulerOptions pool_options;
   pool_options.num_threads = 8;
