@@ -11,6 +11,8 @@
 #ifndef FLEXIWALKER_BENCH_BENCH_UTIL_H_
 #define FLEXIWALKER_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -119,14 +121,31 @@ inline std::string BenchDateUtc() {
   return buf;
 }
 
+// Process peak resident set in bytes (getrusage: ru_maxrss is KiB on
+// Linux). High-water mark, monotonic over the process lifetime — a bench
+// sweeping memory-bounded configs must measure the smallest budget first
+// (or fork per config) for per-config attribution. 0 if unavailable.
+inline uint64_t BenchPeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
 // Writes the shared `"meta": {...},` object (with trailing comma) as the
-// first member of a bench's JSON document.
+// first member of a bench's JSON document. peak_rss_bytes is sampled at
+// call time — benches write JSON after their runs, so it reflects the run's
+// high-water mark and lets the perf-trajectory diff catch memory
+// regressions alongside throughput ones.
 inline void WriteBenchMetaJson(std::FILE* f, const char* bench_name, bool quick) {
   std::fprintf(f,
                "  \"meta\": {\"bench\": \"%s\", \"quick\": %s, \"git_sha\": \"%s\", "
-               "\"date_utc\": \"%s\", \"hardware_concurrency\": %u},\n",
+               "\"date_utc\": \"%s\", \"hardware_concurrency\": %u, "
+               "\"peak_rss_bytes\": %llu},\n",
                bench_name, quick ? "true" : "false", BenchGitSha().c_str(),
-               BenchDateUtc().c_str(), std::max(1u, std::thread::hardware_concurrency()));
+               BenchDateUtc().c_str(), std::max(1u, std::thread::hardware_concurrency()),
+               static_cast<unsigned long long>(BenchPeakRssBytes()));
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

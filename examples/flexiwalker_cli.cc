@@ -8,6 +8,8 @@
 //   $ ./flexiwalker_cli --dataset YT --workload deepwalk --listen 7331   # TCP server
 //   $ printf '0 1 2\nquit\n' | ./flexiwalker_cli --connect 7331         # TCP client
 //   $ ./flexiwalker_cli --help
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -18,16 +20,19 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/analysis/walk_analysis.h"
 #include "src/baselines/baselines.h"
+#include "src/graph/block_store.h"
 #include "src/graph/datasets.h"
 #include "src/graph/io.h"
 #include "src/net/walk_client.h"
 #include "src/net/walk_server.h"
 #include "src/walker/flexiwalker_engine.h"
+#include "src/walker/out_of_core.h"
 #include "src/walker/scheduler.h"
 #include "src/walker/walk_service.h"
 #include "src/walks/deepwalk.h"
@@ -62,6 +67,13 @@ struct CliOptions {
   // 0 = the scheduler default. Paths are identical for every width.
   unsigned wavefront = 0;
   bool wavefront_set = false;
+  // Out-of-core tier (out_of_core.h): giving either flag routes the
+  // one-shot run through the block-cached executor — partition to a block
+  // file, then walk it under a bounded GraphCache. Paths are bit-identical
+  // to the in-memory engine with the same pinned cost ratio.
+  size_t block_bytes = kDefaultBlockBytes;
+  uint32_t cache_blocks = 4;
+  bool out_of_core = false;  // either flag given explicitly
   bool serve = false;
   // Network serving (docs/SERVING.md "Network serving"):
   int listen_port = -1;     // >= 0 => run a WalkServer (0 = ephemeral port)
@@ -110,6 +122,13 @@ void PrintUsage() {
       "                           paths identical for any width)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
       "  --out      <path>        write walks, one per line\n"
+      "out-of-core execution (flexiwalker engine, one-shot runs, first-order\n"
+      "workloads; giving either flag enables the tier — docs/ARCHITECTURE.md):\n"
+      "  --block-bytes <n>        partition the graph into <= n-byte edge blocks,\n"
+      "                           n >= %zu (default %zu); paths identical to the\n"
+      "                           in-memory engine\n"
+      "  --cache-blocks <n>       resident-block budget, >= 1 (default 4); edge\n"
+      "                           memory is bounded by cache-blocks x block-bytes\n"
       "  --serve                  streaming mode (flexiwalker engine only): read\n"
       "                           batches of start-node ids from stdin, one batch\n"
       "                           per line, until EOF or \"quit\"; see docs/SERVING.md\n"
@@ -128,8 +147,8 @@ void PrintUsage() {
       "                           when traffic is sparse, so idle-period requests pay\n"
       "                           walk latency instead of the window (default on)\n"
       "exit codes: 0 ok | %d usage | %d unsupported engine | %d malformed input\n",
-      kMaxDispenseChunk, kMaxWavefront, kExitUsage, kExitUnsupportedEngine,
-      kExitMalformedInput);
+      kMaxDispenseChunk, kMaxWavefront, kMinBlockBytes, kDefaultBlockBytes, kExitUsage,
+      kExitUnsupportedEngine, kExitMalformedInput);
 }
 
 // Strict unsigned parse for the serving flags, where a wrapped negative
@@ -254,6 +273,36 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       }
       options.wavefront = static_cast<unsigned>(wavefront);
       options.wavefront_set = true;
+    } else if (arg == "--block-bytes") {
+      const char* value = needs_value("--block-bytes");
+      unsigned long long bytes = 0;
+      // 1 GiB ceiling: a larger "block" defeats partitioning and is surely
+      // a typo, not a budget.
+      if (value == nullptr || !ParseUnsignedFlag("--block-bytes", value, 1ull << 30, bytes)) {
+        return false;
+      }
+      if (bytes < kMinBlockBytes) {
+        // The partitioner enforces the same floor (block_store.h) — a block
+        // must hold at least one full max-degree-bounded row header.
+        std::fprintf(stderr, "bad value for --block-bytes: %s (minimum %zu)\n", value,
+                     kMinBlockBytes);
+        return false;
+      }
+      options.block_bytes = static_cast<size_t>(bytes);
+      options.out_of_core = true;
+    } else if (arg == "--cache-blocks") {
+      const char* value = needs_value("--cache-blocks");
+      unsigned long long blocks = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--cache-blocks", value, 1ull << 20, blocks)) {
+        return false;
+      }
+      if (blocks == 0) {
+        std::fprintf(stderr,
+                     "bad value for --cache-blocks: 0 (the cache must hold at least one block)\n");
+        return false;
+      }
+      options.cache_blocks = static_cast<uint32_t>(blocks);
+      options.out_of_core = true;
     } else if (arg == "--listen") {
       const char* value = needs_value("--listen");
       unsigned long long port = 0;
@@ -622,6 +671,25 @@ int Run(const CliOptions& options) {
     std::fprintf(stderr, "--adaptive-window applies only to --listen mode\n");
     return kExitUsage;
   }
+  // The out-of-core tier exists only behind the flexiwalker engine (the
+  // baselines have no block-cached path) and only for one-shot runs — the
+  // serving modes keep the graph resident for the process lifetime, so a
+  // block cache would bound nothing.
+  if (options.out_of_core) {
+    if (options.engine != "flexiwalker") {
+      std::fprintf(stderr,
+                   "--block-bytes/--cache-blocks apply only to --engine flexiwalker "
+                   "(got --engine %s)\n",
+                   options.engine.c_str());
+      return kExitUsage;
+    }
+    if (options.serve || options.listen_port >= 0 || !options.connect.empty()) {
+      std::fprintf(stderr,
+                   "--block-bytes/--cache-blocks apply only to one-shot runs "
+                   "(not --serve/--listen/--connect)\n");
+      return kExitUsage;
+    }
+  }
   // Client mode talks to a remote server: no graph, workload, or engine is
   // built locally (the server validates start ids against its own graph).
   if (!options.connect.empty()) {
@@ -676,7 +744,8 @@ int Run(const CliOptions& options) {
   if ((options.dispense_set || options.wavefront_set) && options.engine != "flexiwalker") {
     std::fprintf(stderr,
                  "--chunk/--steal/--wavefront apply only to --engine flexiwalker "
-                 "(got --engine %s)\n",
+                 "(they tune both its execution tiers, the in-memory scheduler and the "
+                 "out-of-core block executor; got --engine %s)\n",
                  options.engine.c_str());
     return kExitUsage;
   }
@@ -692,11 +761,48 @@ int Run(const CliOptions& options) {
   }
 
   std::printf(
-      "graph: %u nodes / %llu edges | workload: %s | engine: %s | queries: %zu | threads: %u\n",
+      "graph: %u nodes / %llu edges | workload: %s | engine: %s%s | queries: %zu | threads: %u\n",
       graph.num_nodes(), static_cast<unsigned long long>(graph.num_edges()),
-      workload->name().c_str(), engine->name().c_str(), starts.size(),
-      DefaultWorkerThreads());
-  WalkResult result = engine->Run(graph, *workload, starts, options.seed);
+      workload->name().c_str(), engine->name().c_str(),
+      options.out_of_core ? " (out-of-core)" : "", starts.size(), DefaultWorkerThreads());
+  WalkResult result;
+  if (options.out_of_core) {
+    // Partition to a throwaway block file and walk it under the bounded
+    // cache. The cost ratio is pinned: profiling samples the whole graph,
+    // which is exactly what out-of-core execution cannot assume is
+    // loadable (out_of_core.h).
+    const std::string block_path =
+        "/tmp/flexiwalker_cli_" + std::to_string(getpid()) + ".blk";
+    size_t blocks = PartitionToBlockFile(graph, block_path, options.block_bytes);
+    BlockStore store = BlockStore::Open(block_path);
+    FlexiWalkerOptions engine_options;
+    engine_options.dispense = MakeDispense(options);
+    engine_options.wavefront = options.wavefront;
+    engine_options.edge_cost_ratio = 4.0;
+    OutOfCoreStats ooc_stats;
+    std::printf("out-of-core   : %zu blocks of <= %zu bytes | cache %u blocks (%.2f MiB budget)\n",
+                blocks, store.block_bytes(), options.cache_blocks,
+                options.cache_blocks * static_cast<double>(store.block_bytes()) /
+                    (1024.0 * 1024.0));
+    try {
+      result = RunFlexiWalkerOutOfCore(store, *workload, engine_options, options.cache_blocks,
+                                       starts, options.seed, &ooc_stats);
+    } catch (const std::invalid_argument& e) {
+      // Second-order workloads (node2vec, 2ndpr) probe the previous node's
+      // row, which block residency of the current node cannot serve.
+      std::fprintf(stderr, "out-of-core run rejected: %s\n", e.what());
+      std::remove(block_path.c_str());
+      return kExitUsage;
+    }
+    std::remove(block_path.c_str());
+    std::printf("block loads   : %llu (%llu evictions, %llu cache hits, %llu walk parks)\n",
+                static_cast<unsigned long long>(ooc_stats.block_loads),
+                static_cast<unsigned long long>(ooc_stats.block_evictions),
+                static_cast<unsigned long long>(ooc_stats.cache_hits),
+                static_cast<unsigned long long>(ooc_stats.parks));
+  } else {
+    result = engine->Run(graph, *workload, starts, options.seed);
+  }
 
   uint64_t steps = 0;
   for (size_t qid = 0; qid < result.num_queries; ++qid) {

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_scheduler.json runs and flag perf regressions.
+"""Diff two bench JSON runs and flag perf regressions.
 
 Usage: perf_trajectory.py <previous.json> <current.json> [--threshold 0.10]
 
 Compares the dispensation sweep configs (matched on threads + mode: QPS down
-or p50/p99 up is a regression) and the wavefront sweep configs (matched on
-threads + wavefront: steps/sec down is a regression) between the previous
-CI run's artifact and the current run. Regressions beyond the threshold are
+or p50/p99 up is a regression), the wavefront sweep configs (matched on
+threads + wavefront: steps/sec down is a regression), and the out-of-core
+cache sweep (matched on cache_blocks: QPS/steps-per-sec down or
+peak-RSS up is a regression) between the previous CI run's artifact and the
+current run. Sections absent from a document are skipped, so the same script
+diffs BENCH_scheduler.json and BENCH_outofcore.json alike. Regressions beyond the threshold are
 emitted as GitHub Actions ::warning:: annotations — the job is annotated,
 never failed, because wall-clock numbers on shared CI runners are noisy and
 a trajectory is advisory. Always exits 0 unless the inputs are unreadable.
@@ -98,6 +101,11 @@ def main():
          [("qps", True), ("p50_ms", False), ("p99_ms", False)]),
         ("wavefront_configs", ("threads", "wavefront"),
          [("steps_per_sec", True)]),
+        # Out-of-core cache sweep (bench_ext_outofcore): a peak-RSS increase
+        # at the same cache budget means the fixed overhead grew — exactly
+        # the regression the memory-bounded tier exists to prevent.
+        ("cache_configs", ("cache_blocks",),
+         [("qps", True), ("steps_per_sec", True), ("peak_rss_bytes", False)]),
     ]
     for section, keys, metrics in sweeps:
         prev_rows = index_by(prev_doc.get(section, []), keys)

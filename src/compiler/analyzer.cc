@@ -56,7 +56,50 @@ bool CheckStaticFactor(const WeightExpr& expr, int& property_weight_factors) {
   return false;
 }
 
+// True when the expression reads only current-node data: rejects prev-node
+// degree terms and opaque nodes (whose reads are unknowable).
+bool IsFirstOrderExpr(const WeightExpr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kConst:
+    case ExprKind::kPropertyWeight:  // h[edge] of the current node's row
+    case ExprKind::kInvDegreeCur:
+      return true;
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+      return IsFirstOrderExpr(*expr.left) && IsFirstOrderExpr(*expr.right);
+    case ExprKind::kInvDegreePrev:
+    case ExprKind::kMaxDegreeCurPrev:
+    case ExprKind::kOpaque:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
+
+bool IsFirstOrderProgram(const WeightProgram& program) {
+  if (program.branches.empty()) {
+    return false;
+  }
+  for (const WeightBranch& branch : program.branches) {
+    switch (branch.cond) {
+      case CondKind::kFirstStep:
+      case CondKind::kLabelMatchesSchema:
+      case CondKind::kTimestampAfterArrival:
+      case CondKind::kOtherwise:
+        break;  // step counters and current-row edge data only
+      case CondKind::kPostEqualsPrev:
+      case CondKind::kLinkedToPrev:
+      case CondKind::kNotLinkedToPrev:
+      case CondKind::kOpaque:
+        return false;  // evaluating the guard touches the previous node's row
+    }
+    if (!IsFirstOrderExpr(branch.expr)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 bool IsStaticTransitionProgram(const WeightProgram& program, bool* uses_property_weight) {
   if (program.branches.size() != 1 || program.branches[0].cond != CondKind::kOtherwise) {

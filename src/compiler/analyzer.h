@@ -63,6 +63,18 @@ class Analyzer {
 bool IsStaticTransitionProgram(const WeightProgram& program,
                                bool* uses_property_weight = nullptr);
 
+// True when the program's transition weight depends only on the *current*
+// node's row — never on the previous node or anything the analyzer cannot
+// see. First-order programs are the out-of-core eligibility class
+// (out_of_core.h): a walk at node v needs only v's edge block resident, so
+// it can park at block boundaries and resume when the destination block
+// loads. Rejects any prev-node expression term (kInvDegreePrev,
+// kMaxDegreeCurPrev), any prev-node guard (kPostEqualsPrev, kLinkedToPrev,
+// kNotLinkedToPrev — their evaluation probes the previous node's adjacency),
+// and anything opaque. DeepWalk, PPR, temporal, and MetaPath qualify;
+// Node2Vec and second-order PageRank do not.
+bool IsFirstOrderProgram(const WeightProgram& program);
+
 }  // namespace flexi
 
 #endif  // FLEXIWALKER_SRC_COMPILER_ANALYZER_H_

@@ -1,0 +1,248 @@
+#include "src/graph/block_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace flexi {
+namespace {
+
+constexpr std::array<char, 8> kBlockMagic = {'F', 'X', 'W', 'B', 'L', 'K', '0', '1'};
+
+// Per-edge array presence flags in the header.
+constexpr uint32_t kFlagWeighted = 1u << 0;
+constexpr uint32_t kFlagLabeled = 1u << 1;
+constexpr uint32_t kFlagTemporal = 1u << 2;
+
+struct FileHeader {
+  uint32_t num_nodes = 0;
+  uint32_t num_blocks = 0;
+  uint64_t num_edges = 0;
+  uint64_t block_bytes = 0;
+  uint32_t flags = 0;
+  uint32_t max_degree = 0;
+  uint32_t num_labels = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+// The on-disk block index entry; kept explicit (not BlockMeta itself) so the
+// in-memory struct can evolve without a format bump.
+struct DiskBlock {
+  uint32_t first_node = 0;
+  uint32_t node_count = 0;
+  uint64_t first_edge = 0;
+  uint64_t edge_count = 0;
+  uint64_t payload_offset = 0;
+};
+static_assert(sizeof(DiskBlock) == 32);
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+size_t EdgeBytes(bool weighted, bool labeled, bool temporal) {
+  size_t bytes = sizeof(NodeId);
+  if (weighted) {
+    bytes += sizeof(float);
+  }
+  if (labeled) {
+    bytes += sizeof(uint8_t);
+  }
+  if (temporal) {
+    bytes += sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t PartitionToBlockFile(const Graph& graph, const std::string& path, size_t block_bytes) {
+  if (block_bytes < kMinBlockBytes) {
+    throw std::invalid_argument("PartitionToBlockFile: block_bytes below kMinBlockBytes");
+  }
+  const size_t per_edge = EdgeBytes(graph.weighted(), graph.labeled(), graph.temporal());
+  const NodeId n = graph.num_nodes();
+
+  // Greedy contiguous partition: extend the current block while its payload
+  // stays within budget; an oversized single row closes into its own block.
+  std::vector<DiskBlock> blocks;
+  {
+    NodeId first = 0;
+    while (first < n) {
+      NodeId last = first;
+      size_t bytes = 0;
+      while (last < n) {
+        size_t row = static_cast<size_t>(graph.Degree(last)) * per_edge;
+        if (last > first && bytes + row > block_bytes) {
+          break;
+        }
+        bytes += row;
+        ++last;
+        if (bytes > block_bytes) {
+          break;  // single oversized row — block of one node
+        }
+      }
+      DiskBlock b;
+      b.first_node = first;
+      b.node_count = last - first;
+      b.first_edge = graph.EdgesBegin(first);
+      b.edge_count = (last < n ? graph.EdgesBegin(last) : graph.num_edges()) - b.first_edge;
+      blocks.push_back(b);
+      first = last;
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("PartitionToBlockFile: cannot open " + path);
+  }
+  FileHeader header;
+  header.num_nodes = n;
+  header.num_blocks = static_cast<uint32_t>(blocks.size());
+  header.num_edges = graph.num_edges();
+  header.block_bytes = block_bytes;
+  header.flags = (graph.weighted() ? kFlagWeighted : 0) | (graph.labeled() ? kFlagLabeled : 0) |
+                 (graph.temporal() ? kFlagTemporal : 0);
+  header.max_degree = graph.MaxDegree();
+  header.num_labels = graph.num_labels();
+
+  // Payloads start right after header + row_ptr + index.
+  uint64_t offset = sizeof(kBlockMagic) + sizeof(FileHeader) +
+                    (static_cast<uint64_t>(n) + 1) * sizeof(EdgeId) +
+                    blocks.size() * sizeof(DiskBlock);
+  for (DiskBlock& b : blocks) {
+    b.payload_offset = offset;
+    offset += b.edge_count * per_edge;
+  }
+
+  out.write(kBlockMagic.data(), kBlockMagic.size());
+  WriteRaw(out, header);
+  std::span<const EdgeId> row = graph.row_offsets();
+  out.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size_bytes()));
+  for (const DiskBlock& b : blocks) {
+    WriteRaw(out, b);
+  }
+  for (const DiskBlock& b : blocks) {
+    // Row-addressed spans so this works on any owning graph; blocks are
+    // contiguous edge ranges, so one write per array covers the block.
+    std::span<const NodeId> adj = graph.adjacency().subspan(b.first_edge, b.edge_count);
+    out.write(reinterpret_cast<const char*>(adj.data()),
+              static_cast<std::streamsize>(adj.size_bytes()));
+    if (graph.weighted()) {
+      std::span<const float> w = graph.property_weights().subspan(b.first_edge, b.edge_count);
+      out.write(reinterpret_cast<const char*>(w.data()),
+                static_cast<std::streamsize>(w.size_bytes()));
+    }
+    if (graph.labeled()) {
+      for (EdgeId e = b.first_edge; e < b.first_edge + b.edge_count; ++e) {
+        uint8_t label = graph.EdgeLabel(e);
+        WriteRaw(out, label);
+      }
+    }
+    if (graph.temporal()) {
+      for (EdgeId e = b.first_edge; e < b.first_edge + b.edge_count; ++e) {
+        float ts = graph.EdgeTimestamp(e);
+        WriteRaw(out, ts);
+      }
+    }
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("PartitionToBlockFile: write failed for " + path);
+  }
+  return blocks.size();
+}
+
+BlockStore BlockStore::Open(const std::string& path, bool map) {
+  BlockStore store;
+  store.file_ = RandomAccessFile::Open(path, map);
+
+  std::array<char, 8> magic{};
+  store.file_.ReadAt(magic.data(), magic.size(), 0);
+  if (magic != kBlockMagic) {
+    throw std::runtime_error("BlockStore: bad magic in " + path);
+  }
+  FileHeader header;
+  store.file_.ReadAt(&header, sizeof(header), sizeof(kBlockMagic));
+  store.num_nodes_ = header.num_nodes;
+  store.num_edges_ = header.num_edges;
+  store.block_bytes_ = header.block_bytes;
+  store.max_degree_ = header.max_degree;
+  store.num_labels_ = static_cast<uint8_t>(header.num_labels);
+  store.weighted_ = (header.flags & kFlagWeighted) != 0;
+  store.labeled_ = (header.flags & kFlagLabeled) != 0;
+  store.temporal_ = (header.flags & kFlagTemporal) != 0;
+
+  uint64_t offset = sizeof(kBlockMagic) + sizeof(FileHeader);
+  store.row_ptr_.resize(static_cast<size_t>(store.num_nodes_) + 1);
+  store.file_.ReadAt(store.row_ptr_.data(), store.row_ptr_.size() * sizeof(EdgeId), offset);
+  offset += store.row_ptr_.size() * sizeof(EdgeId);
+  if (store.row_ptr_.back() != store.num_edges_) {
+    throw std::runtime_error("BlockStore: row_ptr does not close at num_edges");
+  }
+
+  store.blocks_.resize(header.num_blocks);
+  for (uint32_t b = 0; b < header.num_blocks; ++b) {
+    DiskBlock disk;
+    store.file_.ReadAt(&disk, sizeof(disk), offset);
+    offset += sizeof(disk);
+    BlockMeta& meta = store.blocks_[b];
+    meta.first_node = disk.first_node;
+    meta.node_count = disk.node_count;
+    meta.first_edge = disk.first_edge;
+    meta.edge_count = disk.edge_count;
+    meta.payload_offset = disk.payload_offset;
+  }
+  return store;
+}
+
+size_t BlockStore::BytesPerEdge() const { return EdgeBytes(weighted_, labeled_, temporal_); }
+
+uint32_t BlockStore::BlockOf(NodeId v) const {
+  // Last block whose first_node <= v; blocks cover [0, num_nodes) in order.
+  auto it = std::upper_bound(blocks_.begin(), blocks_.end(), v,
+                             [](NodeId node, const BlockMeta& b) { return node < b.first_node; });
+  return static_cast<uint32_t>(it - blocks_.begin()) - 1;
+}
+
+void BlockStore::ReadBlock(size_t b, BlockData& out) const {
+  const BlockMeta& meta = blocks_[b];
+  size_t edges = static_cast<size_t>(meta.edge_count);
+  uint64_t offset = meta.payload_offset;
+  out.adjacency.resize(edges);
+  file_.ReadAt(out.adjacency.data(), edges * sizeof(NodeId), offset);
+  offset += edges * sizeof(NodeId);
+  if (weighted_) {
+    out.weights.resize(edges);
+    file_.ReadAt(out.weights.data(), edges * sizeof(float), offset);
+    offset += edges * sizeof(float);
+  } else {
+    out.weights.clear();
+  }
+  if (labeled_) {
+    out.labels.resize(edges);
+    file_.ReadAt(out.labels.data(), edges * sizeof(uint8_t), offset);
+    offset += edges * sizeof(uint8_t);
+  } else {
+    out.labels.clear();
+  }
+  if (temporal_) {
+    out.timestamps.resize(edges);
+    file_.ReadAt(out.timestamps.data(), edges * sizeof(float), offset);
+  } else {
+    out.timestamps.clear();
+  }
+}
+
+Graph BlockStore::MakeBlockView(size_t b, const BlockData& data) const {
+  const BlockMeta& meta = blocks_[b];
+  return Graph::BlockView(row_ptr_, meta.first_edge, data.adjacency, data.weights, data.labels,
+                          num_labels_, data.timestamps, max_degree_);
+}
+
+}  // namespace flexi

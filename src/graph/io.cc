@@ -1,7 +1,13 @@
 #include "src/graph/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -267,6 +273,88 @@ Graph ReadBinaryFile(const std::string& path) {
     throw std::runtime_error("cannot open " + path);
   }
   return ReadBinary(in);
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (map_ != nullptr) {
+    ::munmap(map_, size_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), map_(other.map_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+  other.map_ = nullptr;
+}
+
+RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) {
+      ::munmap(map_, size_);
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    size_ = other.size_;
+    map_ = other.map_;
+    other.fd_ = -1;
+    other.size_ = 0;
+    other.map_ = nullptr;
+  }
+  return *this;
+}
+
+RandomAccessFile RandomAccessFile::Open(const std::string& path, bool map) {
+  RandomAccessFile file;
+  file.fd_ = ::open(path.c_str(), O_RDONLY);
+  if (file.fd_ < 0) {
+    throw std::runtime_error("RandomAccessFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(file.fd_, &st) != 0) {
+    throw std::runtime_error("RandomAccessFile: fstat " + path + ": " + std::strerror(errno));
+  }
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (map && file.size_ > 0) {
+    void* p = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, file.fd_, 0);
+    if (p == MAP_FAILED) {
+      throw std::runtime_error("RandomAccessFile: mmap " + path + ": " + std::strerror(errno));
+    }
+    file.map_ = p;
+  }
+  return file;
+}
+
+void RandomAccessFile::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
+  if (offset + bytes > size_) {
+    throw std::runtime_error("RandomAccessFile: read past end of file");
+  }
+  if (map_ != nullptr) {
+    std::memcpy(dst, static_cast<const char*>(map_) + offset, bytes);
+    return;
+  }
+  char* out = static_cast<char*>(dst);
+  size_t done = 0;
+  while (done < bytes) {
+    ssize_t n = ::pread(fd_, out + done, bytes - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("RandomAccessFile: pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error("RandomAccessFile: unexpected EOF");
+    }
+    done += static_cast<size_t>(n);
+  }
 }
 
 }  // namespace flexi

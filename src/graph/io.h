@@ -34,6 +34,39 @@ void WriteBinaryFile(const Graph& graph, const std::string& path);
 Graph ReadBinary(std::istream& in);
 Graph ReadBinaryFile(const std::string& path);
 
+// Read-only random-access file for the out-of-core block store
+// (block_store.h): positioned reads that are safe from concurrent callers
+// (pread never moves a shared cursor), with an optional private read-only
+// mmap of the whole file. In mapped mode ReadAt is a memcpy out of the
+// mapping — the kernel's page cache does the staging — while the unmapped
+// default keeps the process's resident set bounded by whatever the caller
+// copies out, which is what the graph cache's RSS budget relies on.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+  RandomAccessFile(RandomAccessFile&& other) noexcept;
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept;
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  // Opens `path` read-only; maps it when `map` is set. Throws
+  // std::runtime_error on any failure.
+  static RandomAccessFile Open(const std::string& path, bool map = false);
+
+  // Copies exactly `bytes` at `offset` into `dst`; throws on short read.
+  void ReadAt(void* dst, size_t bytes, uint64_t offset) const;
+
+  size_t size() const { return size_; }
+  bool mapped() const { return map_ != nullptr; }
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  size_t size_ = 0;
+  void* map_ = nullptr;
+};
+
 }  // namespace flexi
 
 #endif  // FLEXIWALKER_SRC_GRAPH_IO_H_

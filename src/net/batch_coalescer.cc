@@ -17,7 +17,7 @@ BatchCoalescer::BatchCoalescer(WalkService& service, Options options)
 
 BatchCoalescer::~BatchCoalescer() { Shutdown(); }
 
-bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done) {
+bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place) {
   size_t queries = starts.size();
   std::unique_lock<std::mutex> lock(mutex_);
   // Admission control. The idle special case (outstanding == 0) admits
@@ -74,7 +74,7 @@ bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done) {
   if (pending_.empty()) {
     window_opened_ = now;
   }
-  pending_.push_back({std::move(starts), std::move(done)});
+  pending_.push_back({std::move(starts), std::move(done), std::move(place)});
   pending_queries_ += queries;
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   queries_admitted_.fetch_add(queries, std::memory_order_relaxed);
@@ -108,11 +108,52 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
     walk_batch.starts.insert(walk_batch.starts.end(), request.starts.begin(),
                              request.starts.end());
   }
-  // One arena for the whole flushed batch: the scheduler's workers write
-  // every request's rows straight into it, and completion below hands out
-  // slices of the same allocation.
-  batch.arena = std::make_shared<PathArena>(queries, service_.path_stride());
-  batch.future = service_.SubmitInto(std::move(walk_batch), batch.arena->view());
+  // Resolve each request's row destination. A request with a PlaceFn
+  // scatters its rows into caller-owned storage (the server's preallocated
+  // response frames); the rest share one fallback arena for the whole
+  // batch, so a batch with no placements keeps the original single-
+  // allocation contiguous submit.
+  uint32_t stride = service_.path_stride();
+  batch.placements.resize(batch.requests.size());
+  size_t placed_queries = 0;
+  for (size_t r = 0; r < batch.requests.size(); ++r) {
+    PendingRequest& request = batch.requests[r];
+    if (request.place) {
+      batch.placements[r] = request.place(request.starts.size(), stride);
+      if (batch.placements[r].rows != nullptr) {
+        placed_queries += request.starts.size();
+      }
+    }
+  }
+  // Always present, possibly zero rows: completion slices it for every
+  // unplaced request (including empty ones), and the contiguous-submit
+  // branch hands its view to the service even for an all-empty batch.
+  batch.arena = std::make_shared<PathArena>(queries - placed_queries, stride);
+  if (placed_queries == 0) {
+    batch.placements.clear();
+    batch.future = service_.SubmitInto(std::move(walk_batch), batch.arena->view());
+  } else {
+    // Scattered layout: batch query id -> row pointer, placed requests into
+    // their frames, the rest packed front-to-back in the fallback arena (in
+    // request order, so completion can still slice it contiguously).
+    batch.row_ptrs.resize(queries);
+    PathArenaView fallback = batch.arena->view();
+    size_t query = 0;
+    size_t fallback_row = 0;
+    for (size_t r = 0; r < batch.requests.size(); ++r) {
+      size_t rows = batch.requests[r].starts.size();
+      NodeId* placed = batch.placements[r].rows;
+      for (size_t i = 0; i < rows; ++i) {
+        batch.row_ptrs[query++] =
+            placed != nullptr ? placed + i * stride : fallback.Row(fallback_row++);
+      }
+    }
+    PathArenaView view;
+    view.stride = stride;
+    view.rows = queries;
+    view.row_ptrs = batch.row_ptrs.data();
+    batch.future = service_.SubmitInto(std::move(walk_batch), view);
+  }
   lock.lock();
   inflight_.push_back(std::move(batch));
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
@@ -194,16 +235,30 @@ void BatchCoalescer::CompleteLoop() {
       cv_space_.notify_all();
       continue;
     }
-    for (PendingRequest& request : batch.requests) {
+    size_t fallback_row = 0;
+    for (size_t r = 0; r < batch.requests.size(); ++r) {
+      PendingRequest& request = batch.requests[r];
       RequestResult slice;
       slice.first_query_id = result.first_query_id + offset;
       slice.path_stride = result.walk.path_stride;
       slice.num_queries = request.starts.size();
-      // Zero-copy: the slice aliases the batch arena the workers wrote;
-      // shared ownership keeps the rows alive for as long as any callback
+      // Zero-copy: the slice aliases the rows the workers wrote — the
+      // request's own Placement, or its stretch of the fallback arena;
+      // shared ownership keeps them alive for as long as any callback
       // holds its result.
-      slice.paths = batch.arena->Slice(offset, slice.num_queries);
-      slice.arena = batch.arena;
+      const Placement* placed =
+          r < batch.placements.size() && batch.placements[r].rows != nullptr
+              ? &batch.placements[r]
+              : nullptr;
+      if (placed != nullptr) {
+        slice.placed = true;
+        slice.paths = {placed->rows, slice.num_queries * slice.path_stride};
+        slice.keepalive = placed->keepalive;
+      } else {
+        slice.paths = batch.arena->Slice(fallback_row, slice.num_queries);
+        slice.keepalive = batch.arena;
+        fallback_row += slice.num_queries;
+      }
       offset += slice.num_queries;
       request.done(std::move(slice));
     }

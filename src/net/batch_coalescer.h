@@ -76,18 +76,39 @@ class BatchCoalescer {
     OverflowPolicy overflow = OverflowPolicy::kBlock;
   };
 
+  // Where an admitted request's path rows should be written. A request's
+  // PlaceFn (optional Enqueue argument) is called once, on the flusher
+  // thread, just before its batch is submitted: return `rows` pointing at
+  // caller-owned storage of num_queries * path_stride NodeIds — contiguous,
+  // sizeof(NodeId)-aligned, prefilled with kInvalidNode — and the
+  // scheduler's workers write the request's rows straight there instead of
+  // into a batch arena. The WalkServer places rows inside preallocated
+  // response frames (wire.h BuildPlacedResponseFrame), which removes the
+  // last arena -> frame copy from the serving path. `keepalive` pins the
+  // storage; the coalescer holds it until the batch retires and the
+  // RequestResult carries it beyond. Returning rows == nullptr declines
+  // placement (the request falls back to the shared batch arena, e.g. on a
+  // big-endian host where native stores are not wire order).
+  struct Placement {
+    NodeId* rows = nullptr;
+    std::shared_ptr<const void> keepalive;
+  };
+  using PlaceFn = std::function<Placement(size_t num_queries, uint32_t path_stride)>;
+
   // One admitted request's slice of a finished batch. `paths` is a view of
-  // the batch's shared PathArena — the very rows the scheduler's workers
-  // wrote, never copied — valid for as long as `arena` (held by this
-  // result, or any copy of it) lives. A callback that needs the nodes past
-  // its own lifetime copies the span; the WalkServer instead serializes it
-  // straight into the connection's corked write buffer.
+  // the rows the scheduler's workers wrote — the request's Placement when
+  // `placed`, otherwise the batch's shared fallback PathArena — never
+  // copied, valid for as long as `keepalive` (held by this result, or any
+  // copy of it) lives. A callback that needs the nodes past its own
+  // lifetime copies the span; the WalkServer instead corks the placed frame
+  // the rows already live in.
   struct RequestResult {
     uint64_t first_query_id = 0;  // global id of the request's first query
     uint32_t path_stride = 0;
     size_t num_queries = 0;
+    bool placed = false;            // rows live in the request's Placement
     std::span<const NodeId> paths;  // num_queries rows of path_stride nodes
-    std::shared_ptr<const PathArena> arena;  // keeps `paths` alive
+    std::shared_ptr<const void> keepalive;  // keeps `paths` alive
   };
 
   // Invoked exactly once per admitted request, from the completer thread.
@@ -113,9 +134,12 @@ class BatchCoalescer {
   BatchCoalescer& operator=(const BatchCoalescer&) = delete;
 
   // Admits the request into the current window. Returns false — and never
-  // invokes `done` — when the request is rejected (kReject policy with the
-  // bound exceeded, or the coalescer is shut down).
-  bool Enqueue(std::vector<NodeId> starts, DoneFn done);
+  // invokes `done` (nor `place`) — when the request is rejected (kReject
+  // policy with the bound exceeded, or the coalescer is shut down). `place`
+  // optionally scatters the request's rows into caller-owned storage (see
+  // Placement); requests with and without placements coalesce into the same
+  // batches.
+  bool Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place = nullptr);
 
   // Stops admitting, flushes the pending window, waits for every in-flight
   // batch to complete and every callback to run, then joins both threads.
@@ -131,15 +155,24 @@ class BatchCoalescer {
   struct PendingRequest {
     std::vector<NodeId> starts;
     DoneFn done;
+    PlaceFn place;  // may be empty: rows fall back to the batch arena
   };
   struct InFlightBatch {
     std::future<BatchResult> future;
     std::vector<PendingRequest> requests;  // starts kept for slice offsets
-    // The batch's path storage: the scheduler's workers write rows directly
-    // into it (WalkService::SubmitInto) and completion hands each request a
+    // The batch's fallback path storage for requests without a Placement:
+    // the scheduler's workers write their rows directly into it
+    // (WalkService::SubmitInto) and completion hands each such request a
     // slice of it. Shared so straggling RequestResult holders keep it alive
-    // after the batch retires.
+    // after the batch retires. Null when every request placed its own rows.
     std::shared_ptr<PathArena> arena;
+    // Per-request placements, parallel to `requests` (rows == nullptr for
+    // fallback requests), and the scattered row-pointer table the submitted
+    // PathArenaView references — both must outlive batch execution. Empty
+    // when no request placed (the batch submits the arena contiguously, the
+    // pre-scatter fast path).
+    std::vector<Placement> placements;
+    std::vector<NodeId*> row_ptrs;
   };
 
   void FlushLoop();

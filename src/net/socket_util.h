@@ -6,6 +6,7 @@
 #define FLEXIWALKER_SRC_NET_SOCKET_UTIL_H_
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <cerrno>
 #include <cstddef>
@@ -26,6 +27,44 @@ inline bool SendAll(int fd, const uint8_t* data, size_t size) {
     }
     data += sent;
     size -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+// Gathered send loop over an iovec array — the cork-flush path of the
+// scatter-arena server, where one coalesced batch's responses live in
+// per-request frame buffers and go out as one sendmsg() instead of being
+// copied into a contiguous buffer first. Mutates the array in place to
+// account partial sends; chunks the array so a frame list longer than the
+// kernel's iovec ceiling still drains.
+inline bool SendAllVec(int fd, struct iovec* iov, size_t count) {
+  // Skip already-empty entries so msg_iovlen never starts at zero.
+  constexpr size_t kMaxIov = 1024;  // <= IOV_MAX on every supported kernel
+  while (count > 0 && iov->iov_len == 0) {
+    ++iov;
+    --count;
+  }
+  while (count > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count < kMaxIov ? count : kMaxIov;
+    ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    size_t left = static_cast<size_t>(sent);
+    while (count > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --count;
+    }
+    if (count > 0 && left > 0) {
+      iov->iov_base = static_cast<uint8_t*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
   }
   return true;
 }

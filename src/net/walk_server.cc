@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -126,6 +127,9 @@ void WalkServer::SendError(const std::shared_ptr<Connection>& conn, uint64_t tag
 
 void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
                               const WireResponseView& response) {
+  auto frame = std::make_shared<std::vector<uint8_t>>();
+  AppendResponseFrame(*frame, response);
+  CorkEntry entry{frame->data(), frame->size(), std::move(frame)};
   bool newly_dirty = false;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -133,7 +137,26 @@ void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
       return;
     }
     newly_dirty = conn->corked.empty();
-    AppendResponseFrame(conn->corked, response);
+    conn->corked.push_back(std::move(entry));
+  }
+  if (newly_dirty) {
+    std::lock_guard<std::mutex> lock(corked_mutex_);
+    corked_connections_.push_back(conn);
+  }
+}
+
+void WalkServer::CorkPlacedFrame(const std::shared_ptr<Connection>& conn,
+                                 std::shared_ptr<std::vector<uint8_t>> frame) {
+  std::span<const uint8_t> bytes = PlacedFrameBytes(*frame);
+  CorkEntry entry{bytes.data(), bytes.size(), std::move(frame)};
+  bool newly_dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->writable) {
+      return;
+    }
+    newly_dirty = conn->corked.empty();
+    conn->corked.push_back(std::move(entry));
   }
   if (newly_dirty) {
     std::lock_guard<std::mutex> lock(corked_mutex_);
@@ -147,13 +170,21 @@ void WalkServer::FlushCorkedWrites() {
     std::lock_guard<std::mutex> lock(corked_mutex_);
     dirty.swap(corked_connections_);
   }
+  std::vector<iovec> iov;
   for (const auto& conn : dirty) {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
     if (conn->corked.empty()) {
       continue;
     }
-    if (conn->writable && !SendAll(conn->fd, conn->corked.data(), conn->corked.size())) {
-      conn->writable = false;
+    if (conn->writable) {
+      iov.clear();
+      iov.reserve(conn->corked.size());
+      for (const CorkEntry& entry : conn->corked) {
+        iov.push_back({const_cast<uint8_t*>(entry.data), entry.size});
+      }
+      if (!SendAllVec(conn->fd, iov.data(), iov.size())) {
+        conn->writable = false;
+      }
     }
     conn->corked.clear();
   }
@@ -216,17 +247,41 @@ void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
         requests_rejected_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      // The callback runs on the coalescer's completion thread; `conn` is
-      // kept alive by the capture even if the reader exits first.
+      // Scatter-arena response path: preallocate the response frame and
+      // hand its payload region to the coalescer as the request's row
+      // placement — the scheduler's workers then write the walk's wire
+      // bytes directly (PathArenaView scattered mode), and completion only
+      // patches the global query id and corks the finished frame. Native
+      // row stores are wire order only on little-endian hosts; big-endian
+      // declines placement and keeps the serialize-on-completion path.
+      auto response_frame = std::make_shared<std::vector<uint8_t>>();
+      BatchCoalescer::PlaceFn place;
+      if constexpr (std::endian::native == std::endian::little) {
+        place = [response_frame, tag](size_t num_queries,
+                                      uint32_t path_stride) -> BatchCoalescer::Placement {
+          NodeId* rows = BuildPlacedResponseFrame(*response_frame, tag, path_stride,
+                                                  static_cast<uint32_t>(num_queries));
+          return {rows, response_frame};
+        };
+      }
+      // The callbacks run on the coalescer's flusher/completion threads;
+      // `conn` is kept alive by the capture even if the reader exits first.
       bool admitted = coalescer_.Enqueue(
-          std::move(frame.request.starts), [this, conn, tag](BatchCoalescer::RequestResult result) {
-            // The view aliases the batch arena (kept alive by result.arena
-            // across this call); CorkResponse serializes it straight into
-            // the connection's cork buffer — the only copy on the way out.
+          std::move(frame.request.starts),
+          [this, conn, tag, response_frame](BatchCoalescer::RequestResult result) {
+            if (result.placed) {
+              PatchPlacedResponseQueryId(*response_frame, result.first_query_id);
+              CorkPlacedFrame(conn, response_frame);
+              return;
+            }
+            // Fallback: the view aliases the batch arena (kept alive by
+            // result.keepalive across this call); CorkResponse serializes
+            // it into an owned frame — the only copy on the way out.
             WireResponseView response{tag, result.first_query_id, result.path_stride,
                                       static_cast<uint32_t>(result.num_queries), result.paths};
             CorkResponse(conn, response);
-          });
+          },
+          std::move(place));
       if (!admitted) {
         requests_rejected_.fetch_add(1, std::memory_order_relaxed);
         SendError(conn, tag,

@@ -83,12 +83,22 @@ class WalkServer {
   uint64_t frames_malformed() const { return frames_malformed_.load(); }
 
  private:
+  // One corked response awaiting the batch-complete flush: a view of frame
+  // bytes pinned by `owner`. Placed responses reference the very frame the
+  // scheduler's workers wrote their rows into (wire.h placed frames) —
+  // corking is then a pointer push, not a serialize — and the flush gathers
+  // every entry into one sendmsg().
+  struct CorkEntry {
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+    std::shared_ptr<const void> owner;
+  };
+
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
     bool writable = true;            // guarded by write_mutex
-    std::vector<uint8_t> corked;     // guarded by write_mutex; response frames
-                                     // awaiting the batch-complete flush
+    std::vector<CorkEntry> corked;   // guarded by write_mutex
     std::atomic<bool> done{false};   // reader exited; safe to join/reap
     std::thread reader;
 
@@ -106,14 +116,19 @@ class WalkServer {
                         const std::vector<uint8_t>& bytes);
   static void SendError(const std::shared_ptr<Connection>& conn, uint64_t tag,
                         WireErrorCode code, const std::string& message);
-  // Serializes a response frame straight into the connection's cork buffer
-  // — the payload span is the request's PathArena slice, so the walk rows
-  // move exactly once, arena bytes -> cork buffer; no intermediate frame
-  // vector exists. Everything corked since the last flush goes out as one
-  // send() when the coalescer's batch-complete hook fires: N
-  // same-connection responses per coalesced batch => 1 syscall, the
-  // write-side half of the coalescing win.
+  // Serializes a response frame into an owned buffer and corks it — the
+  // fallback write path for responses whose rows were not placed (the
+  // big-endian host case): one arena -> frame copy, then the shared flush.
   void CorkResponse(const std::shared_ptr<Connection>& conn, const WireResponseView& response);
+  // Corks an already-complete placed frame — the scatter-arena fast path:
+  // the workers wrote the rows into the frame during the walk, the
+  // first_query_id was just patched, so corking moves zero payload bytes.
+  void CorkPlacedFrame(const std::shared_ptr<Connection>& conn,
+                       std::shared_ptr<std::vector<uint8_t>> frame);
+  // Everything corked since the last flush goes out as one gathered
+  // sendmsg() (SendAllVec) when the coalescer's batch-complete hook fires:
+  // N same-connection responses per coalesced batch => 1 syscall, the
+  // write-side half of the coalescing win.
   void FlushCorkedWrites();
 
   WalkService& service_;

@@ -109,6 +109,37 @@ void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response
                                             response.paths});
 }
 
+NodeId* BuildPlacedResponseFrame(std::vector<uint8_t>& out, uint64_t tag, uint32_t path_stride,
+                                 uint32_t num_queries) {
+  size_t nodes = size_t{path_stride} * num_queries;
+  size_t payload = 25 + nodes * 4;  // type..count header + path nodes
+  out.clear();
+  out.reserve(kPlacedFramePad + kHeaderBytes + payload);
+  out.resize(kPlacedFramePad, 0);
+  PutU32(out, kWireMagic);
+  PutU32(out, static_cast<uint32_t>(payload));
+  out.push_back(static_cast<uint8_t>(FrameType::kResponse));
+  PutU64(out, tag);
+  PutU64(out, 0);  // first_query_id, patched at completion
+  PutU32(out, path_stride);
+  PutU32(out, num_queries);
+  size_t payload_offset = out.size();
+  // kInvalidNode is 0xFFFFFFFF, so a 0xFF fill prefills the rows exactly
+  // like an owning PathArena does.
+  out.resize(out.size() + nodes * 4, 0xFF);
+  NodeId* rows = reinterpret_cast<NodeId*>(out.data() + payload_offset);
+  // vector storage is allocator-aligned well past 4; the pad exists to keep
+  // the payload offset (36) a multiple of sizeof(NodeId) on top of that.
+  return (reinterpret_cast<uintptr_t>(rows) % alignof(NodeId)) == 0 ? rows : nullptr;
+}
+
+void PatchPlacedResponseQueryId(std::vector<uint8_t>& frame, uint64_t first_query_id) {
+  constexpr size_t kOffset = kPlacedFramePad + kHeaderBytes + 1 + 8;  // after type + tag
+  for (int i = 0; i < 8; ++i) {
+    frame[kOffset + i] = static_cast<uint8_t>(first_query_id >> (8 * i));
+  }
+}
+
 void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error) {
   FrameWriter frame(out, FrameType::kError);
   PutU64(out, error.tag);

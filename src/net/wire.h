@@ -95,6 +95,39 @@ void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& resp
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);
 void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error);
 
+// ---- placed response frames (the scatter-arena serving path) ----
+//
+// A *placed* frame is a response frame built before its walk runs: the
+// header is complete except first_query_id (unknown until the service
+// assigns ids at submit), and the path payload region is handed to the
+// scheduler as the request's arena rows — workers write wire bytes
+// directly, eliminating the arena -> frame copy on the response path.
+//
+// The buffer carries kPlacedFramePad leading pad bytes so the payload
+// lands sizeof(NodeId)-aligned: frame offset of the path nodes is 33
+// (8 header + 1 type + 8 tag + 8 first_query_id + 4 stride + 4 count),
+// so 3 pad bytes put them at buffer offset 36. Send from
+// PlacedFrameBytes(), which skips the pad.
+//
+// Little-endian hosts only: workers store native u32s into the payload,
+// which is only the wire's byte order on LE. BE callers must keep to
+// AppendResponseFrame (walk_server.cc gates on std::endian).
+inline constexpr size_t kPlacedFramePad = 3;
+
+// Appends pad + skeleton to `out` (which must be empty) and returns the
+// payload region: num_queries * path_stride NodeIds, 4-aligned, prefilled
+// with kInvalidNode. first_query_id is zero until patched.
+NodeId* BuildPlacedResponseFrame(std::vector<uint8_t>& out, uint64_t tag, uint32_t path_stride,
+                                 uint32_t num_queries);
+
+// Stamps the service-global first query id into a built placed frame.
+void PatchPlacedResponseQueryId(std::vector<uint8_t>& frame, uint64_t first_query_id);
+
+// The sendable region of a placed frame buffer (pad stripped).
+inline std::span<const uint8_t> PlacedFrameBytes(const std::vector<uint8_t>& frame) {
+  return {frame.data() + kPlacedFramePad, frame.size() - kPlacedFramePad};
+}
+
 enum class DecodeStatus {
   kFrame,      // one frame decoded
   kNeedMore,   // prefix of a valid frame; feed more bytes

@@ -125,13 +125,16 @@ inline void PrefetchEdgeSpans(const WalkContext& ctx, NodeId v) {
   if (degree == 0) {
     return;
   }
-  EdgeId begin = g.EdgesBegin(v);
-  PrefetchSpan(g.adjacency().data() + begin, static_cast<size_t>(degree) * sizeof(NodeId));
+  // Row-addressed spans, not raw-array-plus-global-EdgeId: on a block view
+  // (Graph::BlockView) the edge arrays hold only the resident block, so the
+  // row helpers apply the view's edge_base translation.
+  PrefetchSpan(g.Neighbors(v).data(), static_cast<size_t>(degree) * sizeof(NodeId));
   if (ctx.int8_weights != nullptr && !ctx.int8_weights->empty()) {
-    PrefetchSpan(ctx.int8_weights->codes().data() + begin, degree);
+    // The INT8 store is always a full-graph array (quantization is
+    // in-memory-only), so global edge ids index it directly.
+    PrefetchSpan(ctx.int8_weights->codes().data() + g.EdgesBegin(v), degree);
   } else if (g.weighted()) {
-    PrefetchSpan(g.property_weights().data() + begin,
-                 static_cast<size_t>(degree) * sizeof(float));
+    PrefetchSpan(g.NeighborWeights(v).data(), static_cast<size_t>(degree) * sizeof(float));
   }
 }
 

@@ -26,13 +26,29 @@ namespace flexi {
 // sized rows * stride for the view's lifetime; rows are the caller's to
 // alias or slice (each scheduler worker writes only the rows of the ids it
 // drew, so concurrent writers never overlap).
+//
+// Two layouts share the type:
+//   contiguous — `data` points at rows * stride NodeIds, row i at
+//                data + i * stride (the owning PathArena's layout);
+//   scattered  — `row_ptrs` points at `rows` per-row pointers, row i
+//                wherever row_ptrs[i] says. This is the serving stack's
+//                scatter-arena mode: each request's rows live inside its own
+//                preallocated response frame, so the scheduler's workers
+//                write wire bytes directly and the last arena -> frame copy
+//                disappears (batch_coalescer.h). The pointer table and every
+//                target row must outlive the run; each row must be
+//                sizeof(NodeId)-aligned and stride NodeIds long, prefilled
+//                with kInvalidNode exactly like an owning arena.
+// When `row_ptrs` is set it wins; Slice() is contiguous-only (scattered
+// callers slice their own placements, which they know to be contiguous).
 struct PathArenaView {
   NodeId* data = nullptr;
   uint32_t stride = 0;
   size_t rows = 0;
+  NodeId* const* row_ptrs = nullptr;
 
-  bool empty() const { return data == nullptr || rows == 0; }
-  NodeId* Row(size_t row) { return data + row * stride; }
+  bool empty() const { return (data == nullptr && row_ptrs == nullptr) || rows == 0; }
+  NodeId* Row(size_t row) { return row_ptrs != nullptr ? row_ptrs[row] : data + row * stride; }
   std::span<const NodeId> Slice(size_t first_row, size_t row_count) const {
     return {data + first_row * stride, row_count * stride};
   }

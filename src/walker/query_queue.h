@@ -23,7 +23,10 @@
 // id alone (scheduler.h), so which worker dispenses an id — and in what
 // order — cannot affect any walk. Paths are bit-identical across modes,
 // chunk sizes, steal schedules, and thread counts; scheduler_test.cc proves
-// it over the full matrix.
+// it over the full matrix. The same modes drive both execution tiers: the
+// in-memory WalkScheduler dispenses start nodes directly, and the
+// out-of-core driver (out_of_core.cc) dispenses a resident block's
+// parked-walk buffer through the index-only constructor.
 #ifndef FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
 #define FLEXIWALKER_SRC_WALKER_QUERY_QUEUE_H_
 
@@ -70,19 +73,20 @@ class QueryQueue {
   // WalkScheduler passes its worker count and SchedulerOptions::dispense.
   explicit QueryQueue(std::span<const NodeId> starts, unsigned workers = 1,
                       DispenseOptions options = {DispenseMode::kPerQuery, 0})
-      : starts_(starts.begin(), starts.end()), options_(options) {
-    // The packed range cursors hold two 32-bit indices, and the owner's
-    // unconditional overshoot pop bumps begin a little past end — so keep a
-    // whole power of two of headroom rather than reason about the exact
-    // wrap boundary: a queue at or past 2^31 ids (never seen in practice)
-    // falls back to per-query mode, which has no packed words at all.
-    if (starts_.size() >= (uint64_t{1} << 31)) {
-      options_.mode = DispenseMode::kPerQuery;
-    }
-    if (options_.mode != DispenseMode::kPerQuery) {
-      slot_count_ = std::max(1u, workers);
-      slots_ = std::make_unique<RangeSlot[]>(slot_count_);
-    }
+      : starts_(starts.begin(), starts.end()), count_(starts.size()), options_(options) {
+    Init(workers);
+  }
+
+  // Index-only queue: dispenses ids in [0, count) with Query::start left
+  // kInvalidNode. Every mode and chunking/stealing behavior applies
+  // unchanged — this is how the out-of-core driver (out_of_core.cc)
+  // dispenses a resident block's parked-walk buffer, whose entries carry
+  // their own start state, so both execution tiers share one dispensation
+  // subsystem (and the same DispenseOptions validation at the CLI).
+  explicit QueryQueue(uint64_t count, unsigned workers = 1,
+                      DispenseOptions options = {DispenseMode::kPerQuery, 0})
+      : count_(count), options_(options) {
+    Init(workers);
   }
 
   // Thread-safe: each call returns a distinct query until the queue drains.
@@ -110,15 +114,15 @@ class QueryQueue {
   std::optional<Query> Next(unsigned worker = 0) {
     if (options_.mode == DispenseMode::kPerQuery) {
       uint64_t id = counter_.fetch_add(1, std::memory_order_relaxed);
-      if (id >= starts_.size()) {
+      if (id >= count_) {
         return std::nullopt;
       }
-      return Query{id, starts_[id]};
+      return Query{id, StartOf(id)};
     }
     unsigned w = worker < slot_count_ ? worker : worker % slot_count_;
     for (;;) {
       if (std::optional<uint64_t> id = PopFront(slots_[w])) {
-        return Query{*id, starts_[*id]};
+        return Query{*id, StartOf(*id)};
       }
       if (RefillFromGlobal(w)) {
         continue;
@@ -129,7 +133,7 @@ class QueryQueue {
     }
   }
 
-  size_t size() const { return starts_.size(); }
+  size_t size() const { return count_; }
 
   // Number of queries actually handed out of the global counter so far
   // (into workers' private cursors in the chunked modes), clamped to
@@ -137,7 +141,7 @@ class QueryQueue {
   // never exceeds 100% even while racing claimants overshoot the raw ticket
   // counter on an empty queue.
   uint64_t dispensed() const {
-    return std::min<uint64_t>(counter_.load(std::memory_order_relaxed), starts_.size());
+    return std::min<uint64_t>(counter_.load(std::memory_order_relaxed), count_);
   }
 
   // Raw ticket counter (may transiently overshoot size() by the racing
@@ -155,6 +159,23 @@ class QueryQueue {
   uint64_t refills() const { return refills_.load(std::memory_order_relaxed); }
 
  private:
+  void Init(unsigned workers) {
+    // The packed range cursors hold two 32-bit indices, and the owner's
+    // unconditional overshoot pop bumps begin a little past end — so keep a
+    // whole power of two of headroom rather than reason about the exact
+    // wrap boundary: a queue at or past 2^31 ids (never seen in practice)
+    // falls back to per-query mode, which has no packed words at all.
+    if (count_ >= (uint64_t{1} << 31)) {
+      options_.mode = DispenseMode::kPerQuery;
+    }
+    if (options_.mode != DispenseMode::kPerQuery) {
+      slot_count_ = std::max(1u, workers);
+      slots_ = std::make_unique<RangeSlot[]>(slot_count_);
+    }
+  }
+
+  NodeId StartOf(uint64_t id) const { return starts_.empty() ? kInvalidNode : starts_[id]; }
+
   // One worker's claimed-but-unexecuted id range, packed (begin << 32) | end
   // so pops, refills, and steals are single-word CAS transitions. Padded to
   // its own cache line — per-worker isolation is the entire point.
@@ -188,7 +209,7 @@ class QueryQueue {
   // Claims the next chunk from the global counter into worker `w`'s cursor.
   // False when the counter is exhausted.
   bool RefillFromGlobal(unsigned w) {
-    uint64_t total = starts_.size();
+    uint64_t total = count_;
     uint64_t seen = counter_.load(std::memory_order_relaxed);
     if (seen >= total) {
       return false;
@@ -240,7 +261,8 @@ class QueryQueue {
     return false;
   }
 
-  std::vector<NodeId> starts_;
+  std::vector<NodeId> starts_;  // empty in the index-only form
+  uint64_t count_ = 0;
   DispenseOptions options_;
   unsigned slot_count_ = 0;
   std::unique_ptr<RangeSlot[]> slots_;

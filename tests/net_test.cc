@@ -438,10 +438,11 @@ TEST(BatchCoalescer, AdaptiveWindowStillCoalescesDenseTraffic) {
 }
 
 TEST(BatchCoalescer, RequestResultArenaOutlivesCoalescer) {
-  // The zero-copy contract: a RequestResult's path span aliases the batch's
-  // shared PathArena, and the shared_ptr it carries must keep those rows
-  // valid after the batch retires and even after the coalescer itself is
-  // destroyed.
+  // The zero-copy contract: a RequestResult's path span aliases the rows
+  // the workers wrote (here the batch's shared fallback PathArena — no
+  // placement was supplied), and the keepalive it carries must keep those
+  // rows valid after the batch retires and even after the coalescer itself
+  // is destroyed.
   Graph graph = CoalescerGraph();
   Node2VecWalk walk(2.0, 0.5, 8);
   WalkService service(graph, walk, ItsOptions(11), ItsStep());
@@ -458,10 +459,67 @@ TEST(BatchCoalescer, RequestResultArenaOutlivesCoalescer) {
     kept = future.get();
   }
   ASSERT_EQ(kept.num_queries, 3u);
-  ASSERT_TRUE(kept.arena != nullptr);
+  ASSERT_TRUE(kept.keepalive != nullptr);
   ASSERT_EQ(kept.paths.size(), 3u * kept.path_stride);
   for (size_t q = 0; q < 3; ++q) {
     EXPECT_EQ(kept.paths[q * kept.path_stride], 3 + q) << "row " << q << " start node";
+  }
+}
+
+TEST(BatchCoalescer, PlacedRowsMatchFallbackAndDirectSubmission) {
+  // Scatter-arena mode: a request that supplies a PlaceFn gets its rows
+  // written into caller-owned storage during the walk itself; requests
+  // without one share the batch's fallback arena. Mixing both in one
+  // coalesced batch must not change a single path relative to a direct
+  // submission of the same starts.
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk(2.0, 0.5, 9);
+  WalkService service(graph, walk, ItsOptions(21), ItsStep());
+  BatchCoalescer::Options options;
+  options.max_delay_ms = 100.0;
+  BatchCoalescer coalescer(service, options);
+
+  std::vector<std::pair<NodeId, NodeId>> requests = {{0, 4}, {4, 10}, {10, 11}, {11, 25}};
+  std::vector<std::shared_ptr<std::vector<NodeId>>> buffers(requests.size());
+  std::vector<std::promise<BatchCoalescer::RequestResult>> done(requests.size());
+  std::vector<std::future<BatchCoalescer::RequestResult>> futures;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    futures.push_back(done[r].get_future());
+    BatchCoalescer::PlaceFn place;
+    if (r % 2 == 0) {  // even requests place their rows, odd ones fall back
+      place = [&buffers, r](size_t num_queries,
+                            uint32_t stride) -> BatchCoalescer::Placement {
+        buffers[r] = std::make_shared<std::vector<NodeId>>(num_queries * stride, kInvalidNode);
+        return {buffers[r]->data(), buffers[r]};
+      };
+    }
+    ASSERT_TRUE(coalescer.Enqueue(
+        Range(requests[r].first, requests[r].second),
+        [&done, r](BatchCoalescer::RequestResult result) { done[r].set_value(std::move(result)); },
+        std::move(place)));
+  }
+  std::vector<BatchCoalescer::RequestResult> results;
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+
+  WalkService direct(graph, walk, ItsOptions(21), ItsStep());
+  BatchResult reference = direct.Submit({Range(0, 25)}).get();
+  uint64_t offset = 0;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    size_t queries = requests[r].second - requests[r].first;
+    EXPECT_EQ(results[r].placed, r % 2 == 0) << "request " << r;
+    if (r % 2 == 0) {
+      ASSERT_TRUE(buffers[r] != nullptr);
+      EXPECT_EQ(results[r].paths.data(), buffers[r]->data())
+          << "placed rows must alias the placement, not a copy";
+    }
+    std::vector<NodeId> expected(
+        reference.walk.paths.begin() + offset * reference.walk.path_stride,
+        reference.walk.paths.begin() + (offset + queries) * reference.walk.path_stride);
+    std::vector<NodeId> got(results[r].paths.begin(), results[r].paths.end());
+    EXPECT_EQ(got, expected) << "request " << r;
+    offset += queries;
   }
 }
 
