@@ -25,12 +25,24 @@
 // in flight, so the admission stream stays busy without lock-stepping every
 // client to the same batch boundary. Latency numbers are wall-clock on the
 // host and vary by machine; the QPS shape across windows is the result.
+//
+// Connection-count sweep (the event-loop tentpole's acceptance criterion):
+// N concurrent connections — far past what a thread-per-connection reader
+// could politely host — drive TWO registered workloads over the epoll event
+// loop, one request in flight per connection. QPS/p50/p99 vs N lands in
+// BENCH_net.json (net_configs; --json <path> overrides) for the CI perf
+// trajectory, and every sweep re-verifies bit-parity per workload: served
+// rows, sorted by service-global query id (= admission order, however the
+// arrival interleaving went), must equal a one-shot engine run over the
+// starts in that order.
+//
 // --quick shrinks the run for CI smoke.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -186,11 +198,144 @@ LoadStats RunLoad(const Graph& graph, const WalkLogic& walk, const FlexiWalkerOp
   return stats;
 }
 
+// Connection-count sweep row: N connections, one request in flight each,
+// split across two workloads on one server.
+struct SweepRow {
+  int connections = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  bool parity = false;
+};
+
+// One request's record for post-hoc parity: which workload, where the
+// service placed it (global id = admission order), what was asked and what
+// came back.
+struct RequestRecord {
+  uint64_t first_query_id = 0;
+  NodeId start = 0;
+  std::vector<NodeId> paths;
+};
+
+// Drives `connections` concurrent clients (each its own connection, one
+// request in flight) against a two-workload event-loop server, then checks
+// each workload's served rows — sorted by global query id — against a
+// one-shot engine run over the starts in that admission order. Arrival
+// interleaving across connections is nondeterministic; the sorted-by-id
+// reconstruction is exactly the order the coalescer admitted, so parity
+// must be bit-exact anyway.
+SweepRow RunConnectionSweep(const Graph& graph, const WalkLogic& walk_a, const WalkLogic& walk_b,
+                            const FlexiWalkerOptions& options, int connections,
+                            int requests_per_conn) {
+  auto service_a = MakeFlexiWalkerService(graph, walk_a, options, kBenchSeed, 2);
+  auto service_b = MakeFlexiWalkerService(graph, walk_b, options, kBenchSeed + 1, 2);
+  WalkServer::Options server_options;
+  server_options.port = 0;
+  server_options.backlog = 1024;
+  server_options.event_threads = 2;
+  server_options.coalescer.max_delay_ms = 0.3;
+  WalkServer server(*service_a, graph.num_nodes(), server_options);
+  BatchCoalescer::Options admission_b;
+  admission_b.max_delay_ms = 0.3;
+  uint32_t workload_b = server.RegisterWorkload("b", *service_b, admission_b);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::vector<RequestRecord>> records_a(connections);
+  std::vector<std::vector<RequestRecord>> records_b(connections);
+  std::atomic<bool> failed{false};
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      WalkClient client;
+      if (!client.Connect("127.0.0.1", server.port())) {
+        failed.store(true);
+        return;
+      }
+      for (int r = 0; r < requests_per_conn; ++r) {
+        uint32_t workload = static_cast<uint32_t>((c + r) % 2 == 0 ? 0 : workload_b);
+        NodeId start = static_cast<NodeId>((c * 257 + r * 31) % graph.num_nodes());
+        auto t0 = std::chrono::steady_clock::now();
+        WalkClient::Result result;
+        try {
+          result = client.Walk({start}, workload == 0 ? 0 : workload_b);
+        } catch (const std::exception&) {
+          failed.store(true);
+          return;
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        latencies[c].push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+        RequestRecord record{result.first_query_id, start,
+                             {result.paths.begin(), result.paths.end()}};
+        (workload == 0 ? records_a : records_b)[c].push_back(std::move(record));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+  if (failed.load()) {
+    std::fprintf(stderr, "connection sweep failed at %d connections\n", connections);
+    std::exit(1);
+  }
+  server.Stop();
+  service_a->Shutdown();
+  service_b->Shutdown();
+
+  // Per-workload parity: admission order is the sort by global id.
+  auto check = [&](std::vector<std::vector<RequestRecord>>& per_conn, const WalkLogic& walk,
+                   uint64_t seed) {
+    std::vector<RequestRecord> all;
+    for (auto& records : per_conn) {
+      for (auto& record : records) {
+        all.push_back(std::move(record));
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const RequestRecord& x, const RequestRecord& y) {
+                return x.first_query_id < y.first_query_id;
+              });
+    std::vector<NodeId> starts;
+    std::vector<NodeId> served;
+    for (auto& record : all) {
+      starts.push_back(record.start);
+      served.insert(served.end(), record.paths.begin(), record.paths.end());
+    }
+    WalkResult engine_result = FlexiWalkerEngine(options).Run(graph, walk, starts, seed);
+    return served == engine_result.paths;
+  };
+  SweepRow row;
+  row.connections = connections;
+  row.parity = check(records_a, walk_a, kBenchSeed) && check(records_b, walk_b, kBenchSeed + 1);
+  std::vector<double> all;
+  for (auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  double wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  row.qps = static_cast<double>(all.size()) / wall_s;
+  row.p50_us = Percentile(all, 0.50);
+  row.p99_us = Percentile(all, 0.99);
+  return row;
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
+  std::string json_path = "BENCH_net.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 1;
     }
   }
   PrintHeader("Network serving: QPS / latency vs coalesce window",
@@ -269,6 +414,58 @@ int Main(int argc, char** argv) {
               without_cache.qps > 0.0 ? qps_best / without_cache.qps : 0.0);
   std::printf("served paths stayed bit-identical to the one-shot engine in every "
               "configuration above.\n");
+
+  // --- Tentpole: connection-count sweep on the epoll event loop, two
+  // workloads on one server, per-workload bit-parity re-checked at every
+  // scale. ---
+  DeepWalk sweep_walk_b(16);
+  std::vector<int> connection_counts = quick ? std::vector<int>{64, 256}
+                                             : std::vector<int>{64, 128, 256, 512};
+  int requests_per_conn = quick ? 8 : 32;
+  std::printf("\nconnection sweep: N connections x %d single-query requests, one in flight "
+              "each, 2 workloads (deepwalk len-16 cached x2), epoll event loop, 2 event "
+              "threads\n",
+              requests_per_conn);
+  Table sweep_table({"connections", "QPS", "p50_us", "p99_us", "parity"});
+  std::vector<SweepRow> sweep_rows;
+  bool sweep_parity_ok = true;
+  for (int connections : connection_counts) {
+    SweepRow row = RunConnectionSweep(graph, deepwalk, sweep_walk_b, cached_options, connections,
+                                      requests_per_conn);
+    sweep_parity_ok &= row.parity;
+    sweep_table.AddRow({std::to_string(row.connections), Table::Num(row.qps),
+                        Table::Num(row.p50_us), Table::Num(row.p99_us),
+                        row.parity ? "bit-identical" : "MISMATCH"});
+    sweep_rows.push_back(row);
+  }
+  sweep_table.Print();
+  if (!sweep_parity_ok) {
+    std::fprintf(stderr, "connection sweep paths diverged from the one-shot engines\n");
+    return 1;
+  }
+
+  // --- BENCH_net.json: the sweep's per-config numbers for CI trend
+  // tracking. Schema: {meta: {...}, bench, quick, net_configs:
+  // [{connections, qps, p50_us, p99_us}]}. ---
+  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json, "{\n");
+    WriteBenchMetaJson(json, "net_serving", quick);
+    std::fprintf(json, "  \"bench\": \"net_serving\",\n  \"quick\": %s,\n  \"net_configs\": [\n",
+                 quick ? "true" : "false");
+    for (size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& row = sweep_rows[i];
+      std::fprintf(json,
+                   "    {\"connections\": %d, \"qps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   row.connections, row.qps, row.p50_us, row.p99_us,
+                   i + 1 == sweep_rows.size() ? "" : ",");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nconnection-sweep QPS/p50/p99 written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
   return 0;
 }
 

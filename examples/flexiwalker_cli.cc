@@ -83,6 +83,15 @@ struct CliOptions {
   size_t admit = 1 << 16;       // admission bound (queries, pending + in flight)
   std::string overflow = "block";  // block|reject when the bound is hit
   unsigned pipeline = 2;        // WalkService in-flight batch depth
+  std::string event_loop = "on";  // raw --event-loop text
+  bool event_loop_on = true;      // epoll reader/writer loops vs thread-per-connection
+  bool event_loop_set = false;    // flag given explicitly
+  // Extra workloads to register on the server besides the primary --workload
+  // (which is always workload id 0, name "default"). Comma-separated
+  // name[:admit=N][:overflow=block|reject] entries; see docs/SERVING.md.
+  std::string workloads;
+  uint32_t workload_id = 0;     // client mode: route requests to this workload
+  bool workload_id_set = false;
   bool static_cache = false;    // FlexiWalkerOptions::cache_static_tables
   std::string adaptive_window = "on";  // raw --adaptive-window text
   bool adaptive_window_on = true;
@@ -141,6 +150,14 @@ void PrintUsage() {
       "  --admit    <n>           admission bound, queries pending+in-flight (default 65536)\n"
       "  --overflow <block|reject> backpressure when the bound is hit (default block)\n"
       "  --pipeline <n>           in-flight batch depth on the WalkService (default 2)\n"
+      "  --event-loop <on|off>    epoll event loop for the server's socket I/O (default\n"
+      "                           on; off = blocking reader thread per connection)\n"
+      "  --workloads <spec>       register extra workloads on the server besides the\n"
+      "                           primary --workload (always id 0): comma-separated\n"
+      "                           name[:admit=<n>][:overflow=<block|reject>] entries,\n"
+      "                           e.g. deepwalk:admit=1024:overflow=reject,ppr\n"
+      "  --workload-id <n>        client mode: route requests to server workload <n>\n"
+      "                           (default 0; nonzero emits v2 request frames)\n"
       "  --static-cache           cached static-walk fast path: serve static workloads\n"
       "                           (deepwalk/unweighted) from per-node alias tables\n"
       "  --adaptive-window <on|off> EWMA-adaptive coalesce window: flush immediately\n"
@@ -189,6 +206,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       {"--weights", &options.weights},   {"--out", &options.out_path},
       {"--connect", &options.connect},   {"--overflow", &options.overflow},
       {"--steal", &options.steal},       {"--adaptive-window", &options.adaptive_window},
+      {"--event-loop", &options.event_loop}, {"--workloads", &options.workloads},
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -221,6 +239,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         options.dispense_set = true;
       } else if (arg == "--adaptive-window") {
         options.adaptive_window_set = true;
+      } else if (arg == "--event-loop") {
+        options.event_loop_set = true;
       }
     } else if (arg == "--alpha") {
       const char* value = needs_value("--alpha");
@@ -339,6 +359,14 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.pipeline = static_cast<unsigned>(depth);
+    } else if (arg == "--workload-id") {
+      const char* value = needs_value("--workload-id");
+      unsigned long long id = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--workload-id", value, 0xFFFFFFFFull, id)) {
+        return false;
+      }
+      options.workload_id = static_cast<uint32_t>(id);
+      options.workload_id_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -347,7 +375,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
   // Resolve the on|off flags once, here, so every consumer reads one bool
   // instead of re-deriving the mapping from the raw text.
   return ParseOnOff("--steal", options.steal, options.steal_on) &&
-         ParseOnOff("--adaptive-window", options.adaptive_window, options.adaptive_window_on);
+         ParseOnOff("--adaptive-window", options.adaptive_window, options.adaptive_window_on) &&
+         ParseOnOff("--event-loop", options.event_loop, options.event_loop_on);
 }
 
 // --steal was parsed into steal_on by ParseArgs; --chunk range-checked too.
@@ -528,6 +557,84 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
   return 0;
 }
 
+// One --workloads entry: a workload name plus optional per-workload
+// admission overrides (defaults inherit the primary --admit/--overflow).
+struct WorkloadSpec {
+  std::string name;
+  size_t admit = 0;
+  std::string overflow;
+};
+
+// Parses "name[:admit=<n>][:overflow=<block|reject>],..." — every name must
+// be a known workload, names must be unique (each is a routing key), and
+// "default" is reserved for the primary --workload at id 0.
+bool ParseWorkloadSpecs(const CliOptions& options, std::vector<WorkloadSpec>& specs) {
+  std::string text = options.workloads;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string entry = text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                    : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (entry.empty()) {
+      std::fprintf(stderr, "bad --workloads entry: empty name\n");
+      return false;
+    }
+    WorkloadSpec spec;
+    spec.admit = options.admit;
+    spec.overflow = options.overflow;
+    size_t field = 0;
+    size_t colon = entry.find(':');
+    spec.name = entry.substr(0, colon);
+    while (colon != std::string::npos) {
+      field = colon + 1;
+      colon = entry.find(':', field);
+      std::string suffix = entry.substr(field, colon == std::string::npos ? std::string::npos
+                                                                          : colon - field);
+      if (suffix.rfind("admit=", 0) == 0) {
+        unsigned long long n = 0;
+        if (!ParseUnsignedFlag("--workloads admit", suffix.c_str() + 6, 1ull << 32, n) ||
+            n == 0) {
+          std::fprintf(stderr, "bad --workloads entry: %s\n", entry.c_str());
+          return false;
+        }
+        spec.admit = static_cast<size_t>(n);
+      } else if (suffix.rfind("overflow=", 0) == 0) {
+        spec.overflow = suffix.substr(9);
+        if (spec.overflow != "block" && spec.overflow != "reject") {
+          std::fprintf(stderr, "bad --workloads entry: %s (overflow wants block|reject)\n",
+                       entry.c_str());
+          return false;
+        }
+      } else {
+        std::fprintf(stderr, "bad --workloads entry: %s (unknown suffix \"%s\")\n",
+                     entry.c_str(), suffix.c_str());
+        return false;
+      }
+    }
+    if (spec.name == "default") {
+      std::fprintf(stderr,
+                   "bad --workloads entry: \"default\" is reserved for the primary "
+                   "--workload (id 0)\n");
+      return false;
+    }
+    for (const WorkloadSpec& existing : specs) {
+      if (existing.name == spec.name) {
+        std::fprintf(stderr, "bad --workloads entry: duplicate name %s\n", spec.name.c_str());
+        return false;
+      }
+    }
+    CliOptions probe = options;
+    probe.workload = spec.name;
+    if (MakeWorkload(probe) == nullptr) {
+      std::fprintf(stderr, "bad --workloads entry: unknown workload %s\n", spec.name.c_str());
+      return false;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return true;
+}
+
 // --listen: serve the prepared (graph, workload) over TCP until stdin EOF
 // or "quit". Requests coalesce into scheduler-sized batches under the
 // configured window/threshold, with admission backpressure; see
@@ -543,6 +650,10 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
                  options.overflow.c_str());
     return kExitUsage;
   }
+  std::vector<WorkloadSpec> specs;
+  if (!options.workloads.empty() && !ParseWorkloadSpecs(options, specs)) {
+    return kExitUsage;
+  }
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
@@ -553,6 +664,7 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
 
   WalkServer::Options server_options;
   server_options.port = static_cast<uint16_t>(options.listen_port);
+  server_options.event_loop = options.event_loop_on;
   server_options.coalescer.max_delay_ms = options.coalesce_us / 1000.0;
   server_options.coalescer.adaptive_window = options.adaptive_window_on;
   server_options.coalescer.max_batch_queries = options.max_batch;
@@ -561,17 +673,46 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
                                           ? BatchCoalescer::OverflowPolicy::kReject
                                           : BatchCoalescer::OverflowPolicy::kBlock;
   WalkServer server(*service, graph.num_nodes(), server_options);
+
+  // Extra workloads share the graph and engine configuration but get their
+  // own WalkLogic, WalkService (seeded off the workload id so streams stay
+  // independent), and admission quota.
+  std::vector<std::unique_ptr<WalkLogic>> extra_logics;
+  std::vector<std::unique_ptr<WalkService>> extra_services;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const WorkloadSpec& spec = specs[i];
+    CliOptions spec_options = options;
+    spec_options.workload = spec.name;
+    extra_logics.push_back(MakeWorkload(spec_options));
+    extra_services.push_back(MakeFlexiWalkerService(graph, *extra_logics.back(), engine_options,
+                                                    options.seed + i + 1, options.pipeline));
+    BatchCoalescer::Options admission = server_options.coalescer;
+    admission.max_outstanding_queries = spec.admit;
+    admission.overflow = spec.overflow == "reject" ? BatchCoalescer::OverflowPolicy::kReject
+                                                   : BatchCoalescer::OverflowPolicy::kBlock;
+    uint32_t id = server.RegisterWorkload(spec.name, *extra_services.back(), admission);
+    std::printf("workload %u: %s | admit %zu | overflow %s\n", id, spec.name.c_str(), spec.admit,
+                spec.overflow.c_str());
+  }
+
+  auto shutdown_services = [&] {
+    service->Shutdown();
+    for (auto& extra : extra_services) {
+      extra->Shutdown();
+    }
+  };
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
-    service->Shutdown();
+    shutdown_services();
     return kExitUsage;
   }
   std::printf(
       "listening on 127.0.0.1:%u | %u workers | coalesce window %u us | max batch %zu | "
-      "pipeline %u | overflow %s | EOF or \"quit\" stops\n",
+      "pipeline %u | overflow %s | %s | EOF or \"quit\" stops\n",
       server.port(), service->num_threads(), options.coalesce_us, options.max_batch,
-      service->pipeline_depth(), options.overflow.c_str());
+      service->pipeline_depth(), options.overflow.c_str(),
+      options.event_loop_on ? "epoll event loop" : "blocking reader threads");
   std::fflush(stdout);
 
   std::string line;
@@ -583,7 +724,11 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   server.Stop();
   uint64_t queries = service->queries_submitted();
   uint64_t batches = service->batches_completed();
-  service->Shutdown();
+  for (const auto& extra : extra_services) {
+    queries += extra->queries_submitted();
+    batches += extra->batches_completed();
+  }
+  shutdown_services();
   std::printf("served %llu queries in %llu batches | %llu connections | %llu requests "
               "(%llu rejected, %llu malformed frames)\n",
               static_cast<unsigned long long>(queries), static_cast<unsigned long long>(batches),
@@ -636,7 +781,7 @@ int Client(const CliOptions& options) {
       continue;
     }
     try {
-      WalkClient::Result result = client.Walk(std::move(starts));
+      WalkClient::Result result = client.Walk(std::move(starts), options.workload_id);
       std::printf("request %llu: %zu queries | qid [%llu, %llu)\n",
                   static_cast<unsigned long long>(requests), result.num_queries,
                   static_cast<unsigned long long>(result.first_query_id),
@@ -669,6 +814,20 @@ int Run(const CliOptions& options) {
   // TCP server; reject rather than silently ignore the flag elsewhere.
   if (options.adaptive_window_set && options.listen_port < 0) {
     std::fprintf(stderr, "--adaptive-window applies only to --listen mode\n");
+    return kExitUsage;
+  }
+  // Event-loop selection and workload registration exist only on the TCP
+  // server; workload routing only in the client. Reject rather than ignore.
+  if (options.event_loop_set && options.listen_port < 0) {
+    std::fprintf(stderr, "--event-loop applies only to --listen mode\n");
+    return kExitUsage;
+  }
+  if (!options.workloads.empty() && options.listen_port < 0) {
+    std::fprintf(stderr, "--workloads applies only to --listen mode\n");
+    return kExitUsage;
+  }
+  if (options.workload_id_set && options.connect.empty()) {
+    std::fprintf(stderr, "--workload-id applies only to --connect mode\n");
     return kExitUsage;
   }
   // The out-of-core tier exists only behind the flexiwalker engine (the

@@ -5,11 +5,13 @@ Usage: perf_trajectory.py <previous.json> <current.json> [--threshold 0.10]
 
 Compares the dispensation sweep configs (matched on threads + mode: QPS down
 or p50/p99 up is a regression), the wavefront sweep configs (matched on
-threads + wavefront: steps/sec down is a regression), and the out-of-core
+threads + wavefront: steps/sec down is a regression), the out-of-core
 cache sweep (matched on cache_blocks: QPS/steps-per-sec down or
-peak-RSS up is a regression) between the previous CI run's artifact and the
-current run. Sections absent from a document are skipped, so the same script
-diffs BENCH_scheduler.json and BENCH_outofcore.json alike. Regressions beyond the threshold are
+peak-RSS up is a regression), and the event-loop serving sweep (matched on
+connections: QPS down or p50/p99 up is a regression) between the previous CI
+run's artifact and the current run. Sections absent from a document are
+skipped, so the same script diffs BENCH_scheduler.json, BENCH_outofcore.json,
+and BENCH_net.json alike. Regressions beyond the threshold are
 emitted as GitHub Actions ::warning:: annotations — the job is annotated,
 never failed, because wall-clock numbers on shared CI runners are noisy and
 a trajectory is advisory. Always exits 0 unless the inputs are unreadable.
@@ -106,6 +108,11 @@ def main():
         # the regression the memory-bounded tier exists to prevent.
         ("cache_configs", ("cache_blocks",),
          [("qps", True), ("steps_per_sec", True), ("peak_rss_bytes", False)]),
+        # Event-loop serving connection sweep (bench_net_serving): throughput
+        # down or tail latency up at the same connection count is a serving
+        # regression.
+        ("net_configs", ("connections",),
+         [("qps", True), ("p50_us", False), ("p99_us", False)]),
     ]
     for section, keys, metrics in sweeps:
         prev_rows = index_by(prev_doc.get(section, []), keys)

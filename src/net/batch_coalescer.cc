@@ -18,6 +18,21 @@ BatchCoalescer::BatchCoalescer(WalkService& service, Options options)
 BatchCoalescer::~BatchCoalescer() { Shutdown(); }
 
 bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place) {
+  return EnqueueLocked(starts, done, place, /*allow_block=*/true) == AdmitStatus::kAdmitted;
+}
+
+BatchCoalescer::AdmitStatus BatchCoalescer::TryEnqueue(std::vector<NodeId>& starts, DoneFn& done,
+                                                       PlaceFn& place) {
+  return EnqueueLocked(starts, done, place, /*allow_block=*/false);
+}
+
+size_t BatchCoalescer::outstanding_queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_queries_ + inflight_queries_;
+}
+
+BatchCoalescer::AdmitStatus BatchCoalescer::EnqueueLocked(std::vector<NodeId>& starts, DoneFn& done,
+                                                          PlaceFn& place, bool allow_block) {
   size_t queries = starts.size();
   std::unique_lock<std::mutex> lock(mutex_);
   // Admission control. The idle special case (outstanding == 0) admits
@@ -28,17 +43,22 @@ bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn pl
   };
   if (shutdown_) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return AdmitStatus::kRejected;
   }
   if (!has_space()) {
     if (options_.overflow == OverflowPolicy::kReject) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return AdmitStatus::kRejected;
+    }
+    if (!allow_block) {
+      // Not a rejection: nothing was dropped, the caller will re-present
+      // the same request after a batch completes frees space.
+      return AdmitStatus::kWouldBlock;
     }
     cv_space_.wait(lock, [&] { return shutdown_ || has_space(); });
     if (shutdown_) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return AdmitStatus::kRejected;
     }
   }
   auto now = std::chrono::steady_clock::now();
@@ -79,7 +99,7 @@ bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn pl
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   queries_admitted_.fetch_add(queries, std::memory_order_relaxed);
   cv_flush_.notify_one();
-  return true;
+  return AdmitStatus::kAdmitted;
 }
 
 void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count) {

@@ -141,6 +141,29 @@ class BatchCoalescer {
   // batches.
   bool Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place = nullptr);
 
+  // Non-blocking admission for callers that must never sleep — the epoll
+  // event loop, whose thread multiplexes every connection. Identical to
+  // Enqueue except that under kBlock with the bound exceeded it returns
+  // kWouldBlock immediately instead of waiting on cv_space_; the caller
+  // parks the request (and stops reading that connection) and retries when
+  // a batch completes. kReject still maps to kRejected, shutdown to
+  // kRejected as well (callers answer kShuttingDown from their own state).
+  //
+  // The arguments are lvalue references so a parked retry is free: they are
+  // moved from only on kAdmitted and left untouched otherwise — the caller
+  // re-presents the very same request later without copying the starts.
+  enum class AdmitStatus {
+    kAdmitted,
+    kRejected,     // kReject overflow, or shut down — answer the client now
+    kWouldBlock,   // kBlock overflow — park and retry after a completion
+  };
+  AdmitStatus TryEnqueue(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place);
+
+  // Pending + in-flight queries right now. Fault-injection tests assert
+  // this drains to zero after torn connections — a dropped connection must
+  // not leak its admitted slots.
+  size_t outstanding_queries() const;
+
   // Stops admitting, flushes the pending window, waits for every in-flight
   // batch to complete and every callback to run, then joins both threads.
   // Idempotent.
@@ -185,11 +208,16 @@ class BatchCoalescer {
   // the arrival-order -> global-id mapping intact.
   void FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count);
 
+  // Shared admission body: blocks on cv_space_ only when `allow_block`;
+  // moves from the arguments only on kAdmitted.
+  AdmitStatus EnqueueLocked(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place,
+                            bool allow_block);
+
   WalkService& service_;
   Options options_;
   std::function<void()> on_batch_complete_;  // may be empty
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_flush_;       // flusher waits for work/deadline
   std::condition_variable cv_complete_;    // completer waits for in-flight batches
   std::condition_variable cv_space_;       // blocked producers wait for room

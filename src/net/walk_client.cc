@@ -67,7 +67,8 @@ bool WalkClient::connected() const {
   return open_;
 }
 
-std::future<WalkClient::Result> WalkClient::Submit(std::vector<NodeId> starts) {
+std::future<WalkClient::Result> WalkClient::Submit(std::vector<NodeId> starts,
+                                                   uint32_t workload_id) {
   std::promise<Result> promise;
   std::future<Result> future = promise.get_future();
   uint64_t tag = 0;
@@ -85,6 +86,7 @@ std::future<WalkClient::Result> WalkClient::Submit(std::vector<NodeId> starts) {
   }
   WireRequest request;
   request.tag = tag;
+  request.workload_id = workload_id;
   request.starts = std::move(starts);
   std::vector<uint8_t> bytes;
   AppendRequestFrame(bytes, request);
@@ -105,8 +107,8 @@ std::future<WalkClient::Result> WalkClient::Submit(std::vector<NodeId> starts) {
   return future;
 }
 
-WalkClient::Result WalkClient::Walk(std::vector<NodeId> starts) {
-  return Submit(std::move(starts)).get();
+WalkClient::Result WalkClient::Walk(std::vector<NodeId> starts, uint32_t workload_id) {
+  return Submit(std::move(starts), workload_id).get();
 }
 
 void WalkClient::ReaderLoop() {

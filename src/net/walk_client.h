@@ -58,10 +58,15 @@ class WalkClient {
   // Sends the request now and returns a future for its result; safe to call
   // again before earlier futures resolve (pipelining). After Close or a
   // connection failure the future holds a std::runtime_error.
-  std::future<Result> Submit(std::vector<NodeId> starts);
+  //
+  // `workload_id` routes to a server-side registered workload. 0 (the
+  // default workload) travels as a v1 kRequest frame, so a client that
+  // never routes stays wire-compatible with pre-v2 servers; non-zero ids
+  // need a v2-aware server (kRequestV2 frames).
+  std::future<Result> Submit(std::vector<NodeId> starts, uint32_t workload_id = 0);
 
   // Blocking convenience: Submit + get.
-  Result Walk(std::vector<NodeId> starts);
+  Result Walk(std::vector<NodeId> starts, uint32_t workload_id = 0);
 
   // Fails outstanding futures and tears the connection down. Idempotent.
   void Close();

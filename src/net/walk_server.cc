@@ -3,13 +3,18 @@
 #include "src/net/socket_util.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -22,20 +27,52 @@ WalkServer::Connection::~Connection() {
 }
 
 WalkServer::WalkServer(WalkService& service, NodeId num_nodes, Options options)
-    : service_(service),
-      num_nodes_(num_nodes),
-      options_(std::move(options)),
-      coalescer_(service_, options_.coalescer) {
-  coalescer_.SetBatchCompleteHook([this] { FlushCorkedWrites(); });
+    : num_nodes_(num_nodes), options_(std::move(options)) {
+  RegisterWorkload("default", service, options_.coalescer);
 }
 
 WalkServer::~WalkServer() { Stop(); }
+
+uint32_t WalkServer::RegisterWorkload(std::string name, WalkService& service,
+                                      BatchCoalescer::Options coalescer_options) {
+  auto workload = std::make_unique<Workload>();
+  workload->name = std::move(name);
+  workload->service = &service;
+  workload->coalescer = std::make_unique<BatchCoalescer>(service, coalescer_options);
+  uint32_t id = static_cast<uint32_t>(workloads_.size());
+  // The hook runs on this workload's completer thread after each batch's
+  // callbacks: push the corked responses out, then wake any connection
+  // parked on this workload's quota — the completed batch is exactly what
+  // freed admission space.
+  workload->coalescer->SetBatchCompleteHook([this, id] {
+    FlushCorkedWrites();
+    std::vector<std::shared_ptr<Connection>> parked;
+    {
+      std::lock_guard<std::mutex> lock(workloads_[id]->parked_mutex);
+      parked.swap(workloads_[id]->parked);
+    }
+    for (auto& conn : parked) {
+      PostCommand(conn->loop, {Command::kUnpark, conn});
+    }
+  });
+  workloads_.push_back(std::move(workload));
+  return id;
+}
 
 bool WalkServer::Start(std::string* error) {
   auto fail = [&](const std::string& what) {
     if (error != nullptr) {
       *error = what + ": " + std::strerror(errno);
     }
+    for (auto& loop : loops_) {
+      if (loop->epoll_fd >= 0) {
+        ::close(loop->epoll_fd);
+      }
+      if (loop->wake_fd >= 0) {
+        ::close(loop->wake_fd);
+      }
+    }
+    loops_.clear();
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -66,10 +103,188 @@ bool WalkServer::Start(std::string* error) {
     return fail("getsockname");
   }
   port_ = ntohs(addr.sin_port);
+  if (!options_.event_loop) {
+    started_ = true;
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+  // Event mode: nonblocking listener polled by loop 0; each loop owns an
+  // epoll set plus an eventfd other threads write to hand it work.
+  if (::fcntl(listen_fd_, F_SETFL, O_NONBLOCK) != 0) {
+    return fail("fcntl(O_NONBLOCK)");
+  }
+  size_t num_loops = std::max<size_t>(1, options_.event_threads);
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    loop->chunk.resize(64 << 10);
+    loops_.push_back(std::move(loop));
+    if (loops_.back()->epoll_fd < 0 || loops_.back()->wake_fd < 0) {
+      return fail("epoll_create1/eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loops_.back()->wake_fd;
+    if (::epoll_ctl(loops_.back()->epoll_fd, EPOLL_CTL_ADD, loops_.back()->wake_fd, &ev) != 0) {
+      return fail("epoll_ctl(wake)");
+    }
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail("epoll_ctl(listener)");
+  }
+  listener_registered_ = true;
   started_ = true;
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { EventLoopMain(i); });
+  }
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Shared request path
+// ---------------------------------------------------------------------------
+
+WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
+                                                   const std::shared_ptr<Connection>& conn,
+                                                   WireRequest& request) {
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t tag = request.tag;
+  auto send_error = [&](WireErrorCode code, const std::string& message) {
+    if (loop != nullptr) {
+      CorkErrorEvent(*loop, conn, tag, code, message);
+    } else {
+      SendError(conn, tag, code, message);
+    }
+  };
+  if (request.workload_id >= workloads_.size()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    send_error(WireErrorCode::kUnknownWorkload,
+               "unknown workload id " + std::to_string(request.workload_id) + " (server has " +
+                   std::to_string(workloads_.size()) + " registered)");
+    return HandleStatus::kHandled;
+  }
+  Workload& workload = *workloads_[request.workload_id];
+  workload.requests_received.fetch_add(1, std::memory_order_relaxed);
+  if (request.starts.size() > options_.max_request_starts) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    send_error(WireErrorCode::kRequestTooLarge,
+               "request has " + std::to_string(request.starts.size()) +
+                   " starts; the per-request cap is " +
+                   std::to_string(options_.max_request_starts));
+    return HandleStatus::kHandled;
+  }
+  for (NodeId start : request.starts) {
+    if (start >= num_nodes_) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      send_error(WireErrorCode::kNodeOutOfRange,
+                 "start node " + std::to_string(start) + " out of range (graph has " +
+                     std::to_string(num_nodes_) + " nodes)");
+      return HandleStatus::kHandled;
+    }
+  }
+  // Scatter-arena response path: preallocate the response frame and hand
+  // its payload region to the coalescer as the request's row placement —
+  // the scheduler's workers then write the walk's wire bytes directly
+  // (PathArenaView scattered mode), and completion only patches the global
+  // query id and corks the finished frame. Native row stores are wire order
+  // only on little-endian hosts; big-endian declines placement and keeps
+  // the serialize-on-completion path.
+  auto response_frame = std::make_shared<std::vector<uint8_t>>();
+  BatchCoalescer::PlaceFn place;
+  if constexpr (std::endian::native == std::endian::little) {
+    place = [response_frame, tag](size_t num_queries,
+                                  uint32_t path_stride) -> BatchCoalescer::Placement {
+      NodeId* rows = BuildPlacedResponseFrame(*response_frame, tag, path_stride,
+                                              static_cast<uint32_t>(num_queries));
+      return {rows, response_frame};
+    };
+  }
+  // Runs on the workload's completer thread; `conn` is kept alive by the
+  // capture even after the connection leaves every server-side list.
+  BatchCoalescer::DoneFn done = [this, conn, tag,
+                                 response_frame](BatchCoalescer::RequestResult result) {
+    if (result.placed) {
+      PatchPlacedResponseQueryId(*response_frame, result.first_query_id);
+      CorkPlacedFrame(conn, response_frame);
+    } else {
+      // Fallback: the view aliases the batch arena (kept alive by
+      // result.keepalive across this call); CorkResponse serializes it into
+      // an owned frame — the only copy on the way out.
+      WireResponseView response{tag, result.first_query_id, result.path_stride,
+                                static_cast<uint32_t>(result.num_queries), result.paths};
+      CorkResponse(conn, response);
+    }
+    // After the cork: retirement reads pending==0 as "every admitted
+    // request's bytes are in the cork queue (or dropped with the
+    // connection)".
+    conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  conn->pending_requests.fetch_add(1, std::memory_order_acq_rel);
+  if (loop == nullptr) {
+    // Reader-thread mode: kBlock stalls this thread, which is this
+    // connection's whole read side — TCP flow control does the rest.
+    bool admitted =
+        workload.coalescer->Enqueue(std::move(request.starts), std::move(done), std::move(place));
+    if (!admitted) {
+      conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      send_error(stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
+                 stopping_.load() ? "server shutting down" : "admission queue full");
+    }
+    return HandleStatus::kHandled;
+  }
+  // Event mode: never block the loop. TryEnqueue moves from its arguments
+  // only on admission, so a would-block keeps the request intact for
+  // parking.
+  auto status = workload.coalescer->TryEnqueue(request.starts, done, place);
+  if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
+    // Register on the parked list *before* the re-try: a batch completing
+    // between a failed admit and the registration would otherwise swap an
+    // empty list and never wake us. After registration either the re-try
+    // admits, or some batch is still outstanding and its completion sees
+    // the entry. Stale entries (re-try admitted) cost one no-op unpark.
+    {
+      std::lock_guard<std::mutex> lock(workload.parked_mutex);
+      workload.parked.push_back(conn);
+    }
+    status = workload.coalescer->TryEnqueue(request.starts, done, place);
+  }
+  if (status == BatchCoalescer::AdmitStatus::kAdmitted) {
+    return HandleStatus::kHandled;
+  }
+  conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+  if (status == BatchCoalescer::AdmitStatus::kRejected) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    send_error(stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
+               stopping_.load() ? "server shutting down" : "admission queue full");
+    return HandleStatus::kHandled;
+  }
+  // kWouldBlock twice: park the decoded request and stop reading this
+  // connection until the workload completes a batch.
+  conn->parked =
+      ParkedRequest{tag, request.workload_id, std::move(request.starts), std::move(done),
+                    std::move(place)};
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->want_read) {
+      conn->want_read = false;
+      UpdateInterestLocked(*conn);
+    }
+  }
+  return HandleStatus::kWouldBlock;
+}
+
+// ---------------------------------------------------------------------------
+// Thread mode (legacy reader-per-connection)
+// ---------------------------------------------------------------------------
 
 void WalkServer::AcceptLoop() {
   for (;;) {
@@ -86,6 +301,9 @@ void WalkServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes, sizeof(int));
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -124,6 +342,519 @@ void WalkServer::SendError(const std::shared_ptr<Connection>& conn, uint64_t tag
   AppendErrorFrame(bytes, {tag, code, message});
   SendBytes(conn, bytes);
 }
+
+void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder(options_.max_frame_payload);
+  std::vector<uint8_t> chunk(64 << 10);
+  bool closing = false;
+  while (!closing) {
+    ssize_t n = ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // peer closed, connection error, or Stop()'s SHUT_RD
+    }
+    decoder.Append(chunk.data(), static_cast<size_t>(n));
+    for (;;) {
+      WireFrame frame;
+      DecodeStatus status = decoder.Next(frame);
+      if (status == DecodeStatus::kNeedMore) {
+        break;
+      }
+      if (status == DecodeStatus::kMalformed ||
+          (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
+        frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, 0, WireErrorCode::kMalformedFrame,
+                  "undecodable frame; closing connection");
+        // The byte stream is desynced for good: flush the error, then shut
+        // the socket both ways so the peer sees EOF immediately.
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mutex);
+          conn->writable = false;
+          ::shutdown(conn->fd, SHUT_RDWR);
+        }
+        closing = true;
+        break;
+      }
+      HandleRequest(nullptr, conn, frame.request);
+    }
+  }
+  conn->done.store(true);
+}
+
+// ---------------------------------------------------------------------------
+// Event mode
+// ---------------------------------------------------------------------------
+
+void WalkServer::PostCommand(size_t loop_index, Command command) {
+  EventLoop& loop = *loops_[loop_index];
+  {
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    if (loop.stopped) {
+      return;
+    }
+    loop.commands.push_back(std::move(command));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(loop.wake_fd, &one, sizeof(one));
+}
+
+void WalkServer::EventLoopMain(size_t index) {
+  EventLoop& loop = *loops_[index];
+  std::vector<epoll_event> events(64);
+  bool running = true;
+  while (running) {
+    int n = ::epoll_wait(loop.epoll_fd, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t ev = events[i].events;
+      if (fd == loop.wake_fd) {
+        uint64_t drained;
+        while (::read(loop.wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_ && index == 0) {
+        AcceptReady(loop);
+        continue;
+      }
+      // Events address connections by fd, looked up in the loop's map — a
+      // stale event for an fd torn down earlier in this batch just misses.
+      // The fd itself cannot have been reused: the Connection holds it
+      // until its last shared_ptr drops.
+      auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) {
+        continue;
+      }
+      std::shared_ptr<Connection> conn = it->second;
+      if (ev & EPOLLOUT) {
+        WriteReady(loop, conn);
+      }
+      if (conn->open && (ev & (EPOLLIN | EPOLLHUP | EPOLLERR))) {
+        ReadReady(loop, conn, ev);
+      }
+    }
+    std::vector<Command> commands;
+    {
+      std::lock_guard<std::mutex> lock(loop.mutex);
+      commands.swap(loop.commands);
+    }
+    for (Command& command : commands) {
+      switch (command.kind) {
+        case Command::kAdd:
+          RegisterConnection(loop, command.conn);
+          break;
+        case Command::kUnpark:
+          HandleUnpark(loop, command.conn);
+          break;
+        case Command::kTeardown:
+          TeardownConnection(loop, command.conn);
+          break;
+        case Command::kShutdownReads:
+          ShutdownReads(loop);
+          break;
+        case Command::kStop:
+          running = false;
+          break;
+      }
+    }
+  }
+}
+
+void WalkServer::AcceptReady(EventLoop& loop) {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      // Listener shut down (Stop) or broken: deregister so the level-
+      // triggered readiness cannot spin this loop.
+      if (listener_registered_) {
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listener_registered_ = false;
+      }
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes, sizeof(int));
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->decoder = FrameDecoder(options_.max_frame_payload);
+    size_t target = next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    conn->loop = target;
+    conn->epoll_fd = loops_[target]->epoll_fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+    }
+    if (target == 0) {
+      RegisterConnection(loop, conn);
+    } else {
+      PostCommand(target, {Command::kAdd, conn});
+    }
+  }
+}
+
+void WalkServer::RegisterConnection(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  loop.conns[conn->fd] = conn;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->registered = true;
+    conn->want_read = true;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev);
+}
+
+void WalkServer::UpdateInterestLocked(Connection& conn) {
+  if (!conn.registered) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = (conn.want_read ? EPOLLIN : 0u) | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(conn.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+bool WalkServer::ShouldRetireLocked(const Connection& conn) {
+  return conn.peer_eof && conn.corked.empty() &&
+         conn.pending_requests.load(std::memory_order_acquire) == 0;
+}
+
+SendResult WalkServer::DrainCorkLocked(Connection& conn) {
+  if (!conn.writable) {
+    conn.corked.clear();
+    conn.cork_offset = 0;
+    return SendResult::kClosed;
+  }
+  if (conn.corked.empty()) {
+    if (conn.want_write) {
+      conn.want_write = false;
+      UpdateInterestLocked(conn);
+    }
+    return SendResult::kDone;
+  }
+  std::vector<iovec> iov;
+  iov.reserve(conn.corked.size());
+  bool first = true;
+  for (const CorkEntry& entry : conn.corked) {
+    const uint8_t* data = entry.data;
+    size_t size = entry.size;
+    if (first) {
+      data += conn.cork_offset;
+      size -= conn.cork_offset;
+      first = false;
+    }
+    iov.push_back({const_cast<uint8_t*>(data), size});
+  }
+  iovec* cursor = iov.data();
+  size_t count = iov.size();
+  SendResult result = SendVec(conn.fd, cursor, count);
+  switch (result) {
+    case SendResult::kDone:
+      conn.corked.clear();
+      conn.cork_offset = 0;
+      if (conn.want_write) {
+        conn.want_write = false;
+        UpdateInterestLocked(conn);
+      }
+      break;
+    case SendResult::kAgain: {
+      // SendVec advanced cursor/count to the unsent suffix: drop the fully
+      // sent entries and record how far into the (new) front entry the
+      // kernel got, then wait for EPOLLOUT to resume exactly there.
+      size_t sent_entries = iov.size() - count;
+      for (size_t i = 0; i < sent_entries; ++i) {
+        conn.corked.pop_front();
+      }
+      conn.cork_offset = conn.corked.front().size - cursor->iov_len;
+      if (!conn.want_write) {
+        conn.want_write = true;
+        UpdateInterestLocked(conn);
+      }
+      break;
+    }
+    case SendResult::kClosed:
+      conn.writable = false;
+      conn.corked.clear();
+      conn.cork_offset = 0;
+      if (conn.want_write) {
+        conn.want_write = false;
+        UpdateInterestLocked(conn);
+      }
+      break;
+  }
+  return result;
+}
+
+void WalkServer::WriteReady(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  SendResult result;
+  bool retire = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    result = DrainCorkLocked(*conn);
+    retire = result == SendResult::kDone && ShouldRetireLocked(*conn);
+  }
+  if (result == SendResult::kClosed || retire) {
+    TeardownConnection(loop, conn);
+  }
+}
+
+void WalkServer::CorkErrorEvent(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                                uint64_t tag, WireErrorCode code, const std::string& message) {
+  auto frame = std::make_shared<std::vector<uint8_t>>();
+  AppendErrorFrame(*frame, {tag, code, message});
+  bool teardown = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->writable) {
+      return;
+    }
+    conn->corked.push_back({frame->data(), frame->size(), std::move(frame)});
+    teardown = DrainCorkLocked(*conn) == SendResult::kClosed;
+  }
+  if (teardown) {
+    TeardownConnection(loop, conn);
+  }
+}
+
+WalkServer::FrameProgress WalkServer::ProcessFrames(EventLoop& loop,
+                                                    const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    WireFrame frame;
+    DecodeStatus status = conn->decoder.Next(frame);
+    if (status == DecodeStatus::kNeedMore) {
+      return FrameProgress::kNeedMore;
+    }
+    if (status == DecodeStatus::kMalformed ||
+        (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
+      frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+      CorkErrorEvent(loop, conn, 0, WireErrorCode::kMalformedFrame,
+                     "undecodable frame; closing connection");
+      // The byte stream is desynced for good: never read again, deliver
+      // whatever is corked (the error, plus earlier requests' responses as
+      // they complete), then retire.
+      bool retire = false;
+      if (conn->open) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        conn->peer_eof = true;
+        if (conn->want_read) {
+          conn->want_read = false;
+          UpdateInterestLocked(*conn);
+        }
+        retire = ShouldRetireLocked(*conn);
+      }
+      ::shutdown(conn->fd, SHUT_RD);
+      if (retire) {
+        TeardownConnection(loop, conn);
+      }
+      return FrameProgress::kStopReading;
+    }
+    if (HandleRequest(&loop, conn, frame.request) == HandleStatus::kWouldBlock) {
+      return FrameProgress::kParked;
+    }
+    if (!conn->open) {
+      return FrameProgress::kStopReading;
+    }
+  }
+}
+
+void WalkServer::ReadReady(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                           uint32_t events) {
+  if (events & EPOLLERR) {
+    TeardownConnection(loop, conn);
+    return;
+  }
+  if (conn->parked.has_value()) {
+    // EPOLLIN interest is off; only a fully dead peer gets us here.
+    if (events & EPOLLHUP) {
+      TeardownConnection(loop, conn);
+    }
+    return;
+  }
+  bool reading;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    reading = conn->want_read;
+  }
+  if (!reading) {
+    // Read side already retired (peer half-close or malformed close).
+    // EPOLLHUP means the peer is gone entirely — nothing corked can be
+    // delivered, so drop the connection now.
+    if (events & EPOLLHUP) {
+      TeardownConnection(loop, conn);
+    }
+    return;
+  }
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, loop.chunk.data(), loop.chunk.size(), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    if (n < 0) {
+      TeardownConnection(loop, conn);
+      return;
+    }
+    if (n == 0) {
+      // Peer half-closed: stop reading, but deliver every response still
+      // owed (thread mode behaves the same — writes survive reader exit).
+      bool retire;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        conn->peer_eof = true;
+        if (conn->want_read) {
+          conn->want_read = false;
+          UpdateInterestLocked(*conn);
+        }
+        retire = ShouldRetireLocked(*conn);
+      }
+      if (retire) {
+        TeardownConnection(loop, conn);
+      }
+      return;
+    }
+    conn->decoder.Append(loop.chunk.data(), static_cast<size_t>(n));
+    if (ProcessFrames(loop, conn) != FrameProgress::kNeedMore) {
+      return;
+    }
+  }
+}
+
+void WalkServer::HandleUnpark(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  if (!conn->open || !conn->parked.has_value()) {
+    return;  // torn down meanwhile, or a stale wakeup — nothing parked
+  }
+  ParkedRequest request = std::move(*conn->parked);
+  conn->parked.reset();
+  Workload& workload = *workloads_[request.workload_id];
+  conn->pending_requests.fetch_add(1, std::memory_order_acq_rel);
+  auto status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place);
+  if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
+    {
+      std::lock_guard<std::mutex> lock(workload.parked_mutex);
+      workload.parked.push_back(conn);
+    }
+    status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place);
+    if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
+      conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+      conn->parked = std::move(request);
+      return;  // still no space; the registered entry gets the next wakeup
+    }
+  }
+  if (status == BatchCoalescer::AdmitStatus::kRejected) {
+    conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    CorkErrorEvent(loop, conn, request.tag,
+                   stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
+                   stopping_.load() ? "server shutting down" : "admission queue full");
+    if (!conn->open) {
+      return;
+    }
+  }
+  // Admitted (or rejected with the connection still up): drain any frames
+  // decoded before the park, then resume reading the socket.
+  FrameProgress progress = ProcessFrames(loop, conn);
+  if (progress == FrameProgress::kNeedMore) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->want_read && !conn->peer_eof) {
+      conn->want_read = true;
+      UpdateInterestLocked(*conn);
+    }
+  }
+}
+
+void WalkServer::ShutdownReads(EventLoop& loop) {
+  if (&loop == loops_[0].get() && listener_registered_) {
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    listener_registered_ = false;
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(loop.conns.size());
+  for (auto& [fd, conn] : loop.conns) {
+    conns.push_back(conn);
+  }
+  for (auto& conn : conns) {
+    if (conn->parked.has_value()) {
+      // Never admitted, so no slot to release — answer and drop it.
+      ParkedRequest request = std::move(*conn->parked);
+      conn->parked.reset();
+      CorkErrorEvent(loop, conn, request.tag, WireErrorCode::kShuttingDown,
+                     "server shutting down");
+      if (!conn->open) {
+        continue;
+      }
+    }
+    bool retire;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->peer_eof = true;
+      if (conn->want_read) {
+        conn->want_read = false;
+        UpdateInterestLocked(*conn);
+      }
+      retire = ShouldRetireLocked(*conn);
+    }
+    ::shutdown(conn->fd, SHUT_RD);
+    if (retire) {
+      TeardownConnection(loop, conn);
+    }
+  }
+}
+
+void WalkServer::TeardownConnection(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  if (!conn->open) {
+    return;
+  }
+  conn->open = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->writable = false;
+    conn->corked.clear();
+    conn->cork_offset = 0;
+    if (conn->registered) {
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      conn->registered = false;
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->parked.reset();
+  loop.conns.erase(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::erase(connections_, conn);
+  }
+  // The fd itself closes in ~Connection once the last straggling response
+  // callback lets go of its shared_ptr — never while anyone could write.
+}
+
+// ---------------------------------------------------------------------------
+// Response path (both modes)
+// ---------------------------------------------------------------------------
 
 void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
                               const WireResponseView& response) {
@@ -170,128 +901,53 @@ void WalkServer::FlushCorkedWrites() {
     std::lock_guard<std::mutex> lock(corked_mutex_);
     dirty.swap(corked_connections_);
   }
-  std::vector<iovec> iov;
+  if (!options_.event_loop) {
+    // Blocking sockets: one gathered send drains everything or the peer is
+    // dead. No resumption state to keep.
+    std::vector<iovec> iov;
+    for (const auto& conn : dirty) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->corked.empty()) {
+        continue;
+      }
+      if (conn->writable) {
+        iov.clear();
+        iov.reserve(conn->corked.size());
+        for (const CorkEntry& entry : conn->corked) {
+          iov.push_back({const_cast<uint8_t*>(entry.data), entry.size});
+        }
+        if (!SendAllVec(conn->fd, iov.data(), iov.size())) {
+          conn->writable = false;
+        }
+      }
+      conn->corked.clear();
+    }
+    return;
+  }
+  // Event mode: nonblocking drain; a partial send leaves the remainder
+  // corked with EPOLLOUT armed, so a slow client stalls only itself — this
+  // completer thread moves straight on to the next connection.
   for (const auto& conn : dirty) {
-    std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (conn->corked.empty()) {
-      continue;
-    }
-    if (conn->writable) {
-      iov.clear();
-      iov.reserve(conn->corked.size());
-      for (const CorkEntry& entry : conn->corked) {
-        iov.push_back({const_cast<uint8_t*>(entry.data), entry.size});
+    SendResult result;
+    bool retire = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->corked.empty() && !conn->peer_eof) {
+        continue;  // EPOLLOUT drained it between cork and flush
       }
-      if (!SendAllVec(conn->fd, iov.data(), iov.size())) {
-        conn->writable = false;
-      }
+      result = DrainCorkLocked(*conn);
+      retire = result == SendResult::kDone && ShouldRetireLocked(*conn);
     }
-    conn->corked.clear();
+    if (result == SendResult::kClosed || retire) {
+      // Teardown is loop-thread work (conns map, epoll membership).
+      PostCommand(conn->loop, {Command::kTeardown, conn});
+    }
   }
 }
 
-void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
-  FrameDecoder decoder(options_.max_frame_payload);
-  std::vector<uint8_t> chunk(64 << 10);
-  bool closing = false;
-  while (!closing) {
-    ssize_t n = ::recv(conn->fd, chunk.data(), chunk.size(), 0);
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      break;  // peer closed, connection error, or Stop()'s SHUT_RD
-    }
-    decoder.Append(chunk.data(), static_cast<size_t>(n));
-    for (;;) {
-      WireFrame frame;
-      DecodeStatus status = decoder.Next(frame);
-      if (status == DecodeStatus::kNeedMore) {
-        break;
-      }
-      if (status == DecodeStatus::kMalformed || frame.type != FrameType::kRequest) {
-        frames_malformed_.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, 0, WireErrorCode::kMalformedFrame,
-                  "undecodable frame; closing connection");
-        // The byte stream is desynced for good: flush the error, then shut
-        // the socket both ways so the peer sees EOF immediately.
-        {
-          std::lock_guard<std::mutex> lock(conn->write_mutex);
-          conn->writable = false;
-          ::shutdown(conn->fd, SHUT_RDWR);
-        }
-        closing = true;
-        break;
-      }
-      requests_received_.fetch_add(1, std::memory_order_relaxed);
-      uint64_t tag = frame.request.tag;
-      if (frame.request.starts.size() > options_.max_request_starts) {
-        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, tag, WireErrorCode::kRequestTooLarge,
-                  "request has " + std::to_string(frame.request.starts.size()) +
-                      " starts; the per-request cap is " +
-                      std::to_string(options_.max_request_starts));
-        continue;
-      }
-      bool in_range = true;
-      for (NodeId start : frame.request.starts) {
-        if (start >= num_nodes_) {
-          SendError(conn, tag, WireErrorCode::kNodeOutOfRange,
-                    "start node " + std::to_string(start) + " out of range (graph has " +
-                        std::to_string(num_nodes_) + " nodes)");
-          in_range = false;
-          break;
-        }
-      }
-      if (!in_range) {
-        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      // Scatter-arena response path: preallocate the response frame and
-      // hand its payload region to the coalescer as the request's row
-      // placement — the scheduler's workers then write the walk's wire
-      // bytes directly (PathArenaView scattered mode), and completion only
-      // patches the global query id and corks the finished frame. Native
-      // row stores are wire order only on little-endian hosts; big-endian
-      // declines placement and keeps the serialize-on-completion path.
-      auto response_frame = std::make_shared<std::vector<uint8_t>>();
-      BatchCoalescer::PlaceFn place;
-      if constexpr (std::endian::native == std::endian::little) {
-        place = [response_frame, tag](size_t num_queries,
-                                      uint32_t path_stride) -> BatchCoalescer::Placement {
-          NodeId* rows = BuildPlacedResponseFrame(*response_frame, tag, path_stride,
-                                                  static_cast<uint32_t>(num_queries));
-          return {rows, response_frame};
-        };
-      }
-      // The callbacks run on the coalescer's flusher/completion threads;
-      // `conn` is kept alive by the capture even if the reader exits first.
-      bool admitted = coalescer_.Enqueue(
-          std::move(frame.request.starts),
-          [this, conn, tag, response_frame](BatchCoalescer::RequestResult result) {
-            if (result.placed) {
-              PatchPlacedResponseQueryId(*response_frame, result.first_query_id);
-              CorkPlacedFrame(conn, response_frame);
-              return;
-            }
-            // Fallback: the view aliases the batch arena (kept alive by
-            // result.keepalive across this call); CorkResponse serializes
-            // it into an owned frame — the only copy on the way out.
-            WireResponseView response{tag, result.first_query_id, result.path_stride,
-                                      static_cast<uint32_t>(result.num_queries), result.paths};
-            CorkResponse(conn, response);
-          },
-          std::move(place));
-      if (!admitted) {
-        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, tag,
-                  stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
-                  stopping_.load() ? "server shutting down" : "admission queue full");
-      }
-    }
-  }
-  conn->done.store(true);
-}
+// ---------------------------------------------------------------------------
+// Stop
+// ---------------------------------------------------------------------------
 
 void WalkServer::Stop() {
   bool expected = false;
@@ -299,43 +955,114 @@ void WalkServer::Stop() {
     return;
   }
   if (!started_) {
-    coalescer_.Shutdown();
+    for (auto& workload : workloads_) {
+      workload->coalescer->Shutdown();
+    }
     return;
   }
-  // 1. Stop accepting: shutting the listener down pops the blocking accept.
+  if (!options_.event_loop) {
+    // 1. Stop accepting: shutting the listener down pops the blocking accept.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+
+    std::vector<std::shared_ptr<Connection>> connections;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections.swap(connections_);
+    }
+    // 2. Stop reading: half-close each connection so readers drain out, but
+    // keep the write side up — admitted requests still get their responses.
+    for (auto& conn : connections) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+    for (auto& conn : connections) {
+      if (conn->reader.joinable()) {
+        conn->reader.join();
+      }
+    }
+    // 3. Drain every workload: admitted requests complete and their
+    // response callbacks write to the still-open sockets.
+    for (auto& workload : workloads_) {
+      workload->coalescer->Shutdown();
+    }
+    // 4. Now nothing new can write: full-shutdown each socket so peers see
+    // EOF. The fds themselves close in ~Connection when the last reference
+    // (this vector, or a straggling callback) lets go.
+    for (auto& conn : connections) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->writable = false;
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    return;
+  }
+  // Event mode.
+  // 1. Stop accepting and reading: the loops retire read interest on every
+  // connection (parked requests get kShuttingDown) but stay alive to drive
+  // EPOLLOUT drains.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) {
-    acceptor_.join();
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    PostCommand(i, {Command::kShutdownReads, nullptr});
+  }
+  // 2. Drain every workload: admitted requests complete; their callbacks
+  // cork responses and the batch hooks flush them (partial sends resume via
+  // the still-running loops).
+  for (auto& workload : workloads_) {
+    workload->coalescer->Shutdown();
+  }
+  // 3. Bounded grace for slow readers to take the last corked bytes.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    bool pending = false;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (auto& conn : connections_) {
+        std::lock_guard<std::mutex> wl(conn->write_mutex);
+        if (conn->writable && !conn->corked.empty()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // 4. Stop the loops, then tear down whatever connections remain.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    PostCommand(i, {Command::kStop, nullptr});
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
+    }
+  }
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      loop->stopped = true;
+    }
+    for (auto& [fd, conn] : loop->conns) {
+      std::lock_guard<std::mutex> wl(conn->write_mutex);
+      conn->writable = false;
+      conn->corked.clear();
+      conn->registered = false;
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    loop->conns.clear();
+    ::close(loop->epoll_fd);
+    ::close(loop->wake_fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
-
-  std::vector<std::shared_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections.swap(connections_);
-  }
-  // 2. Stop reading: half-close each connection so readers drain out, but
-  // keep the write side up — admitted requests still get their responses.
-  for (auto& conn : connections) {
-    ::shutdown(conn->fd, SHUT_RD);
-  }
-  for (auto& conn : connections) {
-    if (conn->reader.joinable()) {
-      conn->reader.join();
-    }
-  }
-  // 3. Drain the coalescer: every admitted request completes and its
-  // response callback writes to the still-open sockets.
-  coalescer_.Shutdown();
-  // 4. Now nothing new can write: full-shutdown each socket so peers see
-  // EOF. The fds themselves close in ~Connection when the last reference
-  // (this vector, or a straggling callback) lets go.
-  for (auto& conn : connections) {
-    std::lock_guard<std::mutex> lock(conn->write_mutex);
-    conn->writable = false;
-    ::shutdown(conn->fd, SHUT_RDWR);
-  }
 }
 
 }  // namespace flexi

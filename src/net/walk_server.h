@@ -1,40 +1,68 @@
-// WalkServer: the TCP serving front-end over a WalkService.
+// WalkServer: the TCP serving front-end over one or more WalkServices.
 //
 // Listens on a socket, speaks the length-prefixed binary protocol of
-// wire.h, and feeds every request through a BatchCoalescer so many small
-// concurrent client requests merge into scheduler-sized WalkService
-// batches. One reader thread per connection decodes frames; responses are
-// written from the coalescer's completion thread through a per-connection
-// write lock, so a connection can pipeline requests and receive responses
-// as they finish. Request handling:
+// wire.h, and feeds every request through a per-workload BatchCoalescer so
+// many small concurrent client requests merge into scheduler-sized
+// WalkService batches. Request handling:
 //
 //   valid request     -> coalesced, answered with a kResponse frame carrying
 //                        the paths and the service-global first_query_id
 //   start out of range-> kError/kNodeOutOfRange for that request; the
 //                        connection stays up
+//   unknown workload  -> kError/kUnknownWorkload for that request (v2
+//                        routing to an unregistered id); connection stays up
 //   admission refused -> kError/kOverloaded (backpressure, kReject policy)
-//                        or the reader blocks (kBlock policy — TCP flow
-//                        control pushes the stall back to the client)
+//                        or the connection stops being read until a batch
+//                        completes (kBlock policy — TCP flow control pushes
+//                        the stall back to the client, never into the loop)
 //   malformed frame   -> kError/kMalformedFrame, then the connection is
 //                        closed (the byte stream is desynced for good)
 //
-// Determinism across the socket: a single connection's requests reach the
-// coalescer in the order they were written, so one client pipelining
-// requests gets paths bit-identical to submitting the same batches straight
-// into the WalkService — whatever the coalesce window or pipeline depth
-// (net_test.cc ServedPathsMatchOneShotEngine). docs/SERVING.md has the full
-// protocol and semantics.
+// Two reader architectures, selected by Options::event_loop:
+//
+//  - Event mode (default): a few event threads own every connection through
+//    epoll. Sockets are nonblocking; each connection runs its FrameDecoder
+//    incrementally as bytes arrive, and responses go out through a per-
+//    connection cork queue with EPOLLOUT-driven partial-write resumption —
+//    a slow or stalled client consumes its own cork memory and nothing
+//    else; the loop never blocks on any one socket. kBlock admission
+//    overflow *parks* the connection (EPOLLIN interest dropped, the decoded
+//    request held) instead of blocking the thread; a batch completion
+//    unparks it.
+//  - Thread mode (event_loop = false): the original one blocking reader
+//    thread per connection; kBlock overflow blocks that reader. Kept as the
+//    low-connection-count baseline and as the contrast case for the fault-
+//    injection tests.
+//
+// Multi-workload routing: the constructor's service is workload 0; more
+// (service, admission options) pairs register via RegisterWorkload() before
+// Start(), each with its own BatchCoalescer — its own window, its own
+// pending+inflight quota, its own overflow policy — so one hot workload
+// saturating its quota cannot starve another's admission (requests carry
+// the target workload id in v2 frames; v1 frames mean workload 0).
+//
+// Determinism across the socket: a single connection's requests reach a
+// workload's coalescer in the order they were written, so one client
+// pipelining requests gets paths bit-identical to submitting the same
+// batches straight into that WalkService — whatever the coalesce window,
+// pipeline depth, or reader architecture (net_test.cc
+// ServedPathsMatchOneShotEngine). docs/SERVING.md has the full protocol and
+// semantics.
 #ifndef FLEXIWALKER_SRC_NET_WALK_SERVER_H_
 #define FLEXIWALKER_SRC_NET_WALK_SERVER_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/batch_coalescer.h"
+#include "src/net/socket_util.h"
 #include "src/net/wire.h"
 #include "src/walker/walk_service.h"
 
@@ -55,19 +83,41 @@ class WalkServer {
     // as malformed (or, past 4 GiB, wrap the u32 length field). The default
     // keeps any walk up to length 1023 inside kDefaultMaxFramePayload.
     size_t max_request_starts = 16384;
+    // Epoll event loop (see the header comment) vs one blocking reader
+    // thread per connection.
+    bool event_loop = true;
+    // Event threads sharing the connection population (event mode only).
+    // One suffices far past this container's core count; the knob exists so
+    // the loop itself is testable under real thread concurrency.
+    size_t event_threads = 1;
+    // SO_SNDBUF for accepted sockets; 0 keeps the OS default. Tests shrink
+    // it so a slow reader forces EAGAIN mid-response and the EPOLLOUT
+    // resumption path actually runs.
+    int send_buffer_bytes = 0;
+    // Admission options for workload 0 (the constructor's service).
     BatchCoalescer::Options coalescer;
   };
 
-  // `num_nodes` bounds valid start ids; the service must outlive the server
-  // and must not be Shutdown() before WalkServer::Stop() returns.
+  // `num_nodes` bounds valid start ids; every registered service must
+  // outlive the server and must not be Shutdown() before WalkServer::Stop()
+  // returns. The constructor's service serves workload 0.
   WalkServer(WalkService& service, NodeId num_nodes, Options options);
   ~WalkServer();  // Stop()
 
   WalkServer(const WalkServer&) = delete;
   WalkServer& operator=(const WalkServer&) = delete;
 
-  // Binds, listens, and starts the accept loop. Returns false (with *error
-  // set when non-null) if the socket could not be set up.
+  // Registers an additional workload — its own WalkService and its own
+  // BatchCoalescer built from `coalescer_options` (the per-workload
+  // admission quota: max_outstanding_queries + overflow policy). Returns
+  // the wire workload id clients route to (kRequestV2 frames). Must be
+  // called before Start().
+  uint32_t RegisterWorkload(std::string name, WalkService& service,
+                            BatchCoalescer::Options coalescer_options);
+
+  // Binds, listens, and starts the reader machinery. Returns false (with
+  // *error set when non-null) if the socket or event loop could not be set
+  // up.
   bool Start(std::string* error = nullptr);
 
   // Stops accepting, drains every request already admitted (their responses
@@ -75,7 +125,20 @@ class WalkServer {
   void Stop();
 
   uint16_t port() const { return port_; }
-  const BatchCoalescer& coalescer() const { return coalescer_; }
+  // Workload 0's coalescer (the constructor-service path).
+  const BatchCoalescer& coalescer() const { return *workloads_[0]->coalescer; }
+
+  size_t workload_count() const { return workloads_.size(); }
+  const std::string& workload_name(uint32_t id) const { return workloads_[id]->name; }
+  const BatchCoalescer& workload_coalescer(uint32_t id) const {
+    return *workloads_[id]->coalescer;
+  }
+  uint64_t workload_requests_received(uint32_t id) const {
+    return workloads_[id]->requests_received.load();
+  }
+  uint64_t workload_requests_rejected(uint32_t id) const {
+    return workloads_[id]->requests_rejected.load();
+  }
 
   uint64_t connections_accepted() const { return connections_accepted_.load(); }
   uint64_t requests_received() const { return requests_received_.load(); }
@@ -83,24 +146,56 @@ class WalkServer {
   uint64_t frames_malformed() const { return frames_malformed_.load(); }
 
  private:
-  // One corked response awaiting the batch-complete flush: a view of frame
-  // bytes pinned by `owner`. Placed responses reference the very frame the
-  // scheduler's workers wrote their rows into (wire.h placed frames) —
-  // corking is then a pointer push, not a serialize — and the flush gathers
-  // every entry into one sendmsg().
+  // One corked response awaiting flush: a view of frame bytes pinned by
+  // `owner`. Placed responses reference the very frame the scheduler's
+  // workers wrote their rows into (wire.h placed frames) — corking is then
+  // a pointer push, not a serialize — and a flush gathers every entry into
+  // one sendmsg().
   struct CorkEntry {
     const uint8_t* data = nullptr;
     size_t size = 0;
     std::shared_ptr<const void> owner;
   };
 
+  // A decoded request the event loop could not admit (kBlock quota full):
+  // held verbatim — callbacks already built — until a batch completion on
+  // its workload frees space. Touched only by the owning event thread.
+  struct ParkedRequest {
+    uint64_t tag = 0;
+    uint32_t workload_id = 0;
+    std::vector<NodeId> starts;
+    BatchCoalescer::DoneFn done;
+    BatchCoalescer::PlaceFn place;
+  };
+
   struct Connection {
     int fd = -1;
+
+    // Write side, shared between event/reader threads and the coalescers'
+    // completer threads — everything below write_mutex is guarded by it.
     std::mutex write_mutex;
-    bool writable = true;            // guarded by write_mutex
-    std::vector<CorkEntry> corked;   // guarded by write_mutex
-    std::atomic<bool> done{false};   // reader exited; safe to join/reap
-    std::thread reader;
+    bool writable = true;
+    std::deque<CorkEntry> corked;
+    size_t cork_offset = 0;  // bytes of corked.front() already on the wire
+    bool want_read = true;   // epoll interest flags (event mode)
+    bool want_write = false;
+    bool registered = false;  // fd currently in an epoll set
+    bool peer_eof = false;    // no more reads; retire once writes drain
+    int epoll_fd = -1;        // owner loop's epoll (event mode)
+    size_t loop = 0;          // owner loop index (event mode)
+
+    // Admitted-but-unanswered requests on this connection. Retirement
+    // (peer_eof && corked drained && pending == 0) and the fault tests'
+    // no-leaked-slots assertions both key off it.
+    std::atomic<size_t> pending_requests{0};
+
+    // Owner-thread-private state: the event thread's incremental decoder
+    // and park slot, or the reader thread's exit flag.
+    FrameDecoder decoder;
+    std::optional<ParkedRequest> parked;
+    bool open = true;               // event loop: still in the conns map
+    std::atomic<bool> done{false};  // thread mode: reader exited
+    std::thread reader;             // thread mode only
 
     // The last shared_ptr holder closes the socket — response callbacks can
     // outlive the reader and the server's connection list, and an fd must
@@ -108,6 +203,50 @@ class WalkServer {
     ~Connection();
   };
 
+  // One registered workload: a service, its private coalescer (= its
+  // admission quota), and the connections parked on that quota.
+  struct Workload {
+    std::string name;
+    WalkService* service = nullptr;
+    std::unique_ptr<BatchCoalescer> coalescer;
+    std::mutex parked_mutex;
+    std::vector<std::shared_ptr<Connection>> parked;
+    std::atomic<uint64_t> requests_received{0};
+    std::atomic<uint64_t> requests_rejected{0};
+  };
+
+  struct Command {
+    enum Kind { kAdd, kUnpark, kTeardown, kShutdownReads, kStop } kind = kAdd;
+    std::shared_ptr<Connection> conn;
+  };
+
+  struct EventLoop {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd; a write makes epoll_wait return
+    std::thread thread;
+    std::mutex mutex;  // guards commands + stopped
+    std::vector<Command> commands;
+    bool stopped = false;
+    // Loop-thread-private:
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+    std::vector<uint8_t> chunk;
+  };
+
+  enum class FrameProgress {
+    kNeedMore,     // decoder drained; keep reading
+    kParked,       // admission would block; EPOLLIN dropped, request held
+    kStopReading,  // malformed (or torn) — reads on this connection are over
+  };
+
+  // ---- shared request path (both modes) ----
+  enum class HandleStatus { kHandled, kWouldBlock };
+  // Validates, routes, and admits one decoded request. `loop` selects the
+  // mode: non-null = event loop (errors corked, TryEnqueue + parking),
+  // null = reader thread (errors sent inline, blocking Enqueue).
+  HandleStatus HandleRequest(EventLoop* loop, const std::shared_ptr<Connection>& conn,
+                             WireRequest& request);
+
+  // ---- thread mode ----
   void AcceptLoop();
   void ReaderLoop(const std::shared_ptr<Connection>& conn);
   // Serializes `bytes` onto the connection, swallowing write errors (a dead
@@ -116,6 +255,34 @@ class WalkServer {
                         const std::vector<uint8_t>& bytes);
   static void SendError(const std::shared_ptr<Connection>& conn, uint64_t tag,
                         WireErrorCode code, const std::string& message);
+
+  // ---- event mode ----
+  void EventLoopMain(size_t index);
+  void AcceptReady(EventLoop& loop);
+  void RegisterConnection(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  void ReadReady(EventLoop& loop, const std::shared_ptr<Connection>& conn, uint32_t events);
+  void WriteReady(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  FrameProgress ProcessFrames(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  void HandleUnpark(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  void ShutdownReads(EventLoop& loop);
+  void TeardownConnection(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  void PostCommand(size_t loop_index, Command command);
+  // Corks an error frame and immediately attempts the nonblocking drain —
+  // the event loop must never interleave a direct send() into a cork queue
+  // that may hold a half-sent frame.
+  void CorkErrorEvent(EventLoop& loop, const std::shared_ptr<Connection>& conn, uint64_t tag,
+                      WireErrorCode code, const std::string& message);
+  // Nonblocking gathered drain of the cork queue (write_mutex held):
+  // advances cork_offset across partial sends, arms/disarms EPOLLOUT, and
+  // on kClosed clears the queue and marks the connection unwritable.
+  SendResult DrainCorkLocked(Connection& conn);
+  // Re-points the fd's epoll interest at (want_read, want_write).
+  void UpdateInterestLocked(Connection& conn);
+  // True when the connection has nothing left to deliver and will never
+  // read again — the caller should tear it down.
+  static bool ShouldRetireLocked(const Connection& conn);
+
+  // ---- response path (both modes) ----
   // Serializes a response frame into an owned buffer and corks it — the
   // fallback write path for responses whose rows were not placed (the
   // big-endian host case): one arena -> frame copy, then the shared flush.
@@ -126,19 +293,22 @@ class WalkServer {
   void CorkPlacedFrame(const std::shared_ptr<Connection>& conn,
                        std::shared_ptr<std::vector<uint8_t>> frame);
   // Everything corked since the last flush goes out as one gathered
-  // sendmsg() (SendAllVec) when the coalescer's batch-complete hook fires:
+  // sendmsg() per connection when a coalescer's batch-complete hook fires:
   // N same-connection responses per coalesced batch => 1 syscall, the
-  // write-side half of the coalescing win.
+  // write-side half of the coalescing win. Event mode drains nonblocking
+  // and leaves the remainder to EPOLLOUT.
   void FlushCorkedWrites();
 
-  WalkService& service_;
   NodeId num_nodes_;
   Options options_;
-  BatchCoalescer coalescer_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
 
   int listen_fd_ = -1;
+  bool listener_registered_ = false;  // loop-0-thread state (event mode)
   uint16_t port_ = 0;
-  std::thread acceptor_;
+  std::thread acceptor_;  // thread mode only
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::mutex corked_mutex_;  // guards the dirty list, not the cork buffers

@@ -81,13 +81,20 @@ const char* WireErrorCodeName(WireErrorCode code) {
       return "shutting down";
     case WireErrorCode::kRequestTooLarge:
       return "request too large";
+    case WireErrorCode::kUnknownWorkload:
+      return "unknown workload";
   }
   return "unknown";
 }
 
 void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request) {
-  FrameWriter frame(out, FrameType::kRequest);
+  // The default workload travels as a v1 frame so old servers stay
+  // reachable; only an explicit non-zero routing needs the v2 layout.
+  FrameWriter frame(out, request.workload_id == 0 ? FrameType::kRequest : FrameType::kRequestV2);
   PutU64(out, request.tag);
+  if (request.workload_id != 0) {
+    PutU32(out, request.workload_id);
+  }
   PutU32(out, static_cast<uint32_t>(request.starts.size()));
   for (NodeId start : request.starts) {
     PutU32(out, start);
@@ -173,19 +180,25 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, W
   const uint8_t* body = data + kHeaderBytes;
   WireFrame frame;
   switch (body[0]) {
-    case static_cast<uint8_t>(FrameType::kRequest): {
-      if (payload < 13) {
+    // v1 and v2 requests share one layout except for the u32 workload_id
+    // between tag and count; `extra` is that field's width.
+    case static_cast<uint8_t>(FrameType::kRequest):
+    case static_cast<uint8_t>(FrameType::kRequestV2): {
+      bool v2 = body[0] == static_cast<uint8_t>(FrameType::kRequestV2);
+      size_t extra = v2 ? 4 : 0;
+      if (payload < 13 + extra) {
         return DecodeStatus::kMalformed;
       }
-      uint64_t count = GetU32(body + 9);
-      if (payload != 13 + count * 4) {
+      uint64_t count = GetU32(body + 9 + extra);
+      if (payload != 13 + extra + count * 4) {
         return DecodeStatus::kMalformed;
       }
-      frame.type = FrameType::kRequest;
+      frame.type = static_cast<FrameType>(body[0]);
       frame.request.tag = GetU64(body + 1);
+      frame.request.workload_id = v2 ? GetU32(body + 9) : 0;
       frame.request.starts.resize(count);
       for (uint64_t i = 0; i < count; ++i) {
-        frame.request.starts[i] = GetU32(body + 13 + i * 4);
+        frame.request.starts[i] = GetU32(body + 13 + extra + i * 4);
       }
       break;
     }

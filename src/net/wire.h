@@ -8,6 +8,16 @@
 //   kResponse  u8 type | u64 tag | u64 first_query_id | u32 path_stride |
 //              u32 num_queries | num_queries * path_stride * u32 path nodes
 //   kError     u8 type | u64 tag | u32 code | u32 msg_len | msg bytes
+//   kRequestV2 u8 type | u64 tag | u32 workload_id | u32 count |
+//              count * u32 start nodes
+//
+// kRequestV2 is the wire v2 request: identical to kRequest plus a
+// workload_id routing a multi-workload server to one of its registered
+// WalkServices. Version negotiation is per-frame, not per-connection: a v2
+// server decodes both types (a v1 frame means workload 0, the default
+// workload), and a client targeting workload 0 emits v1 frames so it keeps
+// working against v1-only servers. There is no v2 response — responses and
+// errors are already workload-agnostic, matched by tag.
 //
 // The tag is a client-chosen correlation id echoed back verbatim, so one
 // connection can pipeline many requests and match responses arriving in any
@@ -42,23 +52,26 @@ inline constexpr uint32_t kWireMagic = 0x464C5857;  // "FLXW"
 inline constexpr size_t kDefaultMaxFramePayload = 64ull << 20;
 
 enum class FrameType : uint8_t {
-  kRequest = 1,
+  kRequest = 1,  // v1: implicit workload 0
   kResponse = 2,
   kError = 3,
+  kRequestV2 = 4,  // v1 + explicit u32 workload_id after the tag
 };
 
 enum class WireErrorCode : uint32_t {
-  kMalformedFrame = 1,   // undecodable bytes; the server closes the connection
-  kNodeOutOfRange = 2,   // a start id >= the served graph's node count
-  kOverloaded = 3,       // backpressure rejection (BatchCoalescer admission)
-  kShuttingDown = 4,     // server stopping; request not accepted
-  kRequestTooLarge = 5,  // more starts than the server's per-request cap
+  kMalformedFrame = 1,    // undecodable bytes; the server closes the connection
+  kNodeOutOfRange = 2,    // a start id >= the served graph's node count
+  kOverloaded = 3,        // backpressure rejection (BatchCoalescer admission)
+  kShuttingDown = 4,      // server stopping; request not accepted
+  kRequestTooLarge = 5,   // more starts than the server's per-request cap
+  kUnknownWorkload = 6,   // v2 workload_id with no registered workload
 };
 
 const char* WireErrorCodeName(WireErrorCode code);
 
 struct WireRequest {
   uint64_t tag = 0;
+  uint32_t workload_id = 0;  // 0 = default workload; decoded v1 frames leave it 0
   std::vector<NodeId> starts;
 };
 
@@ -90,6 +103,9 @@ struct WireResponseView {
 
 // Serializers append one complete frame to `out` (which may already hold
 // earlier frames — batching writes per send() is the normal pattern).
+// AppendRequestFrame picks the oldest wire version that can carry the
+// request: workload_id == 0 emits a v1 kRequest (decodable by any server),
+// anything else a kRequestV2.
 void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& response);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);

@@ -6,22 +6,27 @@
 // regardless of coalesce window or pipeline depth (the walk_service_test
 // determinism contract extended across TCP).
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <future>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/graph/generators.h"
 #include "src/net/batch_coalescer.h"
+#include "src/net/socket_util.h"
 #include "src/net/walk_client.h"
 #include "src/net/walk_server.h"
 #include "src/net/wire.h"
@@ -90,7 +95,7 @@ TEST(Wire, ErrorRoundTrip) {
 }
 
 TEST(Wire, TruncatedFramesNeedMoreAtEveryPrefix) {
-  WireRequest request{9, {1, 2, 3}};
+  WireRequest request{9, 0, {1, 2, 3}};
   std::vector<uint8_t> bytes;
   AppendRequestFrame(bytes, request);
   for (size_t prefix = 0; prefix < bytes.size(); ++prefix) {
@@ -121,7 +126,7 @@ TEST(Wire, GarbageIsMalformedNotCrash) {
 }
 
 TEST(Wire, OversizedDeclaredPayloadIsMalformed) {
-  WireRequest request{1, {2, 3}};
+  WireRequest request{1, 0, {2, 3}};
   std::vector<uint8_t> bytes;
   AppendRequestFrame(bytes, request);
   WireFrame frame;
@@ -133,7 +138,7 @@ TEST(Wire, OversizedDeclaredPayloadIsMalformed) {
 }
 
 TEST(Wire, LengthCountMismatchIsMalformed) {
-  WireRequest request{1, {2, 3, 4}};
+  WireRequest request{1, 0, {2, 3, 4}};
   std::vector<uint8_t> bytes;
   AppendRequestFrame(bytes, request);
   // Inflate the start count without growing the payload: count says 5,
@@ -160,7 +165,7 @@ TEST(Wire, FrameDecoderReassemblesByteAtATime) {
   // Three frames dribbled in one byte at a time must come out intact and in
   // order — the socket-fragmentation case.
   std::vector<uint8_t> stream;
-  AppendRequestFrame(stream, {1, {10, 11}});
+  AppendRequestFrame(stream, {1, 0, {10, 11}});
   AppendResponseFrame(stream, {2, 99, 3, 1, {5, 6, 7}});
   AppendErrorFrame(stream, {3, WireErrorCode::kNodeOutOfRange, "nope"});
 
@@ -544,12 +549,12 @@ struct ServedStack {
   std::unique_ptr<WalkServer> server;
 
   explicit ServedStack(double coalesce_ms, unsigned pipeline_depth,
-                       BatchCoalescer::Options extra = {}) {
+                       BatchCoalescer::Options extra = {}, WalkServer::Options base = {}) {
     graph = CoalescerGraph();
     engine_options.edge_cost_ratio = 4.0;  // pin: skip profiling in tests
     engine_options.host_threads = 4;
     service = MakeFlexiWalkerService(graph, walk, engine_options, /*seed=*/99, pipeline_depth);
-    WalkServer::Options server_options;
+    WalkServer::Options server_options = base;
     server_options.port = 0;  // ephemeral
     server_options.coalescer = extra;
     server_options.coalescer.max_delay_ms = coalesce_ms;
@@ -574,11 +579,16 @@ TEST(WalkServerEndToEnd, ServedPathsMatchOneShotEngineAcrossConfigs) {
   struct Config {
     double coalesce_ms;
     unsigned pipeline_depth;
+    bool event_loop;
   };
-  for (Config config : {Config{0.0, 1}, Config{5.0, 1}, Config{5.0, 4}}) {
+  for (Config config : {Config{0.0, 1, true}, Config{5.0, 1, true}, Config{5.0, 4, true},
+                        Config{5.0, 4, false}}) {
     SCOPED_TRACE("coalesce_ms=" + std::to_string(config.coalesce_ms) +
-                 " depth=" + std::to_string(config.pipeline_depth));
-    ServedStack stack(config.coalesce_ms, config.pipeline_depth);
+                 " depth=" + std::to_string(config.pipeline_depth) +
+                 " event_loop=" + std::to_string(config.event_loop));
+    WalkServer::Options base;
+    base.event_loop = config.event_loop;
+    ServedStack stack(config.coalesce_ms, config.pipeline_depth, {}, base);
 
     WalkClient client;
     ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
@@ -717,6 +727,574 @@ TEST(WalkServerEndToEnd, ConcurrentClientsAllComplete) {
   // requests (worst case every request its own batch — then this still
   // holds as <=).
   EXPECT_LE(stack.service->batches_completed(), stack.server->requests_received());
+}
+
+// --------------------------------------------------------- socket util ----
+
+// RAII install/uninstall for the sendmsg test seam, so a failed assertion
+// cannot leave the override poisoning every later test.
+struct SendMsgOverrideGuard {
+  explicit SendMsgOverrideGuard(SendMsgFn fn) { SendMsgOverrideForTesting().store(fn); }
+  ~SendMsgOverrideGuard() { SendMsgOverrideForTesting().store(nullptr); }
+};
+
+std::atomic<int> g_sendmsg_calls{0};
+std::atomic<int> g_eintr_injected{0};
+
+ssize_t EintrEveryOtherSendMsg(int fd, const msghdr* msg, int flags) {
+  if (g_sendmsg_calls.fetch_add(1) % 2 == 0) {
+    ++g_eintr_injected;
+    errno = EINTR;
+    return -1;
+  }
+  return ::sendmsg(fd, msg, flags);
+}
+
+// Pattern bytes so any dropped/duplicated/reordered range shows up as a
+// mismatch, not a coincidence.
+std::vector<uint8_t> PatternBytes(size_t size, uint8_t salt) {
+  std::vector<uint8_t> bytes(size);
+  for (size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<uint8_t>((i * 131 + salt) & 0xFF);
+  }
+  return bytes;
+}
+
+// The satellite pinning test: a nonblocking sender with a tiny SO_SNDBUF is
+// forced into partial sendmsg returns, including splits *inside* an iovec
+// entry; SendVec must advance its cursor exactly and resume until every
+// byte of every entry has left in order.
+TEST(SocketUtil, SendVecResumesAcrossPartialNonblockingWrites) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int tiny = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+
+  // Entry sizes straddle the buffer: some much larger (guaranteed
+  // mid-entry split), some tiny (whole-entry advance), one empty.
+  std::vector<std::vector<uint8_t>> chunks;
+  std::vector<size_t> sizes = {9000, 3, 0, 40000, 1, 7000, 512};
+  size_t total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    chunks.push_back(PatternBytes(sizes[i], static_cast<uint8_t>(i)));
+    total += sizes[i];
+  }
+  std::vector<iovec> iov;
+  for (auto& chunk : chunks) {
+    iov.push_back({chunk.data(), chunk.size()});
+  }
+
+  std::vector<uint8_t> received;
+  std::vector<uint8_t> buffer(2048);
+  iovec* cursor = iov.data();
+  size_t count = iov.size();
+  int again = 0;
+  while (count > 0) {
+    SendResult result = SendVec(fds[0], cursor, count);
+    ASSERT_NE(result, SendResult::kClosed);
+    if (result == SendResult::kDone) {
+      EXPECT_EQ(count, 0u);
+      break;
+    }
+    ++again;
+    // Drain a little on the peer side to open up send space; small reads
+    // keep the sender hitting EAGAIN many times.
+    ssize_t n = ::recv(fds[1], buffer.data(), buffer.size(), 0);
+    ASSERT_GT(n, 0);
+    received.insert(received.end(), buffer.begin(), buffer.begin() + n);
+  }
+  EXPECT_GT(again, 2) << "partial-write path never exercised; shrink the buffers";
+  ::shutdown(fds[0], SHUT_WR);
+  ssize_t n;
+  while ((n = ::recv(fds[1], buffer.data(), buffer.size(), 0)) > 0) {
+    received.insert(received.end(), buffer.begin(), buffer.begin() + n);
+  }
+  std::vector<uint8_t> expected;
+  for (auto& chunk : chunks) {
+    expected.insert(expected.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received.size(), total);
+  EXPECT_EQ(received, expected);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SocketUtil, SendVecRetriesInjectedEintr) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  g_sendmsg_calls = 0;
+  g_eintr_injected = 0;
+  SendMsgOverrideGuard guard(&EintrEveryOtherSendMsg);
+
+  std::vector<uint8_t> payload = PatternBytes(20000, 7);
+  std::thread consumer([&] {
+    std::vector<uint8_t> received;
+    std::vector<uint8_t> buffer(4096);
+    ssize_t n;
+    while ((n = ::recv(fds[1], buffer.data(), buffer.size(), 0)) > 0) {
+      received.insert(received.end(), buffer.begin(), buffer.begin() + n);
+    }
+    EXPECT_EQ(received, payload);
+  });
+  iovec iov[3] = {{payload.data(), 5000},
+                  {payload.data() + 5000, 7000},
+                  {payload.data() + 12000, 8000}};
+  EXPECT_TRUE(SendAllVec(fds[0], iov, 3));
+  ::shutdown(fds[0], SHUT_WR);
+  consumer.join();
+  EXPECT_GT(g_eintr_injected.load(), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SocketUtil, SendVecReportsClosedPeerNotAgain) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  std::vector<uint8_t> payload = PatternBytes(64, 1);
+  iovec iov[1] = {{payload.data(), payload.size()}};
+  iovec* cursor = iov;
+  size_t count = 1;
+  EXPECT_EQ(SendVec(fds[0], cursor, count), SendResult::kClosed);
+  ::close(fds[0]);
+}
+
+// ---------------------------------------------------------- wire fuzz ----
+
+// A mixed valid stream plus the byte offset where each frame starts —
+// corruption tests aim at specific header fields by offset.
+struct ValidStream {
+  std::vector<uint8_t> bytes;
+  std::vector<size_t> frame_offsets;
+  std::vector<FrameType> types;
+  std::vector<uint64_t> tags;
+
+  void Add(FrameType type, uint64_t tag, std::function<void(std::vector<uint8_t>&)> append) {
+    frame_offsets.push_back(bytes.size());
+    types.push_back(type);
+    tags.push_back(tag);
+    append(bytes);
+  }
+};
+
+ValidStream BuildValidStream() {
+  ValidStream s;
+  s.Add(FrameType::kRequest, 1,
+        [](std::vector<uint8_t>& out) { AppendRequestFrame(out, {1, 0, {10, 11, 12}}); });
+  s.Add(FrameType::kRequestV2, 2,
+        [](std::vector<uint8_t>& out) { AppendRequestFrame(out, {2, 3, {7}}); });
+  s.Add(FrameType::kResponse, 3, [](std::vector<uint8_t>& out) {
+    AppendResponseFrame(out, WireResponse{3, 99, 4, 2, {5, 6, 7, 8, 1, 2, 3, 4}});
+  });
+  s.Add(FrameType::kError, 4, [](std::vector<uint8_t>& out) {
+    AppendErrorFrame(out, {4, WireErrorCode::kOverloaded, "busy"});
+  });
+  s.Add(FrameType::kRequest, 5,
+        [](std::vector<uint8_t>& out) { AppendRequestFrame(out, {5, 0, {}}); });
+  return s;
+}
+
+std::vector<WireFrame> DrainDecoder(FrameDecoder& decoder, DecodeStatus& final_status) {
+  std::vector<WireFrame> frames;
+  for (;;) {
+    WireFrame frame;
+    final_status = decoder.Next(frame);
+    if (final_status != DecodeStatus::kFrame) {
+      return frames;
+    }
+    frames.push_back(std::move(frame));
+  }
+}
+
+void ExpectMatchesStream(const ValidStream& stream, const std::vector<WireFrame>& frames) {
+  ASSERT_EQ(frames.size(), stream.types.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].type, stream.types[i]) << "frame " << i;
+    uint64_t tag = 0;
+    switch (frames[i].type) {
+      case FrameType::kRequest:
+      case FrameType::kRequestV2:
+        tag = frames[i].request.tag;
+        break;
+      case FrameType::kResponse:
+        tag = frames[i].response.tag;
+        break;
+      case FrameType::kError:
+        tag = frames[i].error.tag;
+        break;
+    }
+    EXPECT_EQ(tag, stream.tags[i]) << "frame " << i;
+  }
+  // Deep-check the fields the offsets depend on (a v2 decode off by the
+  // workload_id width would shift every start).
+  EXPECT_EQ(frames[1].request.workload_id, 3u);
+  EXPECT_EQ(frames[1].request.starts, std::vector<NodeId>{7});
+  EXPECT_EQ(frames[2].response.paths.size(), 8u);
+  EXPECT_EQ(frames[4].request.starts.size(), 0u);
+}
+
+// Property: splitting a valid stream at ANY byte boundary (two segments,
+// exhaustive) cannot change what decodes.
+TEST(WireFuzz, ResplitAtEveryByteBoundaryDecodesIdentically) {
+  ValidStream stream = BuildValidStream();
+  for (size_t split = 0; split <= stream.bytes.size(); ++split) {
+    FrameDecoder decoder;
+    std::vector<WireFrame> frames;
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    decoder.Append(stream.bytes.data(), split);
+    for (WireFrame& frame : DrainDecoder(decoder, status)) {
+      frames.push_back(std::move(frame));
+    }
+    ASSERT_EQ(status, DecodeStatus::kNeedMore) << "split=" << split;
+    decoder.Append(stream.bytes.data() + split, stream.bytes.size() - split);
+    for (WireFrame& frame : DrainDecoder(decoder, status)) {
+      frames.push_back(std::move(frame));
+    }
+    ASSERT_EQ(status, DecodeStatus::kNeedMore) << "split=" << split;
+    ExpectMatchesStream(stream, frames);
+  }
+}
+
+// Property: any seeded random chunking (1..9-byte segments) decodes the
+// same frames.
+TEST(WireFuzz, RandomChunkingDecodesIdentically) {
+  ValidStream stream = BuildValidStream();
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    FrameDecoder decoder;
+    std::vector<WireFrame> frames;
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    size_t pos = 0;
+    while (pos < stream.bytes.size()) {
+      size_t len = std::min<size_t>(1 + rng() % 9, stream.bytes.size() - pos);
+      decoder.Append(stream.bytes.data() + pos, len);
+      pos += len;
+      for (WireFrame& frame : DrainDecoder(decoder, status)) {
+        frames.push_back(std::move(frame));
+      }
+      ASSERT_EQ(status, DecodeStatus::kNeedMore) << "iter=" << iter << " pos=" << pos;
+    }
+    ExpectMatchesStream(stream, frames);
+  }
+}
+
+// Targeted corruption classes with known verdicts:
+//  - a flipped magic byte at a frame start is malformed the moment it is
+//    seen (even before a full header arrives) — garbage cannot stall a
+//    connection in kNeedMore;
+//  - a declared payload length beyond the decode ceiling is malformed
+//    before any allocation;
+//  - a truncated tail is kNeedMore, never malformed — a slow sender is not
+//    an attacker. Frames ahead of the corruption always decode intact.
+TEST(WireFuzz, SeededCorruptionClassifiesDeterministically) {
+  ValidStream stream = BuildValidStream();
+  std::mt19937 rng(4242);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> bytes = stream.bytes;
+    size_t victim = rng() % stream.frame_offsets.size();
+    size_t offset = stream.frame_offsets[victim];
+    DecodeStatus expected;
+    switch (iter % 3) {
+      case 0: {  // flip one magic byte
+        size_t byte = rng() % 4;
+        bytes[offset + byte] ^= static_cast<uint8_t>(1 + rng() % 255);
+        expected = DecodeStatus::kMalformed;
+        break;
+      }
+      case 1: {  // oversize declared length
+        uint32_t huge = static_cast<uint32_t>(kDefaultMaxFramePayload) + 1 + rng() % 1000;
+        for (int b = 0; b < 4; ++b) {
+          bytes[offset + 4 + b] = static_cast<uint8_t>(huge >> (8 * b));
+        }
+        expected = DecodeStatus::kMalformed;
+        break;
+      }
+      default: {  // truncate the tail mid-frame
+        size_t keep = offset + rng() % (bytes.size() - offset);
+        bytes.resize(keep);
+        victim = stream.frame_offsets.size();  // recomputed below
+        for (size_t f = 0; f < stream.frame_offsets.size(); ++f) {
+          if (stream.frame_offsets[f] >= keep ||
+              (f + 1 < stream.frame_offsets.size() ? stream.frame_offsets[f + 1] : keep + 1) >
+                  keep) {
+            victim = f;
+            break;
+          }
+        }
+        expected = DecodeStatus::kNeedMore;
+        break;
+      }
+    }
+    // Feed in random chunks — corruption classification must not depend on
+    // packetization either.
+    FrameDecoder decoder;
+    std::vector<WireFrame> frames;
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      size_t len = std::min<size_t>(1 + rng() % 17, bytes.size() - pos);
+      decoder.Append(bytes.data() + pos, len);
+      pos += len;
+      for (WireFrame& frame : DrainDecoder(decoder, status)) {
+        frames.push_back(std::move(frame));
+      }
+      if (status == DecodeStatus::kMalformed) {
+        break;
+      }
+    }
+    EXPECT_EQ(status, expected) << "iter=" << iter << " victim=" << victim;
+    // Every frame ahead of the corrupted one decoded intact.
+    ASSERT_GE(frames.size(), victim) << "iter=" << iter;
+    for (size_t i = 0; i < victim && i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].type, stream.types[i]) << "iter=" << iter << " frame " << i;
+    }
+  }
+}
+
+// Pure survival fuzz: arbitrary single-byte flips anywhere in the stream.
+// No verdict is asserted (a flipped count byte legitimately reads as a
+// longer frame still in flight) — only that decoding never crashes, never
+// loops, and never fabricates more frames than the stream held.
+TEST(WireFuzz, RandomByteFlipsNeverCrashTheDecoder) {
+  ValidStream stream = BuildValidStream();
+  std::mt19937 rng(98765);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<uint8_t> bytes = stream.bytes;
+    size_t flips = 1 + rng() % 4;
+    for (size_t f = 0; f < flips; ++f) {
+      bytes[rng() % bytes.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+    }
+    FrameDecoder decoder;
+    decoder.Append(bytes.data(), bytes.size());
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    std::vector<WireFrame> frames = DrainDecoder(decoder, status);
+    EXPECT_NE(status, DecodeStatus::kFrame);
+    EXPECT_LE(frames.size(), stream.types.size());
+  }
+}
+
+// ----------------------------------------------------- fault injection ----
+
+// Raw nonblocking-free helper: a plain blocking TCP connection with
+// explicit control over what is sent and when it is read — the misbehaving
+// client the event loop has to survive.
+int RawConnect(uint16_t port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    // Must be set before connect so the window scales from the handshake.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+// Polls until the workload's coalescer has zero outstanding queries — the
+// no-leaked-slots assertion every fault test ends on. A torn connection
+// that leaked its admitted slots would park here until the deadline.
+void ExpectOutstandingDrains(const BatchCoalescer& coalescer,
+                             std::chrono::seconds deadline = std::chrono::seconds(10)) {
+  auto give_up = std::chrono::steady_clock::now() + deadline;
+  while (coalescer.outstanding_queries() != 0) {
+    if (std::chrono::steady_clock::now() > give_up) {
+      FAIL() << "coalescer still holds " << coalescer.outstanding_queries()
+             << " outstanding queries — a dropped connection leaked its slots";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SUCCEED();
+}
+
+TEST(WalkServerFaults, DisconnectMidRequestFrameIsCleanlyDropped) {
+  ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1);
+  for (int round = 0; round < 8; ++round) {
+    int fd = RawConnect(stack.server->port());
+    std::vector<uint8_t> bytes;
+    AppendRequestFrame(bytes, {1, 0, Range(0, 16)});
+    // Send a strict prefix — anywhere from just the magic to one byte shy
+    // of complete — then vanish.
+    size_t prefix = 1 + static_cast<size_t>(round) * (bytes.size() - 2) / 7;
+    ASSERT_LT(prefix, bytes.size());
+    ASSERT_GT(::send(fd, bytes.data(), prefix, 0), 0);
+    ::close(fd);
+  }
+  ExpectOutstandingDrains(stack.server->coalescer());
+  // The half-requests never completed decoding: nothing was admitted, and
+  // the server keeps serving.
+  EXPECT_EQ(stack.server->requests_received(), 0u);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  EXPECT_EQ(client.Walk({3}).num_queries, 1u);
+  EXPECT_EQ(stack.server->requests_received(), 1u);
+}
+
+TEST(WalkServerFaults, DisconnectWithResponsesStillCorkedDoesNotLeakSlots) {
+  // Small server-side send buffers guarantee big responses stay corked
+  // long enough for the disconnect to race them.
+  WalkServer::Options base;
+  base.send_buffer_bytes = 4096;
+  ServedStack stack(/*coalesce_ms=*/1.0, /*pipeline_depth=*/1, {}, base);
+  for (int round = 0; round < 6; ++round) {
+    int fd = RawConnect(stack.server->port(), /*rcvbuf_bytes=*/2048);
+    std::vector<uint8_t> bytes;
+    // Four pipelined requests, ~13 KiB of response in total — far past
+    // sndbuf + rcvbuf, so at least one response is corked when we vanish.
+    for (uint64_t tag = 1; tag <= 4; ++tag) {
+      AppendRequestFrame(bytes, {tag, 0, Range(0, 64)});
+    }
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+    // Close without reading a byte: pending data turns the close into an
+    // abortive RST — the drain path sees a dead peer mid-cork.
+    ::close(fd);
+  }
+  ExpectOutstandingDrains(stack.server->coalescer());
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  EXPECT_EQ(client.Walk({5}).num_queries, 1u);
+}
+
+TEST(WalkServerFaults, SlowReaderIsDrainedByEpolloutResumption) {
+  WalkServer::Options base;
+  base.send_buffer_bytes = 4096;
+  ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1, {}, base);
+  int fd = RawConnect(stack.server->port(), /*rcvbuf_bytes=*/2048);
+  // 512 starts x stride 13 x 4 bytes ≈ 26 KiB of response — many times the
+  // socket buffers, so the first nonblocking drain MUST hit EAGAIN and the
+  // rest arrives only through EPOLLOUT resumption.
+  std::vector<NodeId> starts;
+  for (NodeId i = 0; i < 512; ++i) {
+    starts.push_back(i % stack.graph.num_nodes());
+  }
+  std::vector<uint8_t> bytes;
+  AppendRequestFrame(bytes, {77, 0, starts});
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0), static_cast<ssize_t>(bytes.size()));
+
+  // Read deliberately slowly, in sips, with pauses: every pause parks the
+  // remainder in the server's cork queue.
+  FrameDecoder decoder;
+  WireFrame frame;
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  std::vector<uint8_t> sip(1024);
+  auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (status == DecodeStatus::kNeedMore) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up) << "response never completed";
+    ssize_t n = ::recv(fd, sip.data(), sip.size(), 0);
+    ASSERT_GT(n, 0) << "server dropped a merely-slow reader";
+    decoder.Append(sip.data(), static_cast<size_t>(n));
+    status = decoder.Next(frame);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(status, DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kResponse);
+  EXPECT_EQ(frame.response.tag, 77u);
+  ASSERT_EQ(frame.response.num_queries, starts.size());
+  // Byte-exactness through the resumed partial writes: every row leads
+  // with its start node.
+  uint32_t stride = frame.response.path_stride;
+  for (size_t q = 0; q < starts.size(); ++q) {
+    ASSERT_EQ(frame.response.paths[q * stride], starts[q]) << "row " << q;
+  }
+  ::close(fd);
+  ExpectOutstandingDrains(stack.server->coalescer());
+}
+
+TEST(WalkServerFaults, InjectedEintrInSendPathIsInvisibleToClients) {
+  g_sendmsg_calls = 0;
+  g_eintr_injected = 0;
+  SendMsgOverrideGuard guard(&EintrEveryOtherSendMsg);
+  ServedStack stack(/*coalesce_ms=*/0.5, /*pipeline_depth=*/1);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  std::vector<std::future<WalkClient::Result>> futures;
+  for (uint32_t r = 0; r < 16; ++r) {
+    futures.push_back(client.Submit({r % 200, (r * 7) % 200}));
+  }
+  for (uint32_t r = 0; r < 16; ++r) {
+    WalkClient::Result result = futures[r].get();
+    ASSERT_EQ(result.num_queries, 2u);
+    EXPECT_EQ(result.paths[0], r % 200);
+    EXPECT_EQ(result.paths[result.path_stride], (r * 7) % 200);
+  }
+  EXPECT_GT(g_eintr_injected.load(), 0) << "the injection seam never fired";
+}
+
+TEST(WalkServerFaults, SeededCorruptStreamsAlwaysErrorAndCloseServerSide) {
+  ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1);
+  std::mt19937 rng(31337);
+  for (int iter = 0; iter < 8; ++iter) {
+    int fd = RawConnect(stack.server->port());
+    std::vector<uint8_t> bytes;
+    AppendRequestFrame(bytes, {9, 0, {1, 2, 3}});
+    // Corruptions guaranteed malformed: magic flip, oversize length, or an
+    // unknown frame-type byte. (A payload flip would just be a different
+    // valid request — not this test.)
+    switch (iter % 3) {
+      case 0:
+        bytes[rng() % 4] ^= static_cast<uint8_t>(1 + rng() % 255);
+        break;
+      case 1: {
+        uint32_t huge = static_cast<uint32_t>(kDefaultMaxFramePayload) * 2;
+        for (int b = 0; b < 4; ++b) {
+          bytes[4 + b] = static_cast<uint8_t>(huge >> (8 * b));
+        }
+        break;
+      }
+      default:
+        bytes[8] = static_cast<uint8_t>(200 + rng() % 55);  // no such frame type
+        break;
+    }
+    ASSERT_GT(::send(fd, bytes.data(), bytes.size(), 0), 0);
+    // The server must answer (an error frame, best effort) and close; a
+    // peer that only reads must see EOF, not a hang.
+    char buffer[512];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    }
+    EXPECT_EQ(n, 0) << "iter=" << iter;
+    ::close(fd);
+  }
+  EXPECT_GE(stack.server->frames_malformed(), 8u);
+  ExpectOutstandingDrains(stack.server->coalescer());
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  EXPECT_EQ(client.Walk({3}).num_queries, 1u);
+}
+
+TEST(WalkServerFaults, ManyConnectionsOnFewEventThreadsAllComplete) {
+  WalkServer::Options base;
+  base.event_threads = 2;
+  ServedStack stack(/*coalesce_ms=*/0.5, /*pipeline_depth=*/2, {}, base);
+  constexpr int kClients = 32;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      WalkClient client;
+      if (!client.Connect("127.0.0.1", stack.server->port())) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < 4; ++r) {
+        NodeId start = static_cast<NodeId>((c * 13 + r) % stack.graph.num_nodes());
+        WalkClient::Result result = client.Walk({start});
+        if (result.num_queries != 1 || result.paths.empty() || result.paths[0] != start) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(stack.server->requests_received(), uint64_t{kClients * 4});
+  EXPECT_GE(stack.server->connections_accepted(), uint64_t{kClients});
 }
 
 }  // namespace

@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <span>
 #include <vector>
 
 #include "src/graph/generators.h"
+#include "src/net/walk_client.h"
+#include "src/net/walk_server.h"
 #include "src/sampling/inverse_transform.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/node2vec.h"
@@ -371,6 +374,168 @@ TEST(FlexiWalkerService, RepeatedBatchesStayDeterministicPerGlobalId) {
   EXPECT_NE(x1.walk.paths, x2.walk.paths);
   EXPECT_EQ(x1.walk.paths, y1.walk.paths);
   EXPECT_EQ(x2.walk.paths, y2.walk.paths);
+}
+
+// ------------------------------------------------- multi-workload serving ----
+
+// Two workloads — different walk logics, different seeds, independent
+// prepared engines — registered on ONE server and interleaved over ONE
+// connection must each be bit-identical to a one-shot engine run over that
+// workload's starts in submission order. Routing (the v2 workload_id field)
+// must never mix the streams: a request landing on the wrong coalescer
+// would get the other logic's stride and paths.
+TEST(MultiWorkloadServing, InterleavedWorkloadsMatchTheirOneShotEngines) {
+  Graph graph = TestGraph();
+  Node2VecWalk n2v(2.0, 0.5, 12);
+  DeepWalk deepwalk(8);  // different stride (9 vs 13): crossed routing is loud
+  FlexiWalkerOptions options;
+  options.edge_cost_ratio = 4.0;
+  options.host_threads = 4;
+
+  auto service_a = MakeFlexiWalkerService(graph, n2v, options, /*seed=*/99);
+  auto service_b = MakeFlexiWalkerService(graph, deepwalk, options, /*seed=*/1234);
+
+  WalkServer::Options server_options;
+  server_options.port = 0;
+  server_options.coalescer.max_delay_ms = 2.0;
+  WalkServer server(*service_a, graph.num_nodes(), server_options);
+  BatchCoalescer::Options b_admission;
+  b_admission.max_delay_ms = 2.0;
+  uint32_t workload_b = server.RegisterWorkload("deepwalk", *service_b, b_admission);
+  ASSERT_EQ(workload_b, 1u);
+  EXPECT_EQ(server.workload_count(), 2u);
+  EXPECT_EQ(server.workload_name(0), "default");
+  EXPECT_EQ(server.workload_name(1), "deepwalk");
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  std::vector<NodeId> starts_a;
+  std::vector<NodeId> starts_b;
+  std::vector<std::future<WalkClient::Result>> futures_a;
+  std::vector<std::future<WalkClient::Result>> futures_b;
+  // Interleaved pipelined submissions so both coalescers see real
+  // concurrency, on one connection so per-workload arrival order is exact.
+  for (uint32_t r = 0; r < 20; ++r) {
+    std::vector<NodeId> a;
+    for (uint32_t i = 0; i <= r % 3; ++i) {
+      a.push_back((r * 17 + i * 5) % graph.num_nodes());
+    }
+    starts_a.insert(starts_a.end(), a.begin(), a.end());
+    futures_a.push_back(client.Submit(std::move(a), /*workload_id=*/0));
+    std::vector<NodeId> b;
+    for (uint32_t i = 0; i <= r % 2; ++i) {
+      b.push_back((r * 23 + i * 7) % graph.num_nodes());
+    }
+    starts_b.insert(starts_b.end(), b.begin(), b.end());
+    futures_b.push_back(client.Submit(std::move(b), workload_b));
+  }
+
+  WalkResult engine_a = FlexiWalkerEngine(options).Run(graph, n2v, starts_a, 99);
+  WalkResult engine_b = FlexiWalkerEngine(options).Run(graph, deepwalk, starts_b, 1234);
+
+  auto reassemble = [](std::vector<std::future<WalkClient::Result>>& futures,
+                       const WalkResult& expected) {
+    std::vector<NodeId> served(expected.paths.size(), kInvalidNode);
+    for (auto& future : futures) {
+      WalkClient::Result result = future.get();
+      ASSERT_EQ(result.path_stride, expected.path_stride);
+      ASSERT_LE((result.first_query_id + result.num_queries) * result.path_stride,
+                served.size());
+      std::copy(result.paths.begin(), result.paths.end(),
+                served.begin() + result.first_query_id * result.path_stride);
+    }
+    EXPECT_EQ(served, expected.paths);
+  };
+  reassemble(futures_a, engine_a);
+  reassemble(futures_b, engine_b);
+
+  EXPECT_EQ(server.workload_requests_received(0), 20u);
+  EXPECT_EQ(server.workload_requests_received(1), 20u);
+  EXPECT_EQ(server.workload_requests_rejected(0), 0u);
+  EXPECT_EQ(server.workload_requests_rejected(1), 0u);
+
+  client.Close();
+  server.Stop();
+  service_a->Shutdown();
+  service_b->Shutdown();
+}
+
+// Admission quotas are per-workload: a workload whose quota is exhausted
+// answers per-request kOverloaded errors while the other workload's
+// requests keep completing promptly — one hot tenant cannot starve the
+// other's admission, and the connection survives every rejection.
+TEST(MultiWorkloadServing, QuotaExhaustedWorkloadDoesNotStarveTheOther) {
+  Graph graph = TestGraph();
+  Node2VecWalk n2v(2.0, 0.5, 10);
+  DeepWalk deepwalk(6);
+  FlexiWalkerOptions options;
+  options.edge_cost_ratio = 4.0;
+  options.host_threads = 4;
+  auto service_a = MakeFlexiWalkerService(graph, n2v, options, /*seed=*/7);
+  auto service_b = MakeFlexiWalkerService(graph, deepwalk, options, /*seed=*/8);
+
+  WalkServer::Options server_options;
+  server_options.port = 0;
+  server_options.coalescer.max_delay_ms = 0.2;  // workload 0 stays snappy
+  WalkServer server(*service_a, graph.num_nodes(), server_options);
+  // Workload 1: tiny quota, reject on overflow, and a window long enough
+  // that the quota-filling request deterministically sits in pending while
+  // the rejections and the cross-workload probes run.
+  BatchCoalescer::Options starved;
+  starved.max_outstanding_queries = 4;
+  starved.overflow = BatchCoalescer::OverflowPolicy::kReject;
+  starved.max_delay_ms = 2000.0;
+  uint32_t workload_b = server.RegisterWorkload("starved", *service_b, starved);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  // Fill workload 1's quota; the long window parks it in pending.
+  std::future<WalkClient::Result> parked = client.Submit({0, 1, 2, 3}, workload_b);
+  // Give the event loop a moment to admit it before probing the quota.
+  auto quota_full = [&] {
+    return server.workload_coalescer(workload_b).outstanding_queries() >= 4;
+  };
+  for (int i = 0; i < 2000 && !quota_full(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(quota_full());
+
+  auto wall_start = std::chrono::steady_clock::now();
+  int rejections = 0;
+  for (int r = 0; r < 8; ++r) {
+    // Quota-exhausted workload: every request gets its own error...
+    try {
+      client.Walk({5}, workload_b);
+    } catch (const std::runtime_error&) {
+      ++rejections;
+    }
+    // ...while the other workload keeps serving on the same connection.
+    WalkClient::Result ok = client.Walk({static_cast<NodeId>(r * 3)}, 0);
+    EXPECT_EQ(ok.num_queries, 1u);
+    EXPECT_EQ(ok.paths[0], static_cast<NodeId>(r * 3));
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  EXPECT_EQ(rejections, 8);
+  // All 8 workload-0 round trips finished while workload 1's 2-second
+  // window was still holding its quota — bounded latency, not starvation.
+  EXPECT_LT(elapsed_ms, 1900.0);
+  EXPECT_EQ(server.workload_requests_rejected(workload_b), 8u);
+  EXPECT_EQ(server.workload_requests_rejected(0), 0u);
+
+  // Stop flushes workload 1's pending window: the parked request completes
+  // with its responses delivered before the connection closes.
+  server.Stop();
+  WalkClient::Result parked_result = parked.get();
+  EXPECT_EQ(parked_result.num_queries, 4u);
+  client.Close();
+  service_a->Shutdown();
+  service_b->Shutdown();
 }
 
 }  // namespace
