@@ -180,18 +180,22 @@ int main(int argc, char** argv) {
   }
 
   Table table({"cache blocks", "budget MiB", "QPS", "steps/sec", "peak RSS MiB", "block loads",
-               "reload factor", "parks"});
+               "reload factor", "read MiB", "hit rate", "parks"});
   for (const ConfigRow& row : rows) {
+    const double lookups =
+        static_cast<double>(row.stats.cache_hits + row.stats.block_loads);
     table.AddRow({std::to_string(row.cache_blocks), Table::Num(row.budget_bytes / (1024.0 * 1024.0)),
                   Table::Num(row.qps), Table::Num(row.steps_per_sec),
                   Table::Num(row.peak_rss_bytes / (1024.0 * 1024.0)),
                   std::to_string(row.stats.block_loads),
                   Table::Num(static_cast<double>(row.stats.block_loads) /
                              static_cast<double>(store.num_blocks())),
+                  Table::Num(row.stats.bytes_read / (1024.0 * 1024.0)),
+                  Table::Num(lookups > 0 ? row.stats.cache_hits / lookups : 0.0),
                   std::to_string(row.stats.parks)});
   }
   table.AddRow({"in-memory", "full graph", Table::Num(base_qps), Table::Num(base_steps),
-                Table::Num(base_rss / (1024.0 * 1024.0)), "-", "-", "-"});
+                Table::Num(base_rss / (1024.0 * 1024.0)), "-", "-", "-", "-", "-"});
   table.Print();
   std::printf("\n%zu queries, deepwalk len-%u; paths bit-identical across every cache budget "
               "and the in-memory engine.\n",
@@ -201,7 +205,8 @@ int main(int argc, char** argv) {
 
   // Schema: {meta:{...}, workload:{...}, cache_configs:[{cache_blocks,
   // budget_bytes, wall_ms, qps, steps_per_sec, peak_rss_bytes, block_loads,
-  // bytes_read, parks}], baseline:{...}} — cache_configs is diffed by the
+  // cache_hits, evictions, bytes_read, parks}], baseline:{...}} —
+  // cache_configs is diffed by the
   // CI perf trajectory (scripts/perf_trajectory.py, matched on
   // cache_blocks).
   if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
@@ -216,11 +221,14 @@ int main(int argc, char** argv) {
       std::fprintf(json,
                    "    {\"cache_blocks\": %u, \"budget_bytes\": %llu, \"wall_ms\": %.3f, "
                    "\"qps\": %.1f, \"steps_per_sec\": %.1f, \"peak_rss_bytes\": %llu, "
-                   "\"block_loads\": %llu, \"bytes_read\": %llu, \"parks\": %llu}%s\n",
+                   "\"block_loads\": %llu, \"cache_hits\": %llu, \"evictions\": %llu, "
+                   "\"bytes_read\": %llu, \"parks\": %llu}%s\n",
                    row.cache_blocks, static_cast<unsigned long long>(row.budget_bytes),
                    row.wall_ms, row.qps, row.steps_per_sec,
                    static_cast<unsigned long long>(row.peak_rss_bytes),
                    static_cast<unsigned long long>(row.stats.block_loads),
+                   static_cast<unsigned long long>(row.stats.cache_hits),
+                   static_cast<unsigned long long>(row.stats.block_evictions),
                    static_cast<unsigned long long>(row.stats.bytes_read),
                    static_cast<unsigned long long>(row.stats.parks),
                    i + 1 == rows.size() ? "" : ",");

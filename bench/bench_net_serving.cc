@@ -49,6 +49,7 @@
 #include "bench/bench_util.h"
 #include "src/net/walk_client.h"
 #include "src/net/walk_server.h"
+#include "src/obs/metrics.h"
 #include "src/walker/walk_service.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/node2vec.h"
@@ -63,14 +64,6 @@ struct LoadStats {
   double queries_per_batch = 0.0;
   uint64_t batches = 0;
 };
-
-double Percentile(std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) {
-    return 0.0;
-  }
-  size_t index = static_cast<size_t>(q * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[index];
-}
 
 // One serving stack per configuration: fresh service (fresh global-id
 // cursor) + server on an ephemeral port.
@@ -188,8 +181,8 @@ LoadStats RunLoad(const Graph& graph, const WalkLogic& walk, const FlexiWalkerOp
   double wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
   LoadStats stats;
   stats.qps = static_cast<double>(all.size()) / wall_s;
-  stats.p50_us = Percentile(all, 0.50);
-  stats.p99_us = Percentile(all, 0.99);
+  stats.p50_us = obs::PercentileOfSorted(all, 0.50);
+  stats.p99_us = obs::PercentileOfSorted(all, 0.99);
   stats.batches = stack.service->batches_completed();
   stats.queries_per_batch =
       stats.batches == 0 ? 0.0
@@ -320,8 +313,8 @@ SweepRow RunConnectionSweep(const Graph& graph, const WalkLogic& walk_a, const W
   std::sort(all.begin(), all.end());
   double wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
   row.qps = static_cast<double>(all.size()) / wall_s;
-  row.p50_us = Percentile(all, 0.50);
-  row.p99_us = Percentile(all, 0.99);
+  row.p50_us = obs::PercentileOfSorted(all, 0.50);
+  row.p99_us = obs::PercentileOfSorted(all, 0.99);
   return row;
 }
 

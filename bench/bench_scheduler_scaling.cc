@@ -44,6 +44,7 @@
 #include "src/graph/generators.h"
 #include "src/sampling/alias.h"
 #include "src/sampling/inverse_transform.h"
+#include "src/obs/metrics.h"
 #include "src/walker/scheduler.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/node2vec.h"
@@ -79,15 +80,6 @@ std::vector<unsigned> SweepThreads() {
     threads.push_back(2);
   }
   return threads;
-}
-
-// `sorted_ms` must be ascending; callers sort once and read both tails.
-double Percentile(std::span<const double> sorted_ms, double p) {
-  if (sorted_ms.empty()) {
-    return 0.0;
-  }
-  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[rank];
 }
 
 struct SweepRow {
@@ -296,8 +288,8 @@ int main(int argc, char** argv) {
       row.total_ms = total_ms;
       row.qps = static_cast<double>(kSweepQueries) * kSweepBatches / (total_ms / 1000.0);
       std::sort(batch_ms.begin(), batch_ms.end());
-      row.p50_ms = Percentile(batch_ms, 0.50);
-      row.p99_ms = Percentile(batch_ms, 0.99);
+      row.p50_ms = obs::PercentileOfSorted(batch_ms, 0.50);
+      row.p99_ms = obs::PercentileOfSorted(batch_ms, 0.99);
       if (mode == DispenseMode::kPerQuery) {
         per_query_ms = total_ms;
       }
@@ -378,6 +370,48 @@ int main(int argc, char** argv) {
       "real memory-level parallelism.)\n",
       paths_ok ? "yes" : "NO");
 
+  // --- Instrumentation overhead gate: the metrics layer must be free. ---
+  // The scheduler's telemetry is worker-local counters folded into the
+  // registry once per batch (scheduler.cc LocalCounters), so enabling it
+  // should not move steps/sec beyond run-to-run noise. Best-of-N on each
+  // side to damp scheduler jitter; the 2x floor is deliberately generous —
+  // the gate exists to catch a per-step atomic sneaking onto the hot path
+  // (that costs an order of magnitude, not percents), not to flake CI.
+  PrintHeader("Instrumentation overhead", "metrics enabled vs disabled, src/obs/");
+  const int kOverheadReps = quick ? 3 : 5;
+  auto best_steps_per_sec = [&](bool metrics_on) {
+    obs::SetMetricsEnabled(metrics_on);
+    double best = 0.0;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      SchedulerOptions options;
+      options.num_threads = cores;
+      WalkScheduler scheduler(options);
+      WalkResult result = scheduler.Run(graph, walk, starts, kBenchSeed, wave_step);
+      uint64_t steps = CountSampledSteps(result);
+      best = std::max(best, static_cast<double>(steps) / (result.wall_ms / 1000.0));
+    }
+    return best;
+  };
+  best_steps_per_sec(true);  // warm-up: allocator + registry series creation
+  double off_steps = best_steps_per_sec(false);
+  double on_steps = best_steps_per_sec(true);
+  obs::SetMetricsEnabled(true);  // leave the process-wide default restored
+  bool overhead_ok = on_steps >= 0.5 * off_steps;
+  Table overhead_table({"metrics", "best Msteps/s", "vs disabled"});
+  overhead_table.AddRow({"disabled", Table::Num(off_steps / 1e6), "1.00x"});
+  overhead_table.AddRow({"enabled", Table::Num(on_steps / 1e6),
+                         Table::Num(on_steps / off_steps) + "x"});
+  overhead_table.Print();
+  std::printf("instrumentation overhead within noise (enabled >= 0.5x disabled): %s\n",
+              overhead_ok ? "yes" : "NO");
+  if (!overhead_ok) {
+    std::fprintf(stderr,
+                 "OVERHEAD FAILURE: steps/sec with metrics enabled (%.3g) fell below "
+                 "0.5x the disabled rate (%.3g) — something hot-path is counting "
+                 "per step\n",
+                 on_steps, off_steps);
+  }
+
   // --- BENCH_scheduler.json: the sweeps' per-config numbers for CI trend
   // tracking. Schema: {meta: {bench, quick, git_sha, date_utc,
   // hardware_concurrency}, bench, quick, hardware_concurrency, workload,
@@ -412,7 +446,10 @@ int main(int argc, char** argv) {
                    row.threads, row.wavefront, row.wall_ms, row.steps_per_sec, row.speedup,
                    i + 1 == wave_rows.size() ? "" : ",");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json,
+                 "  ],\n  \"instrumentation_overhead\": {\"steps_per_sec_disabled\": %.1f, "
+                 "\"steps_per_sec_enabled\": %.1f}\n}\n",
+                 off_steps, on_steps);
     std::fclose(json);
     std::printf("per-config QPS/p50/p99 + wavefront steps/sec written to %s\n",
                 json_path.c_str());
@@ -420,7 +457,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
   }
 
-  // Non-zero on divergence so the CI smoke step actually gates determinism
-  // instead of just printing it.
-  return paths_ok ? 0 : 1;
+  // Non-zero on divergence or instrumentation overhead so the CI smoke
+  // step actually gates both instead of just printing them.
+  return (paths_ok && overhead_ok) ? 0 : 1;
 }

@@ -8,8 +8,11 @@
 //   $ ./flexiwalker_cli --dataset YT --workload deepwalk --listen 7331   # TCP server
 //   $ printf '0 1 2\nquit\n' | ./flexiwalker_cli --connect 7331         # TCP client
 //   $ ./flexiwalker_cli --help
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +34,8 @@
 #include "src/graph/io.h"
 #include "src/net/walk_client.h"
 #include "src/net/walk_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/walker/flexiwalker_engine.h"
 #include "src/walker/out_of_core.h"
 #include "src/walker/scheduler.h"
@@ -92,6 +97,10 @@ struct CliOptions {
   std::string workloads;
   uint32_t workload_id = 0;     // client mode: route requests to this workload
   bool workload_id_set = false;
+  // Telemetry (docs/OBSERVABILITY.md):
+  bool stats = false;           // client mode: scrape the server's metrics and exit
+  std::string metrics_out;      // listen mode: Prometheus dump path (SIGUSR1 + exit)
+  std::string trace_out;        // listen mode: Chrome trace_event JSON path (exit)
   bool static_cache = false;    // FlexiWalkerOptions::cache_static_tables
   std::string adaptive_window = "on";  // raw --adaptive-window text
   bool adaptive_window_on = true;
@@ -163,6 +172,13 @@ void PrintUsage() {
       "  --adaptive-window <on|off> EWMA-adaptive coalesce window: flush immediately\n"
       "                           when traffic is sparse, so idle-period requests pay\n"
       "                           walk latency instead of the window (default on)\n"
+      "telemetry (docs/OBSERVABILITY.md):\n"
+      "  --stats                  client mode: scrape the server's metrics registry\n"
+      "                           (kStatsRequest), print the Prometheus text, exit\n"
+      "  --metrics-out <path>     listen mode: write the local metrics registry as\n"
+      "                           Prometheus text on SIGUSR1 and again at shutdown\n"
+      "  --trace-out <path>       listen mode: record request-lifecycle spans and\n"
+      "                           write them as Chrome trace_event JSON at shutdown\n"
       "exit codes: 0 ok | %d usage | %d unsupported engine | %d malformed input\n",
       kMaxDispenseChunk, kMaxWavefront, kMinBlockBytes, kDefaultBlockBytes, kExitUsage,
       kExitUnsupportedEngine, kExitMalformedInput);
@@ -207,6 +223,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       {"--connect", &options.connect},   {"--overflow", &options.overflow},
       {"--steal", &options.steal},       {"--adaptive-window", &options.adaptive_window},
       {"--event-loop", &options.event_loop}, {"--workloads", &options.workloads},
+      {"--metrics-out", &options.metrics_out}, {"--trace-out", &options.trace_out},
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -220,6 +237,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
     }
     if (arg == "--static-cache") {
       options.static_cache = true;
+      continue;
+    }
+    if (arg == "--stats") {
+      options.stats = true;
       continue;
     }
     auto needs_value = [&](const char* name) -> const char* {
@@ -635,6 +656,18 @@ bool ParseWorkloadSpecs(const CliOptions& options, std::vector<WorkloadSpec>& sp
   return true;
 }
 
+// Snapshots the process metrics registry to `path` as Prometheus text.
+// Truncate-and-rewrite so a scraper always sees one complete exposition.
+bool WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write --metrics-out file: %s\n", path.c_str());
+    return false;
+  }
+  out << obs::MetricsRegistry::Global().RenderPrometheusText();
+  return true;
+}
+
 // --listen: serve the prepared (graph, workload) over TCP until stdin EOF
 // or "quit". Requests coalesce into scheduler-sized batches under the
 // configured window/threshold, with admission backpressure; see
@@ -653,6 +686,38 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   std::vector<WorkloadSpec> specs;
   if (!options.workloads.empty() && !ParseWorkloadSpecs(options, specs)) {
     return kExitUsage;
+  }
+  // Telemetry setup, before any serving thread spawns: SIGUSR1 must be
+  // blocked process-wide so only the dedicated sigwait thread receives it
+  // (threads inherit the mask), and the trace ring must be live before the
+  // first request records a span.
+  if (!options.trace_out.empty()) {
+    obs::TraceRing::Global().Enable(1 << 16);
+  }
+  std::thread metrics_thread;
+  std::atomic<bool> metrics_thread_stop{false};
+  if (!options.metrics_out.empty()) {
+    sigset_t usr1;
+    sigemptyset(&usr1);
+    sigaddset(&usr1, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &usr1, nullptr);
+    metrics_thread = std::thread([&options, &metrics_thread_stop] {
+      sigset_t wait_set;
+      sigemptyset(&wait_set);
+      sigaddset(&wait_set, SIGUSR1);
+      for (;;) {
+        int sig = 0;
+        if (sigwait(&wait_set, &sig) != 0) {
+          return;
+        }
+        if (metrics_thread_stop.load(std::memory_order_acquire)) {
+          return;  // shutdown poke from Listen's exit path
+        }
+        if (WriteMetricsFile(options.metrics_out)) {
+          std::fprintf(stderr, "metrics written: %s\n", options.metrics_out.c_str());
+        }
+      }
+    });
   }
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
@@ -701,10 +766,33 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
       extra->Shutdown();
     }
   };
+  // Final telemetry dumps, after serving stops: poke the sigwait thread
+  // loose with one last SIGUSR1 (the stop flag tells it apart from a user
+  // scrape), then write the end-of-run snapshot and the trace.
+  auto finish_telemetry = [&] {
+    if (metrics_thread.joinable()) {
+      metrics_thread_stop.store(true, std::memory_order_release);
+      pthread_kill(metrics_thread.native_handle(), SIGUSR1);
+      metrics_thread.join();
+    }
+    if (!options.metrics_out.empty() && WriteMetricsFile(options.metrics_out)) {
+      std::printf("metrics written: %s\n", options.metrics_out.c_str());
+    }
+    if (!options.trace_out.empty()) {
+      if (obs::TraceRing::Global().WriteChromeTrace(options.trace_out)) {
+        std::printf("trace written  : %s (%zu spans)\n", options.trace_out.c_str(),
+                    obs::TraceRing::Global().Snapshot().size());
+      } else {
+        std::fprintf(stderr, "cannot write --trace-out file: %s\n", options.trace_out.c_str());
+      }
+      obs::TraceRing::Global().Disable();
+    }
+  };
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
     shutdown_services();
+    finish_telemetry();
     return kExitUsage;
   }
   std::printf(
@@ -736,6 +824,7 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
               static_cast<unsigned long long>(server.requests_received()),
               static_cast<unsigned long long>(server.requests_rejected()),
               static_cast<unsigned long long>(server.frames_malformed()));
+  finish_telemetry();
   return 0;
 }
 
@@ -758,6 +847,20 @@ int Client(const CliOptions& options) {
   if (!client.Connect(host, static_cast<uint16_t>(port), &error)) {
     std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port, error.c_str());
     return kExitUsage;
+  }
+  // --stats: one scrape, print the Prometheus text verbatim, done. Scripts
+  // pipe this through grep (scripts/ci smoke, docs/OBSERVABILITY.md).
+  if (options.stats) {
+    try {
+      std::string text = client.FetchStats();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "stats scrape failed: %s\n", e.what());
+      client.Close();
+      return kExitUsage;
+    }
+    client.Close();
+    return 0;
   }
   std::ofstream out;
   if (!options.out_path.empty()) {
@@ -828,6 +931,14 @@ int Run(const CliOptions& options) {
   }
   if (options.workload_id_set && options.connect.empty()) {
     std::fprintf(stderr, "--workload-id applies only to --connect mode\n");
+    return kExitUsage;
+  }
+  if (options.stats && options.connect.empty()) {
+    std::fprintf(stderr, "--stats applies only to --connect mode\n");
+    return kExitUsage;
+  }
+  if ((!options.metrics_out.empty() || !options.trace_out.empty()) && options.listen_port < 0) {
+    std::fprintf(stderr, "--metrics-out/--trace-out apply only to --listen mode\n");
     return kExitUsage;
   }
   // The out-of-core tier exists only behind the flexiwalker engine (the
@@ -959,6 +1070,9 @@ int Run(const CliOptions& options) {
                 static_cast<unsigned long long>(ooc_stats.block_evictions),
                 static_cast<unsigned long long>(ooc_stats.cache_hits),
                 static_cast<unsigned long long>(ooc_stats.parks));
+    std::printf("disk read     : %.2f MiB (%llu payload bytes)\n",
+                ooc_stats.bytes_read / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(ooc_stats.bytes_read));
   } else {
     result = engine->Run(graph, *workload, starts, options.seed);
   }

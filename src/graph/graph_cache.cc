@@ -4,7 +4,36 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/metrics.h"
+
 namespace flexi {
+namespace {
+
+// Registry mirror of GraphCache::Stats (obs/metrics.h): the per-run struct
+// stays the authoritative single-threaded count; these series make the cache
+// visible in any live scrape (--stats, --metrics-out) alongside the serving
+// metrics. Every GraphCache in the process folds into the same series.
+struct CacheMetrics {
+  obs::Counter& loads;
+  obs::Counter& hits;
+  obs::Counter& evictions;
+  obs::Counter& bytes_read;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new CacheMetrics{
+          registry.GetCounter("flexi_graph_cache_loads_total"),
+          registry.GetCounter("flexi_graph_cache_hits_total"),
+          registry.GetCounter("flexi_graph_cache_evictions_total"),
+          registry.GetCounter("flexi_graph_cache_bytes_read_total"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 GraphCache::GraphCache(const BlockStore* store, uint32_t capacity_blocks) : store_(store) {
   uint32_t capacity = std::max(1u, capacity_blocks);
@@ -32,6 +61,7 @@ const Graph& GraphCache::Acquire(uint32_t bid) {
     ++slot.pins;
     slot.last_use = ++use_clock_;
     ++stats_.hits;
+    CacheMetrics::Get().hits.Add(1);
     return slot.view;
   }
   // Miss: pick the least-recently-used unpinned slot (empty slots have
@@ -52,6 +82,7 @@ const Graph& GraphCache::Acquire(uint32_t bid) {
   Slot& slot = slots_[static_cast<size_t>(victim)];
   if (slot.bid != Slot::kEmpty) {
     ++stats_.evictions;
+    CacheMetrics::Get().evictions.Add(1);
   }
   store_->ReadBlock(bid, slot.data);
   slot.view = store_->MakeBlockView(bid, slot.data);
@@ -59,7 +90,11 @@ const Graph& GraphCache::Acquire(uint32_t bid) {
   slot.pins = 1;
   slot.last_use = ++use_clock_;
   ++stats_.loads;
-  stats_.bytes_read += store_->BlockPayloadBytes(bid);
+  uint64_t payload_bytes = store_->BlockPayloadBytes(bid);
+  stats_.bytes_read += payload_bytes;
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.loads.Add(1);
+  metrics.bytes_read.Add(payload_bytes);
   return slot.view;
 }
 

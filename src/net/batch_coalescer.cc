@@ -7,10 +7,34 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace flexi {
+namespace {
+
+// flexi_coalescer_flushes_total{workload="<label>",reason="<reason>"} —
+// labels are plain identifiers here, no escaping needed.
+std::string FlushSeriesName(const std::string& label, const char* reason) {
+  return std::string("flexi_coalescer_flushes_total{workload=\"") + label + "\",reason=\"" +
+         reason + "\"}";
+}
+
+}  // namespace
 
 BatchCoalescer::BatchCoalescer(WalkService& service, Options options)
     : service_(service), options_(std::move(options)) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string& label = options_.metrics_label;
+  m_admitted_ = &registry.GetCounter(
+      obs::WithLabel("flexi_coalescer_requests_admitted_total", "workload", label));
+  m_rejected_ = &registry.GetCounter(
+      obs::WithLabel("flexi_coalescer_requests_rejected_total", "workload", label));
+  m_would_block_ = &registry.GetCounter(
+      obs::WithLabel("flexi_coalescer_requests_would_block_total", "workload", label));
+  m_batch_queries_ =
+      &registry.GetHistogram(obs::WithLabel("flexi_coalescer_batch_queries", "workload", label));
+  m_outstanding_ = &registry.GetGauge(
+      obs::WithLabel("flexi_coalescer_outstanding_queries", "workload", label));
   flusher_ = std::thread([this] { FlushLoop(); });
   completer_ = std::thread([this] { CompleteLoop(); });
 }
@@ -43,21 +67,25 @@ BatchCoalescer::AdmitStatus BatchCoalescer::EnqueueLocked(std::vector<NodeId>& s
   };
   if (shutdown_) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    m_rejected_->Add(1);
     return AdmitStatus::kRejected;
   }
   if (!has_space()) {
     if (options_.overflow == OverflowPolicy::kReject) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->Add(1);
       return AdmitStatus::kRejected;
     }
     if (!allow_block) {
       // Not a rejection: nothing was dropped, the caller will re-present
       // the same request after a batch completes frees space.
+      m_would_block_->Add(1);
       return AdmitStatus::kWouldBlock;
     }
     cv_space_.wait(lock, [&] { return shutdown_ || has_space(); });
     if (shutdown_) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->Add(1);
       return AdmitStatus::kRejected;
     }
   }
@@ -98,11 +126,14 @@ BatchCoalescer::AdmitStatus BatchCoalescer::EnqueueLocked(std::vector<NodeId>& s
   pending_queries_ += queries;
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   queries_admitted_.fetch_add(queries, std::memory_order_relaxed);
+  m_admitted_->Add(1);
+  m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
   cv_flush_.notify_one();
   return AdmitStatus::kAdmitted;
 }
 
-void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count) {
+void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count,
+                                   const char* reason) {
   InFlightBatch batch;
   batch.requests.assign(std::make_move_iterator(pending_.begin()),
                         std::make_move_iterator(pending_.begin() + request_count));
@@ -114,6 +145,21 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
   }
   pending_queries_ -= queries;
   inflight_queries_ += queries;
+  obs::MetricsRegistry::Global()
+      .GetCounter(FlushSeriesName(options_.metrics_label, reason))
+      .Add(1);
+  m_batch_queries_->Record(queries);
+  obs::TraceRing& obs_trace = obs::TraceRing::Global();
+  if (obs_trace.enabled()) {
+    // The coalesce span: window open -> this flush. steady_clock and the
+    // NowMicros timebase share an epoch offset, so convert via "ago".
+    uint64_t now_us = obs::NowMicros();
+    auto held = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - window_opened_)
+                    .count();
+    uint64_t held_us = held > 0 ? static_cast<uint64_t>(held) : 0;
+    obs_trace.Record("coalesce", 0, 0, now_us > held_us ? now_us - held_us : 0, now_us);
+  }
 
   // Build and submit the batch outside the lock: concatenating starts and
   // prefilling a potentially multi-megabyte arena must not stall every
@@ -174,6 +220,7 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
     view.row_ptrs = batch.row_ptrs.data();
     batch.future = service_.SubmitInto(std::move(walk_batch), view);
   }
+  batch.submit_us = obs::NowMicros();
   lock.lock();
   inflight_.push_back(std::move(batch));
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
@@ -189,7 +236,7 @@ void BatchCoalescer::FlushLoop() {
     }
     if (options_.max_delay_ms <= 0.0) {
       // Coalescing disabled: one batch per request, in admission order.
-      FlushWithLock(lock, 1);
+      FlushWithLock(lock, 1, "single");
       continue;
     }
     if (!shutdown_ && pending_queries_ < options_.max_batch_queries &&
@@ -213,7 +260,11 @@ void BatchCoalescer::FlushLoop() {
         return shutdown_ || pending_queries_ >= options_.max_batch_queries;
       });
     }
-    FlushWithLock(lock, pending_.size());
+    const char* reason = shutdown_                                             ? "shutdown"
+                         : pending_queries_ >= options_.max_batch_queries      ? "size"
+                         : (options_.adaptive_window && window_sparse_)        ? "sparse"
+                                                                               : "deadline";
+    FlushWithLock(lock, pending_.size(), reason);
   }
   flusher_done_ = true;
   cv_complete_.notify_all();
@@ -235,8 +286,12 @@ void BatchCoalescer::CompleteLoop() {
     // completer simple and, with pipelining, still overlaps execution.
     BatchResult result;
     bool completed = true;
+    obs::TraceRing& obs_trace = obs::TraceRing::Global();
     try {
       result = batch.future.get();
+      if (obs_trace.enabled()) {
+        obs_trace.Record("schedule", 0, 0, batch.submit_us, obs::NowMicros());
+      }
     } catch (const std::exception& e) {
       // Only reachable when the service was shut down under us — a teardown
       // order the API forbids (coalescer first, then service). Dropping the
@@ -252,9 +307,11 @@ void BatchCoalescer::CompleteLoop() {
       for (const PendingRequest& request : batch.requests) {
         inflight_queries_ -= request.starts.size();
       }
+      m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
       cv_space_.notify_all();
       continue;
     }
+    uint64_t complete_start_us = obs_trace.enabled() ? obs::NowMicros() : 0;
     size_t fallback_row = 0;
     for (size_t r = 0; r < batch.requests.size(); ++r) {
       PendingRequest& request = batch.requests[r];
@@ -282,12 +339,16 @@ void BatchCoalescer::CompleteLoop() {
       offset += slice.num_queries;
       request.done(std::move(slice));
     }
+    if (obs_trace.enabled()) {
+      obs_trace.Record("complete", 0, 0, complete_start_us, obs::NowMicros());
+    }
     if (on_batch_complete_) {
       on_batch_complete_();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       inflight_queries_ -= offset;
+      m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
     }
     cv_space_.notify_all();
   }

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/walker/path_arena.h"
 #include "src/walker/walk_service.h"
 
@@ -74,6 +75,10 @@ class BatchCoalescer {
     // blocks or rejects per `overflow`.
     size_t max_outstanding_queries = 1 << 16;
     OverflowPolicy overflow = OverflowPolicy::kBlock;
+    // The workload="<label>" value on this coalescer's registry series
+    // (obs/metrics.h). The WalkServer sets it to the workload's registered
+    // name; standalone coalescers share the default series.
+    std::string metrics_label = "default";
   };
 
   // Where an admitted request's path rows should be written. A request's
@@ -182,6 +187,7 @@ class BatchCoalescer {
   };
   struct InFlightBatch {
     std::future<BatchResult> future;
+    uint64_t submit_us = 0;  // obs::NowMicros at SubmitInto — the "schedule" span start
     std::vector<PendingRequest> requests;  // starts kept for slice offsets
     // The batch's fallback path storage for requests without a Placement:
     // the scheduler's workers write their rows directly into it
@@ -205,8 +211,11 @@ class BatchCoalescer {
   // it to the service. Drops the lock around the batch build + arena
   // allocation + Submit (so big flushes don't stall Enqueue) and retakes
   // it before queueing the in-flight entry; single-flusher ordering keeps
-  // the arrival-order -> global-id mapping intact.
-  void FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count);
+  // the arrival-order -> global-id mapping intact. `reason` labels the
+  // flush in the registry: "size", "deadline", "sparse", "single", or
+  // "shutdown".
+  void FlushWithLock(std::unique_lock<std::mutex>& lock, size_t request_count,
+                     const char* reason);
 
   // Shared admission body: blocks on cv_space_ only when `allow_block`;
   // moves from the arguments only on kAdmitted.
@@ -242,6 +251,14 @@ class BatchCoalescer {
   std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<uint64_t> batches_flushed_{0};
   std::atomic<uint64_t> queries_admitted_{0};
+
+  // Registry handles, resolved once in the constructor against
+  // Options::metrics_label (coalescers with the same label share series).
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_would_block_ = nullptr;
+  obs::Histogram* m_batch_queries_ = nullptr;
+  obs::Gauge* m_outstanding_ = nullptr;
 
   std::thread flusher_;
   std::thread completer_;

@@ -111,6 +111,41 @@ WalkClient::Result WalkClient::Walk(std::vector<NodeId> starts, uint32_t workloa
   return Submit(std::move(starts), workload_id).get();
 }
 
+std::future<std::string> WalkClient::SubmitStatsRequest() {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  uint64_t tag = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!open_) {
+      promise.set_exception(
+          std::make_exception_ptr(std::runtime_error("WalkClient is not connected")));
+      return future;
+    }
+    tag = next_tag_++;
+    pending_stats_.emplace(tag, std::move(promise));
+  }
+  std::vector<uint8_t> bytes;
+  AppendStatsRequestFrame(bytes, {tag});
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    sent = SendAll(fd_, bytes.data(), bytes.size());
+  }
+  if (!sent) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_stats_.find(tag);
+    if (it != pending_stats_.end()) {
+      it->second.set_exception(
+          std::make_exception_ptr(std::runtime_error("send failed: connection lost")));
+      pending_stats_.erase(it);
+    }
+  }
+  return future;
+}
+
+std::string WalkClient::FetchStats() { return SubmitStatsRequest().get(); }
+
 void WalkClient::ReaderLoop() {
   FrameDecoder decoder;
   std::vector<uint8_t> chunk(64 << 10);
@@ -154,6 +189,21 @@ void WalkClient::ReaderLoop() {
           result.paths = std::move(frame.response.paths);
           promise.set_value(std::move(result));
         }
+      } else if (frame.type == FrameType::kStatsResponse) {
+        std::promise<std::string> promise;
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pending_stats_.find(frame.stats_response.tag);
+          if (it != pending_stats_.end()) {
+            promise = std::move(it->second);
+            pending_stats_.erase(it);
+            found = true;
+          }
+        }
+        if (found) {
+          promise.set_value(std::move(frame.stats_response.text));
+        }
       } else if (frame.type == FrameType::kError) {
         std::string reason = std::string("server error (") +
                              WireErrorCodeName(frame.error.code) + "): " + frame.error.message;
@@ -165,6 +215,8 @@ void WalkClient::ReaderLoop() {
         }
         std::promise<Result> promise;
         bool found = false;
+        std::promise<std::string> stats_promise;
+        bool stats_found = false;
         {
           std::lock_guard<std::mutex> lock(mutex_);
           auto it = pending_.find(frame.error.tag);
@@ -172,10 +224,20 @@ void WalkClient::ReaderLoop() {
             promise = std::move(it->second);
             pending_.erase(it);
             found = true;
+          } else {
+            auto stats_it = pending_stats_.find(frame.error.tag);
+            if (stats_it != pending_stats_.end()) {
+              stats_promise = std::move(stats_it->second);
+              pending_stats_.erase(stats_it);
+              stats_found = true;
+            }
           }
         }
         if (found) {
           promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
+        }
+        if (stats_found) {
+          stats_promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
         }
       }
       // A kRequest frame from a server is nonsense; ignore it rather than
@@ -186,12 +248,17 @@ void WalkClient::ReaderLoop() {
 
 void WalkClient::FailAllPending(const std::string& reason) {
   std::unordered_map<uint64_t, std::promise<Result>> orphaned;
+  std::unordered_map<uint64_t, std::promise<std::string>> orphaned_stats;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     open_ = false;
     orphaned.swap(pending_);
+    orphaned_stats.swap(pending_stats_);
   }
   for (auto& [tag, promise] : orphaned) {
+    promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
+  }
+  for (auto& [tag, promise] : orphaned_stats) {
     promise.set_exception(std::make_exception_ptr(std::runtime_error(reason)));
   }
 }

@@ -68,6 +68,16 @@ class WalkClient {
   // Blocking convenience: Submit + get.
   Result Walk(std::vector<NodeId> starts, uint32_t workload_id = 0);
 
+  // Telemetry scrape: sends a kStatsRequest and resolves with the server's
+  // metrics registry rendered as Prometheus text (docs/OBSERVABILITY.md).
+  // Pipelines with Submit like any other request; fails like one too
+  // (closed connection, pre-stats servers answer kMalformedFrame and drop
+  // the connection — the future then carries that error).
+  std::future<std::string> SubmitStatsRequest();
+
+  // Blocking convenience: SubmitStatsRequest + get.
+  std::string FetchStats();
+
   // Fails outstanding futures and tears the connection down. Idempotent.
   void Close();
 
@@ -81,8 +91,9 @@ class WalkClient {
   int fd_ = -1;
   std::thread reader_;
 
-  mutable std::mutex mutex_;  // guards pending_, next_tag_, open_
+  mutable std::mutex mutex_;  // guards pending_, pending_stats_, next_tag_, open_
   std::unordered_map<uint64_t, std::promise<Result>> pending_;
+  std::unordered_map<uint64_t, std::promise<std::string>> pending_stats_;
   uint64_t next_tag_ = 1;
   bool open_ = false;
 

@@ -1,6 +1,7 @@
 #include "src/net/walk_server.h"
 
 #include "src/net/socket_util.h"
+#include "src/obs/trace.h"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -19,6 +20,37 @@
 #include <utility>
 
 namespace flexi {
+namespace {
+
+// Server-wide (workload-agnostic) scrape series, resolved once. Per-workload
+// series live on WalkServer::Workload.
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Counter& frames_decoded;
+  obs::Counter& frames_malformed;
+  obs::Counter& cork_bytes;
+  obs::Counter& epollout_resumptions;
+  obs::Counter& stats_requests;
+  obs::Counter& unknown_workload;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new ServerMetrics{
+          registry.GetCounter("flexi_server_connections_accepted_total"),
+          registry.GetCounter("flexi_server_frames_decoded_total"),
+          registry.GetCounter("flexi_server_frames_malformed_total"),
+          registry.GetCounter("flexi_server_cork_bytes_total"),
+          registry.GetCounter("flexi_server_epollout_resumptions_total"),
+          registry.GetCounter("flexi_server_stats_requests_total"),
+          registry.GetCounter("flexi_server_unknown_workload_total"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 WalkServer::Connection::~Connection() {
   if (fd >= 0) {
@@ -38,7 +70,21 @@ uint32_t WalkServer::RegisterWorkload(std::string name, WalkService& service,
   auto workload = std::make_unique<Workload>();
   workload->name = std::move(name);
   workload->service = &service;
+  coalescer_options.metrics_label = workload->name;
   workload->coalescer = std::make_unique<BatchCoalescer>(service, coalescer_options);
+  auto& registry = obs::MetricsRegistry::Global();
+  workload->m_requests =
+      &registry.GetCounter(obs::WithLabel("flexi_server_requests_total", "workload",
+                                          workload->name));
+  workload->m_rejected =
+      &registry.GetCounter(obs::WithLabel("flexi_server_requests_rejected_total", "workload",
+                                          workload->name));
+  workload->m_responses =
+      &registry.GetCounter(obs::WithLabel("flexi_server_responses_total", "workload",
+                                          workload->name));
+  workload->m_latency_us =
+      &registry.GetHistogram(obs::WithLabel("flexi_server_request_latency_us", "workload",
+                                            workload->name));
   uint32_t id = static_cast<uint32_t>(workloads_.size());
   // The hook runs on this workload's completer thread after each batch's
   // callbacks: push the corked responses out, then wake any connection
@@ -152,6 +198,9 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
                                                    const std::shared_ptr<Connection>& conn,
                                                    WireRequest& request) {
   requests_received_.fetch_add(1, std::memory_order_relaxed);
+  // The request's latency clock: decode happened within this call's caller,
+  // microseconds ago — close enough to anchor decode -> response-cork.
+  uint64_t decode_us = obs::NowMicros();
   uint64_t tag = request.tag;
   auto send_error = [&](WireErrorCode code, const std::string& message) {
     if (loop != nullptr) {
@@ -162,6 +211,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   };
   if (request.workload_id >= workloads_.size()) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().unknown_workload.Add(1);
     send_error(WireErrorCode::kUnknownWorkload,
                "unknown workload id " + std::to_string(request.workload_id) + " (server has " +
                    std::to_string(workloads_.size()) + " registered)");
@@ -169,9 +219,11 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   }
   Workload& workload = *workloads_[request.workload_id];
   workload.requests_received.fetch_add(1, std::memory_order_relaxed);
+  workload.m_requests->Add(1);
   if (request.starts.size() > options_.max_request_starts) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    workload.m_rejected->Add(1);
     send_error(WireErrorCode::kRequestTooLarge,
                "request has " + std::to_string(request.starts.size()) +
                    " starts; the per-request cap is " +
@@ -182,6 +234,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
     if (start >= num_nodes_) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
       workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      workload.m_rejected->Add(1);
       send_error(WireErrorCode::kNodeOutOfRange,
                  "start node " + std::to_string(start) + " out of range (graph has " +
                      std::to_string(num_nodes_) + " nodes)");
@@ -207,8 +260,10 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   }
   // Runs on the workload's completer thread; `conn` is kept alive by the
   // capture even after the connection leaves every server-side list.
-  BatchCoalescer::DoneFn done = [this, conn, tag,
-                                 response_frame](BatchCoalescer::RequestResult result) {
+  uint32_t workload_id = request.workload_id;
+  Workload* workload_ptr = &workload;
+  BatchCoalescer::DoneFn done = [this, conn, tag, response_frame, decode_us, workload_id,
+                                 workload_ptr](BatchCoalescer::RequestResult result) {
     if (result.placed) {
       PatchPlacedResponseQueryId(*response_frame, result.first_query_id);
       CorkPlacedFrame(conn, response_frame);
@@ -220,6 +275,12 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
                                 static_cast<uint32_t>(result.num_queries), result.paths};
       CorkResponse(conn, response);
     }
+    // The response is corked (the batch hook flushes it next): close the
+    // request's latency span and count the completion.
+    uint64_t now_us = obs::NowMicros();
+    workload_ptr->m_responses->Add(1);
+    workload_ptr->m_latency_us->Record(now_us - decode_us);
+    obs::TraceRing::Global().Record("request", tag, workload_id, decode_us, now_us);
     // After the cork: retirement reads pending==0 as "every admitted
     // request's bytes are in the cork queue (or dropped with the
     // connection)".
@@ -235,6 +296,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
       conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
       workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      workload.m_rejected->Add(1);
       send_error(stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
                  stopping_.load() ? "server shutting down" : "admission queue full");
     }
@@ -263,6 +325,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   if (status == BatchCoalescer::AdmitStatus::kRejected) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    workload.m_rejected->Add(1);
     send_error(stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
                stopping_.load() ? "server shutting down" : "admission queue full");
     return HandleStatus::kHandled;
@@ -305,6 +368,7 @@ void WalkServer::AcceptLoop() {
       ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes, sizeof(int));
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections.Add(1);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
@@ -362,9 +426,17 @@ void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
       if (status == DecodeStatus::kNeedMore) {
         break;
       }
+      if (status == DecodeStatus::kFrame) {
+        ServerMetrics::Get().frames_decoded.Add(1);
+        if (frame.type == FrameType::kStatsRequest) {
+          HandleStatsRequest(nullptr, conn, frame.stats_request.tag);
+          continue;
+        }
+      }
       if (status == DecodeStatus::kMalformed ||
           (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
         frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::Get().frames_malformed.Add(1);
         SendError(conn, 0, WireErrorCode::kMalformedFrame,
                   "undecodable frame; closing connection");
         // The byte stream is desynced for good: flush the error, then shut
@@ -496,6 +568,7 @@ void WalkServer::AcceptReady(EventLoop& loop) {
       ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes, sizeof(int));
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections.Add(1);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->decoder = FrameDecoder(options_.max_frame_payload);
@@ -609,6 +682,7 @@ SendResult WalkServer::DrainCorkLocked(Connection& conn) {
 }
 
 void WalkServer::WriteReady(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  ServerMetrics::Get().epollout_resumptions.Add(1);
   SendResult result;
   bool retire = false;
   {
@@ -625,6 +699,12 @@ void WalkServer::CorkErrorEvent(EventLoop& loop, const std::shared_ptr<Connectio
                                 uint64_t tag, WireErrorCode code, const std::string& message) {
   auto frame = std::make_shared<std::vector<uint8_t>>();
   AppendErrorFrame(*frame, {tag, code, message});
+  CorkFrameEvent(loop, conn, std::move(frame));
+}
+
+void WalkServer::CorkFrameEvent(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                                std::shared_ptr<std::vector<uint8_t>> frame) {
+  ServerMetrics::Get().cork_bytes.Add(frame->size());
   bool teardown = false;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -639,17 +719,50 @@ void WalkServer::CorkErrorEvent(EventLoop& loop, const std::shared_ptr<Connectio
   }
 }
 
+void WalkServer::HandleStatsRequest(EventLoop* loop, const std::shared_ptr<Connection>& conn,
+                                    uint64_t tag) {
+  ServerMetrics::Get().stats_requests.Add(1);
+  WireStatsResponse response{tag, obs::MetricsRegistry::Global().RenderPrometheusText()};
+  if (loop != nullptr) {
+    auto frame = std::make_shared<std::vector<uint8_t>>();
+    AppendStatsResponseFrame(*frame, response);
+    CorkFrameEvent(*loop, conn, std::move(frame));
+  } else {
+    std::vector<uint8_t> bytes;
+    AppendStatsResponseFrame(bytes, response);
+    SendBytes(conn, bytes);
+  }
+}
+
 WalkServer::FrameProgress WalkServer::ProcessFrames(EventLoop& loop,
                                                     const std::shared_ptr<Connection>& conn) {
+  obs::TraceRing& trace = obs::TraceRing::Global();
   for (;;) {
     WireFrame frame;
+    uint64_t decode_start_us = trace.enabled() ? obs::NowMicros() : 0;
     DecodeStatus status = conn->decoder.Next(frame);
     if (status == DecodeStatus::kNeedMore) {
       return FrameProgress::kNeedMore;
     }
+    if (status == DecodeStatus::kFrame) {
+      ServerMetrics::Get().frames_decoded.Add(1);
+      if (trace.enabled()) {
+        trace.Record("decode", frame.type == FrameType::kStatsRequest ? frame.stats_request.tag
+                                                                      : frame.request.tag,
+                     frame.request.workload_id, decode_start_us, obs::NowMicros());
+      }
+    }
+    if (status == DecodeStatus::kFrame && frame.type == FrameType::kStatsRequest) {
+      HandleStatsRequest(&loop, conn, frame.stats_request.tag);
+      if (!conn->open) {
+        return FrameProgress::kStopReading;
+      }
+      continue;
+    }
     if (status == DecodeStatus::kMalformed ||
         (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
       frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().frames_malformed.Add(1);
       CorkErrorEvent(loop, conn, 0, WireErrorCode::kMalformedFrame,
                      "undecodable frame; closing connection");
       // The byte stream is desynced for good: never read again, deliver
@@ -671,7 +784,14 @@ WalkServer::FrameProgress WalkServer::ProcessFrames(EventLoop& loop,
       }
       return FrameProgress::kStopReading;
     }
-    if (HandleRequest(&loop, conn, frame.request) == HandleStatus::kWouldBlock) {
+    uint64_t admit_start_us = trace.enabled() ? obs::NowMicros() : 0;
+    uint64_t request_tag = frame.request.tag;
+    uint32_t request_workload = frame.request.workload_id;
+    HandleStatus handled = HandleRequest(&loop, conn, frame.request);
+    if (trace.enabled()) {
+      trace.Record("admit", request_tag, request_workload, admit_start_us, obs::NowMicros());
+    }
+    if (handled == HandleStatus::kWouldBlock) {
       return FrameProgress::kParked;
     }
     if (!conn->open) {
@@ -769,6 +889,7 @@ void WalkServer::HandleUnpark(EventLoop& loop, const std::shared_ptr<Connection>
     conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    workload.m_rejected->Add(1);
     CorkErrorEvent(loop, conn, request.tag,
                    stopping_.load() ? WireErrorCode::kShuttingDown : WireErrorCode::kOverloaded,
                    stopping_.load() ? "server shutting down" : "admission queue full");
@@ -860,6 +981,7 @@ void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
                               const WireResponseView& response) {
   auto frame = std::make_shared<std::vector<uint8_t>>();
   AppendResponseFrame(*frame, response);
+  ServerMetrics::Get().cork_bytes.Add(frame->size());
   CorkEntry entry{frame->data(), frame->size(), std::move(frame)};
   bool newly_dirty = false;
   {
@@ -879,6 +1001,7 @@ void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
 void WalkServer::CorkPlacedFrame(const std::shared_ptr<Connection>& conn,
                                  std::shared_ptr<std::vector<uint8_t>> frame) {
   std::span<const uint8_t> bytes = PlacedFrameBytes(*frame);
+  ServerMetrics::Get().cork_bytes.Add(bytes.size());
   CorkEntry entry{bytes.data(), bytes.size(), std::move(frame)};
   bool newly_dirty = false;
   {
@@ -896,6 +1019,8 @@ void WalkServer::CorkPlacedFrame(const std::shared_ptr<Connection>& conn,
 }
 
 void WalkServer::FlushCorkedWrites() {
+  obs::TraceRing& trace = obs::TraceRing::Global();
+  uint64_t flush_start_us = trace.enabled() ? obs::NowMicros() : 0;
   std::vector<std::shared_ptr<Connection>> dirty;
   {
     std::lock_guard<std::mutex> lock(corked_mutex_);
@@ -927,6 +1052,9 @@ void WalkServer::FlushCorkedWrites() {
   // Event mode: nonblocking drain; a partial send leaves the remainder
   // corked with EPOLLOUT armed, so a slow client stalls only itself — this
   // completer thread moves straight on to the next connection.
+  if (trace.enabled() && !dirty.empty()) {
+    trace.Record("flush", 0, 0, flush_start_us, obs::NowMicros());
+  }
   for (const auto& conn : dirty) {
     SendResult result;
     bool retire = false;

@@ -64,6 +64,7 @@
 #include "src/net/batch_coalescer.h"
 #include "src/net/socket_util.h"
 #include "src/net/wire.h"
+#include "src/obs/metrics.h"
 #include "src/walker/walk_service.h"
 
 namespace flexi {
@@ -213,6 +214,12 @@ class WalkServer {
     std::vector<std::shared_ptr<Connection>> parked;
     std::atomic<uint64_t> requests_received{0};
     std::atomic<uint64_t> requests_rejected{0};
+    // Registry handles resolved once at registration (obs/metrics.h): the
+    // per-workload scrape series, labeled workload="<name>".
+    obs::Counter* m_requests = nullptr;
+    obs::Counter* m_rejected = nullptr;
+    obs::Counter* m_responses = nullptr;
+    obs::Histogram* m_latency_us = nullptr;  // decode -> response corked
   };
 
   struct Command {
@@ -272,6 +279,13 @@ class WalkServer {
   // that may hold a half-sent frame.
   void CorkErrorEvent(EventLoop& loop, const std::shared_ptr<Connection>& conn, uint64_t tag,
                       WireErrorCode code, const std::string& message);
+  // Same cork-then-drain discipline for any prebuilt frame (the stats
+  // response path shares it with errors).
+  void CorkFrameEvent(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                      std::shared_ptr<std::vector<uint8_t>> frame);
+  // Answers a kStatsRequest with the process registry's Prometheus text.
+  // Event mode corks; thread mode sends inline.
+  void HandleStatsRequest(EventLoop* loop, const std::shared_ptr<Connection>& conn, uint64_t tag);
   // Nonblocking gathered drain of the cork queue (write_mutex held):
   // advances cork_offset across partial sends, arms/disarms EPOLLOUT, and
   // on kClosed clears the queue and marks the connection unwritable.

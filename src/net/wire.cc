@@ -155,6 +155,18 @@ void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error) {
   out.insert(out.end(), error.message.begin(), error.message.end());
 }
 
+void AppendStatsRequestFrame(std::vector<uint8_t>& out, const WireStatsRequest& request) {
+  FrameWriter frame(out, FrameType::kStatsRequest);
+  PutU64(out, request.tag);
+}
+
+void AppendStatsResponseFrame(std::vector<uint8_t>& out, const WireStatsResponse& response) {
+  FrameWriter frame(out, FrameType::kStatsResponse);
+  PutU64(out, response.tag);
+  PutU32(out, static_cast<uint32_t>(response.text.size()));
+  out.insert(out.end(), response.text.begin(), response.text.end());
+}
+
 DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, WireFrame& out,
                          size_t& consumed) {
   if (size < kHeaderBytes) {
@@ -235,6 +247,27 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, W
       frame.error.tag = GetU64(body + 1);
       frame.error.code = static_cast<WireErrorCode>(GetU32(body + 9));
       frame.error.message.assign(reinterpret_cast<const char*>(body + 17), msg_len);
+      break;
+    }
+    case static_cast<uint8_t>(FrameType::kStatsRequest): {
+      if (payload != 9) {
+        return DecodeStatus::kMalformed;
+      }
+      frame.type = FrameType::kStatsRequest;
+      frame.stats_request.tag = GetU64(body + 1);
+      break;
+    }
+    case static_cast<uint8_t>(FrameType::kStatsResponse): {
+      if (payload < 13) {
+        return DecodeStatus::kMalformed;
+      }
+      uint64_t text_len = GetU32(body + 9);
+      if (payload != 13 + text_len) {
+        return DecodeStatus::kMalformed;
+      }
+      frame.type = FrameType::kStatsResponse;
+      frame.stats_response.tag = GetU64(body + 1);
+      frame.stats_response.text.assign(reinterpret_cast<const char*>(body + 13), text_len);
       break;
     }
     default:

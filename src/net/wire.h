@@ -10,6 +10,15 @@
 //   kError     u8 type | u64 tag | u32 code | u32 msg_len | msg bytes
 //   kRequestV2 u8 type | u64 tag | u32 workload_id | u32 count |
 //              count * u32 start nodes
+//   kStatsRequest  u8 type | u64 tag
+//   kStatsResponse u8 type | u64 tag | u32 text_len | text bytes
+//
+// kStatsRequest/kStatsResponse are the telemetry scrape: the server answers
+// with its MetricsRegistry rendered in Prometheus text exposition format
+// (src/obs/metrics.h), so the same payload a --metrics-out dump writes is
+// what WalkClient::FetchStats() and `flexiwalker_cli --stats` read over the
+// wire. Stats frames interleave freely with requests on one connection and
+// are matched by tag like any response.
 //
 // kRequestV2 is the wire v2 request: identical to kRequest plus a
 // workload_id routing a multi-workload server to one of its registered
@@ -56,6 +65,8 @@ enum class FrameType : uint8_t {
   kResponse = 2,
   kError = 3,
   kRequestV2 = 4,  // v1 + explicit u32 workload_id after the tag
+  kStatsRequest = 5,   // telemetry scrape probe (tag only)
+  kStatsResponse = 6,  // Prometheus text payload, matched by tag
 };
 
 enum class WireErrorCode : uint32_t {
@@ -89,6 +100,15 @@ struct WireError {
   std::string message;
 };
 
+struct WireStatsRequest {
+  uint64_t tag = 0;
+};
+
+struct WireStatsResponse {
+  uint64_t tag = 0;
+  std::string text;  // Prometheus text exposition of the server's registry
+};
+
 // A response whose path rows live in borrowed storage — a slice of the
 // serving stack's per-batch PathArena. Serializing one of these copies the
 // nodes exactly once, arena bytes -> frame bytes; no owning WireResponse is
@@ -110,6 +130,8 @@ void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& response);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);
 void AppendErrorFrame(std::vector<uint8_t>& out, const WireError& error);
+void AppendStatsRequestFrame(std::vector<uint8_t>& out, const WireStatsRequest& request);
+void AppendStatsResponseFrame(std::vector<uint8_t>& out, const WireStatsResponse& response);
 
 // ---- placed response frames (the scatter-arena serving path) ----
 //
@@ -152,9 +174,11 @@ enum class DecodeStatus {
 
 struct WireFrame {
   FrameType type = FrameType::kRequest;
-  WireRequest request;    // valid when type == kRequest
+  WireRequest request;    // valid when type == kRequest / kRequestV2
   WireResponse response;  // valid when type == kResponse
   WireError error;        // valid when type == kError
+  WireStatsRequest stats_request;    // valid when type == kStatsRequest
+  WireStatsResponse stats_response;  // valid when type == kStatsResponse
 };
 
 // Tries to decode exactly one frame from [data, data + size). On kFrame,

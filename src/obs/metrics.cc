@@ -1,0 +1,290 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace flexi::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Relaxed-CAS min/max folds: contention is per-shard, and a lost race just
+// means the other thread's value was at least as extreme.
+void AtomicMin(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur && !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur && !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// "family" of a full metric name: everything before the label block.
+std::string FamilyOf(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Splices `extra` (e.g. quantile="0.99") into a full metric name's label
+// block, creating one if the name has none.
+std::string NameWithExtraLabel(const std::string& name, const std::string& extra) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "{" + extra + "}";
+  }
+  std::string out = name;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+// Appends `suffix` to the family while keeping the label block: a_sum{l="v"}.
+std::string NameWithSuffix(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + suffix;
+  }
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+void AppendTypeLine(std::string& out, std::string& last_family, const std::string& family,
+                    const char* type) {
+  if (family != last_family) {
+    out += "# TYPE " + family + " " + type + "\n";
+    last_family = family;
+  }
+}
+
+}  // namespace
+
+size_t ThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+uint64_t NowMicros() {
+  static const std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
+}
+
+double PercentileOfSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  if (index >= sorted.size()) {
+    index = sorted.size() - 1;
+  }
+  return sorted[index];
+}
+
+size_t HistogramBucketIndex(uint64_t value) {
+  if (value < 16) {
+    return static_cast<size_t>(value);
+  }
+  int msb = 63 - std::countl_zero(value);
+  size_t sub = static_cast<size_t>((value >> (msb - 3)) & 7);
+  return static_cast<size_t>(msb - 2) * 8 + sub;
+}
+
+uint64_t HistogramBucketLowerBound(size_t bucket) {
+  if (bucket < 16) {
+    return bucket;
+  }
+  int msb = static_cast<int>(bucket / 8) + 2;
+  uint64_t sub = bucket % 8;
+  return (uint64_t{1} << msb) + (sub << (msb - 3));
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  sum += other.sum;
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  if (rank >= count) {
+    rank = count - 1;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative > rank) {
+      uint64_t lower = HistogramBucketLowerBound(b);
+      if (b < 16) {
+        return static_cast<double>(lower);
+      }
+      uint64_t width = uint64_t{1} << (b / 8 - 1);  // msb - 3 = b/8 + 2 - 3
+      // Clamp the estimate into the observed range so a sparse top bucket
+      // cannot report a percentile beyond the true extremes.
+      double mid = static_cast<double>(lower) + static_cast<double>(width - 1) / 2.0;
+      return std::min(std::max(mid, static_cast<double>(min)), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  Shard& shard = shards_[ThreadIndex() % kMetricShards];
+  shard.buckets[HistogramBucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(shard.min, value);
+  AtomicMax(shard.max, value);
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    uint64_t shard_count = shard.count.load(std::memory_order_relaxed);
+    if (shard_count == 0) {
+      continue;
+    }
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      snapshot.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    uint64_t shard_min = shard.min.load(std::memory_order_relaxed);
+    uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+    snapshot.min = snapshot.count == 0 ? shard_min : std::min(snapshot.min, shard_min);
+    snapshot.max = snapshot.count == 0 ? shard_max : std::max(snapshot.max, shard_max);
+    snapshot.count += shard_count;
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(UINT64_MAX, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string WithLabel(const std::string& family, const std::string& label,
+                      const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      escaped.push_back('\\');
+      escaped.push_back(c);
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return family + "{" + label + "=\"" + escaped + "\"}";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_family;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    AppendTypeLine(out, last_family, FamilyOf(name), "counter");
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", counter->Value());
+    out += name + line;
+  }
+  last_family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    AppendTypeLine(out, last_family, FamilyOf(name), "gauge");
+    std::snprintf(line, sizeof(line), " %" PRId64 "\n", gauge->Value());
+    out += name + line;
+  }
+  last_family.clear();
+  for (const auto& [name, histogram] : histograms_) {
+    AppendTypeLine(out, last_family, FamilyOf(name), "summary");
+    HistogramSnapshot snapshot = histogram->TakeSnapshot();
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& [label, q] : kQuantiles) {
+      std::snprintf(line, sizeof(line), " %g\n", snapshot.Percentile(q));
+      out += NameWithExtraLabel(name, std::string("quantile=\"") + label + "\"") + line;
+    }
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", snapshot.sum);
+    out += NameWithSuffix(name, "_sum") + line;
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", snapshot.count);
+    out += NameWithSuffix(name, "_count") + line;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace flexi::obs

@@ -1,0 +1,193 @@
+// Process-wide runtime telemetry: named counter/gauge/histogram families
+// shared by every layer of the stack (scheduler, worker pool, coalescers,
+// server, graph cache) and scraped as one coherent snapshot.
+//
+// Design for a multi-threaded serving system:
+//
+//  - Counters are sharded: each metric owns kMetricShards cache-line-padded
+//    atomic cells, and a thread increments the cell picked by its stable
+//    thread index — a relaxed fetch_add on a line no other active thread
+//    writes. Value() sums the shards at scrape time. No shared-line RMW on
+//    the hot path (the overhead gate in bench_scheduler_scaling holds this).
+//  - Gauges are a single atomic level (set/add from cold paths only).
+//  - Histograms are log-bucketed (8 sub-buckets per power of two, values
+//    0..15 exact, <= ~6% relative error above) with the same per-shard
+//    layout; TakeSnapshot() merges shards into a HistogramSnapshot that can
+//    itself be merged across histograms or processes and queried for
+//    p50/p90/p99/p999.
+//  - The registry maps full metric names — "family{label=\"v\"}" — to
+//    stable metric objects. Registration takes a mutex; call sites resolve
+//    once and cache the reference. RenderPrometheusText() emits the whole
+//    registry in Prometheus text exposition format (counters and gauges
+//    verbatim, histograms as summary quantiles + _sum/_count), which is
+//    also the payload of the wire kStatsResponse frame.
+//
+// Everything here is observability-only: nothing feeds back into walk
+// execution, so instrumented and uninstrumented runs produce bit-identical
+// paths. MetricsEnabled() is a global kill switch (relaxed load) that turns
+// every Add/Record into a no-op — the overhead bench flips it to price the
+// instrumentation itself.
+#ifndef FLEXIWALKER_SRC_OBS_METRICS_H_
+#define FLEXIWALKER_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flexi::obs {
+
+inline constexpr size_t kMetricShards = 16;
+inline constexpr size_t kCacheLine = 64;
+
+// Stable small id per OS thread (first call assigns); shard = id % shards.
+size_t ThreadIndex();
+
+// Global instrumentation switch. Enabled by default; disabling makes every
+// Counter::Add / Gauge update / Histogram::Record a no-op after one relaxed
+// load of a read-mostly flag.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+// Microseconds on the steady clock since the first call in this process —
+// the shared timebase for latency metrics and trace spans.
+uint64_t NowMicros();
+
+// The percentile definition every reporter in this repo uses — benches and
+// histogram snapshots alike: the element at floor(q * (n - 1)) of the
+// ascending-sorted sample, 0.0 when empty. `sorted` must already be sorted.
+double PercentileOfSorted(std::span<const double> sorted, double q);
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    shards_[ThreadIndex() % kMetricShards].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (MetricsEnabled()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    if (MetricsEnabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-bucketed histogram over non-negative integer samples (latencies in
+// microseconds, batch sizes, ...). Bucket layout: values 0..15 map to their
+// own bucket; above that each power-of-two octave splits into 8 sub-buckets,
+// so a bucket's midpoint is within ~6.25% of any sample it absorbs.
+inline constexpr size_t kHistogramBuckets = 496;  // covers the full u64 range
+
+size_t HistogramBucketIndex(uint64_t value);
+uint64_t HistogramBucketLowerBound(size_t bucket);
+
+// A merged, immutable view of a histogram (or several): bucket counts plus
+// count/sum/min/max. Merge() folds another snapshot in; Percentile() walks
+// the buckets to the rank floor(q * (count - 1)) and returns the bucket
+// midpoint (exact for values < 16).
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // meaningful only when count > 0
+  uint64_t max = 0;
+
+  void Merge(const HistogramSnapshot& other);
+  double Percentile(double q) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramSnapshot TakeSnapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+// Builds the canonical full metric name: `family{label="value"}`. Values
+// with embedded quotes/backslashes are escaped per the Prometheus text
+// format.
+std::string WithLabel(const std::string& family, const std::string& label,
+                      const std::string& value);
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Resolve-or-create by full metric name (family plus optional {labels}).
+  // The returned reference is stable for the registry's lifetime; resolve
+  // once per call site and cache it.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Prometheus text exposition: one `# TYPE` line per family, metrics in
+  // name order, histograms rendered as summaries (quantile series named
+  // after the family, plus _sum and _count). This string is also the
+  // kStatsResponse payload.
+  std::string RenderPrometheusText() const;
+
+  // Zeroes every registered metric. Test/bench isolation only — concurrent
+  // writers during a reset land in a mix of old and new totals.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace flexi::obs
+
+#endif  // FLEXIWALKER_SRC_OBS_METRICS_H_

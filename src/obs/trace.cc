@@ -1,0 +1,78 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+
+namespace flexi::obs {
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void TraceRing::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  ring_.assign(capacity, TraceSpan{});
+  next_ = 0;
+  wrapped_ = false;
+  enabled_.store(capacity > 0, std::memory_order_relaxed);
+}
+
+void TraceRing::Record(const char* name, uint64_t tag, uint32_t workload_id, uint64_t start_us,
+                       uint64_t end_us) {
+  if (!enabled()) {
+    return;
+  }
+  TraceSpan span{name, tag, workload_id, start_us, end_us > start_us ? end_us - start_us : 0,
+                 static_cast<uint32_t>(ThreadIndex())};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) {  // raced a Disable
+    return;
+  }
+  ring_[next_] = span;
+  if (++next_ == capacity_) {
+    next_ = 0;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceSpan> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> spans;
+  if (capacity_ == 0) {
+    return spans;
+  }
+  size_t count = wrapped_ ? capacity_ : next_;
+  spans.reserve(count);
+  size_t start = wrapped_ ? next_ : 0;
+  for (size_t i = 0; i < count; ++i) {
+    spans.push_back(ring_[(start + i) % capacity_]);
+  }
+  return spans;
+}
+
+bool TraceRing::WriteChromeTrace(const std::string& path) const {
+  std::vector<TraceSpan> spans = Snapshot();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return false;
+  }
+  std::fprintf(out, "{\"traceEvents\":[\n");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":%" PRIu64
+                 ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u,\"args\":{\"tag\":%" PRIu64
+                 ",\"workload\":%u}}%s\n",
+                 span.name, span.start_us, span.dur_us, span.tid, span.tag, span.workload_id,
+                 i + 1 < spans.size() ? "," : "");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace flexi::obs

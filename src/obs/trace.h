@@ -1,0 +1,66 @@
+// Request-lifecycle tracing: a bounded in-memory ring of spans that can be
+// dumped as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// A span is one stage of one request — decode, admit, coalesce, schedule,
+// complete, flush — named by a static string and stamped with the request's
+// wire tag and workload id so a whole request's stages line up in the
+// viewer. Recording is gated on a relaxed atomic flag: tracing off (the
+// default) costs one load per call site. Tracing on takes a mutex per
+// recorded span — spans are per-request-stage, not per-step, so the lock is
+// far off the walk hot path, and it keeps the ring TSan-clean by
+// construction. The ring overwrites oldest-first; a dump is always the most
+// recent `capacity` spans.
+#ifndef FLEXIWALKER_SRC_OBS_TRACE_H_
+#define FLEXIWALKER_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flexi::obs {
+
+struct TraceSpan {
+  const char* name = "";  // static lifetime (literal at the record site)
+  uint64_t tag = 0;       // wire correlation id; 0 = not request-scoped
+  uint32_t workload_id = 0;
+  uint64_t start_us = 0;  // NowMicros timebase
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // recording thread's ThreadIndex
+};
+
+class TraceRing {
+ public:
+  static TraceRing& Global();
+
+  // Sizes the ring and starts recording. Capacity 0 disables (and frees).
+  void Enable(size_t capacity);
+  void Disable() { Enable(0); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* name, uint64_t tag, uint32_t workload_id, uint64_t start_us,
+              uint64_t end_us);
+
+  // The retained spans, oldest first.
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Writes Snapshot() as a Chrome trace_event JSON object
+  // ({"traceEvents":[...]}; "X" complete events, args carrying tag and
+  // workload). Returns false when the file cannot be written.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  TraceRing() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;     // ring write cursor
+  bool wrapped_ = false;
+};
+
+}  // namespace flexi::obs
+
+#endif  // FLEXIWALKER_SRC_OBS_TRACE_H_

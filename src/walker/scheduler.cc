@@ -6,10 +6,41 @@
 #include <optional>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sampling/sampler.h"
 
 namespace flexi {
 namespace {
+
+// Registry series for the scheduler layer, resolved once (obs/metrics.h).
+// Workers accumulate into stack-local counters during the drain and fold
+// them in with one sharded Add each on the way out — nothing per-step ever
+// touches a shared line.
+struct SchedulerMetrics {
+  obs::Counter& batches;
+  obs::Counter& queries;
+  obs::Counter& steps;
+  obs::Counter& wavefront_passes;
+  obs::Counter& dispensed;
+  obs::Counter& steals;
+  obs::Counter& refills;
+
+  static SchedulerMetrics& Get() {
+    static SchedulerMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new SchedulerMetrics{
+          registry.GetCounter("flexi_scheduler_batches_total"),
+          registry.GetCounter("flexi_scheduler_queries_total"),
+          registry.GetCounter("flexi_scheduler_steps_total"),
+          registry.GetCounter("flexi_scheduler_wavefront_passes_total"),
+          registry.GetCounter("flexi_scheduler_queries_dispensed_total"),
+          registry.GetCounter("flexi_scheduler_steals_total"),
+          registry.GetCounter("flexi_scheduler_refills_total"),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 // One in-flight walk in a worker's wavefront: the query's state, its Philox
 // stream (consumed strictly in per-query order — interleaving slots can
@@ -102,6 +133,21 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
     WorkerKernel kernel = make_step(w, device);  // keepalive lives to end of drain
     const StepKernel step = kernel.step;
 
+    // Worker-local telemetry, folded into the registry exactly once per
+    // worker body (RAII so every drain-loop exit path flushes). Purely
+    // observational: no effect on dispensation order or Philox draws.
+    struct LocalCounters {
+      uint64_t steps = 0;
+      uint64_t passes = 0;
+      ~LocalCounters() {
+        if (steps > 0 || passes > 0) {
+          SchedulerMetrics& metrics = SchedulerMetrics::Get();
+          metrics.steps.Add(steps);
+          metrics.wavefront_passes.Add(passes);
+        }
+      }
+    } local;
+
     // Claims the next query into `slot`; false once the queue has drained.
     // Stages the new walk's row offsets so the pass that first samples it
     // finds them cached.
@@ -142,6 +188,7 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
       NodeId next_node = graph.Neighbor(slot.q.cur, step_result.index);
       logic.Update(ctx, slot.q, next_node, step_result.index);
       slot.path[++slot.written] = next_node;
+      ++local.steps;
       device.mem().StoreCoalesced(1, sizeof(NodeId));
       if (slot.written == length) {
         return false;
@@ -178,6 +225,7 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
       ++active;
     }
     while (active > 0) {
+      ++local.passes;
       // One pass: each live slot stages the following slot's adjacency +
       // weight spans (whose row offsets the previous pass prefetched) and
       // then takes its own step — so every span prefetch has one full
@@ -208,6 +256,15 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
     RunOnWorkers(workers, worker_body);
   }
   auto t1 = std::chrono::steady_clock::now();
+
+  if (obs::MetricsEnabled()) {
+    SchedulerMetrics& metrics = SchedulerMetrics::Get();
+    metrics.batches.Add(1);
+    metrics.queries.Add(starts.size());
+    metrics.dispensed.Add(queue.dispensed());
+    metrics.steals.Add(queue.steals());
+    metrics.refills.Add(queue.refills());
+  }
 
   // Deterministic drain: fold per-worker counters in worker-index order.
   // The counts are integer sums, so the merged totals equal the

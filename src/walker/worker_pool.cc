@@ -3,8 +3,33 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/metrics.h"
+
 namespace flexi {
 namespace {
+
+// Registry series for the pool (obs/metrics.h): how often workers park on
+// the condvar, how often a parked worker is woken to claim work, and the
+// wall-clock the pool spent inside job bodies.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& parks;
+  obs::Counter& wakes;
+  obs::Counter& busy_us;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new PoolMetrics{
+          registry.GetCounter("flexi_worker_jobs_total"),
+          registry.GetCounter("flexi_worker_parks_total"),
+          registry.GetCounter("flexi_worker_wakes_total"),
+          registry.GetCounter("flexi_worker_busy_us_total"),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 std::atomic<unsigned> g_default_threads{0};
 
@@ -95,6 +120,7 @@ void WorkerPool::Run(unsigned workers, const std::function<void(unsigned)>& body
     body(0);
     return;
   }
+  PoolMetrics::Get().jobs.Add(1);
   Job job(&body, workers);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -151,8 +177,10 @@ void WorkerPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     unsigned index = 0;
+    bool parked = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      parked = !shutdown_ && queue_.empty();
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // shutdown, queue drained
@@ -163,7 +191,15 @@ void WorkerPool::WorkerLoop() {
         queue_.pop_front();
       }
     }
+    PoolMetrics& metrics = PoolMetrics::Get();
+    if (parked) {
+      // This claim ended a real park (the wait actually blocked).
+      metrics.parks.Add(1);
+      metrics.wakes.Add(1);
+    }
+    uint64_t body_start_us = obs::NowMicros();
     (*job->body)(index);
+    metrics.busy_us.Add(obs::NowMicros() - body_start_us);
     {
       std::lock_guard<std::mutex> done(job->done_mutex);
       if (--job->remaining == 0) {
