@@ -40,6 +40,7 @@
 #include "src/walker/out_of_core.h"
 #include "src/walker/scheduler.h"
 #include "src/walker/walk_service.h"
+#include "src/walks/autoregressive.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/metapath.h"
 #include "src/walks/node2vec.h"
@@ -102,6 +103,14 @@ struct CliOptions {
   std::string metrics_out;      // listen mode: Prometheus dump path (SIGUSR1 + exit)
   std::string trace_out;        // listen mode: Chrome trace_event JSON path (exit)
   bool static_cache = false;    // FlexiWalkerOptions::cache_static_tables
+  // Compiled step kernels (src/compiler/jit.h): --jit on|off|auto selects
+  // the mode, --jit-cache-dir the on-disk .so cache. Paths are bit-identical
+  // compiled or interpreted, so the flags tune speed only.
+  std::string jit = "off";      // raw --jit text; jit_mode is the parsed truth
+  jit::JitMode jit_mode = jit::JitMode::kOff;
+  bool jit_set = false;
+  std::string jit_cache_dir;
+  bool jit_cache_dir_set = false;
   std::string adaptive_window = "on";  // raw --adaptive-window text
   bool adaptive_window_on = true;
   bool adaptive_window_set = false;  // flag given explicitly
@@ -120,7 +129,8 @@ void PrintUsage() {
       "flexiwalker_cli — run dynamic random walks\n\n"
       "  --dataset  <YT|CP|LJ|OK|EU|AB|UK|TW|SK|FS>   stand-in dataset (default YT)\n"
       "  --graph    <path>        edge-list file instead of a dataset\n"
-      "  --workload <node2vec|metapath|2ndpr|deepwalk|ppr|temporal>\n"
+      "  --workload <node2vec|metapath|2ndpr|deepwalk|ppr|temporal|temporal-decay|\n"
+      "              autoregressive>\n"
       "  --engine   <flexiwalker|flowwalker|nextdoor|csaw|skywalker|thunderrw|\n"
       "              knightking|sowalker>\n"
       "  --weights  <uniform|pareto|degree|none>       property weights (default uniform)\n"
@@ -138,6 +148,12 @@ void PrintUsage() {
       "                           batched inner loop, 1..%u (flexiwalker engine;\n"
       "                           default 0 = scheduler default; 1 = walk-at-a-time;\n"
       "                           paths identical for any width)\n"
+      "  --jit      <on|off|auto> compiled step kernels (flexiwalker engine, all\n"
+      "                           tiers): specialize the workload's step into one\n"
+      "                           compiled, dlopen'd function cached by program hash\n"
+      "                           (default off; auto compiles in the background and\n"
+      "                           swaps in; paths identical compiled or interpreted)\n"
+      "  --jit-cache-dir <path>   on-disk .so cache for --jit (default: system temp)\n"
       "  --seed     <n>           RNG seed (default 2026)\n"
       "  --out      <path>        write walks, one per line\n"
       "out-of-core execution (flexiwalker engine, one-shot runs, first-order\n"
@@ -224,6 +240,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       {"--steal", &options.steal},       {"--adaptive-window", &options.adaptive_window},
       {"--event-loop", &options.event_loop}, {"--workloads", &options.workloads},
       {"--metrics-out", &options.metrics_out}, {"--trace-out", &options.trace_out},
+      {"--jit", &options.jit},           {"--jit-cache-dir", &options.jit_cache_dir},
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -262,6 +279,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
         options.adaptive_window_set = true;
       } else if (arg == "--event-loop") {
         options.event_loop_set = true;
+      } else if (arg == "--jit") {
+        options.jit_set = true;
+      } else if (arg == "--jit-cache-dir") {
+        options.jit_cache_dir_set = true;
       }
     } else if (arg == "--alpha") {
       const char* value = needs_value("--alpha");
@@ -393,6 +414,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
+  if (!jit::ParseJitMode(options.jit, &options.jit_mode)) {
+    std::fprintf(stderr, "bad value for --jit: %s (want on|off|auto)\n", options.jit.c_str());
+    return false;
+  }
   // Resolve the on|off flags once, here, so every consumer reads one bool
   // instead of re-deriving the mapping from the raw text.
   return ParseOnOff("--steal", options.steal, options.steal_on) &&
@@ -427,6 +452,12 @@ std::unique_ptr<WalkLogic> MakeWorkload(const CliOptions& options) {
   if (options.workload == "temporal") {
     return std::make_unique<TemporalWalk>(options.length);
   }
+  if (options.workload == "temporal-decay") {
+    return std::make_unique<TemporalDecayWalk>(0.1, options.length);
+  }
+  if (options.workload == "autoregressive") {
+    return std::make_unique<AutoregressiveWalk>(0.5, options.length);
+  }
   return nullptr;
 }
 
@@ -436,6 +467,8 @@ std::unique_ptr<Engine> MakeEngine(const CliOptions& options) {
     FlexiWalkerOptions engine_options;
     engine_options.dispense = MakeDispense(options);
     engine_options.wavefront = options.wavefront;
+    engine_options.jit = options.jit_mode;
+    engine_options.jit_cache_dir = options.jit_cache_dir;
     return std::make_unique<FlexiWalkerEngine>(engine_options);
   }
   if (name == "flowwalker") {
@@ -520,6 +553,8 @@ int Serve(const CliOptions& options, const Graph& graph, const WalkLogic& worklo
   engine_options.cache_static_tables = options.static_cache;
   engine_options.dispense = MakeDispense(options);
   engine_options.wavefront = options.wavefront;
+  engine_options.jit = options.jit_mode;
+  engine_options.jit_cache_dir = options.jit_cache_dir;
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
   std::printf("serving on %u workers | one batch per line of start-node ids | EOF or \"quit\" ends\n",
@@ -724,6 +759,8 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   engine_options.cache_static_tables = options.static_cache;
   engine_options.dispense = MakeDispense(options);
   engine_options.wavefront = options.wavefront;
+  engine_options.jit = options.jit_mode;
+  engine_options.jit_cache_dir = options.jit_cache_dir;
   auto service =
       MakeFlexiWalkerService(graph, workload, engine_options, options.seed, options.pipeline);
 
@@ -993,7 +1030,8 @@ int Run(const CliOptions& options) {
   } else {
     graph = LoadDataset(DatasetByName(options.dataset), dist, options.alpha);
   }
-  if (options.workload == "temporal" && !graph.temporal()) {
+  if ((options.workload == "temporal" || options.workload == "temporal-decay") &&
+      !graph.temporal()) {
     AssignTimestamps(graph, 1.0f, options.seed + 3);
   }
 
@@ -1011,11 +1049,13 @@ int Run(const CliOptions& options) {
   // The baseline engines build their own SchedulerOptions internally, so
   // the dispensation/wavefront flags cannot reach them; reject rather than
   // silently run with the defaults the user just tried to override.
-  if ((options.dispense_set || options.wavefront_set) && options.engine != "flexiwalker") {
+  if ((options.dispense_set || options.wavefront_set || options.jit_set ||
+       options.jit_cache_dir_set) &&
+      options.engine != "flexiwalker") {
     std::fprintf(stderr,
-                 "--chunk/--steal/--wavefront apply only to --engine flexiwalker "
-                 "(they tune both its execution tiers, the in-memory scheduler and the "
-                 "out-of-core block executor; got --engine %s)\n",
+                 "--chunk/--steal/--wavefront/--jit/--jit-cache-dir apply only to "
+                 "--engine flexiwalker (they tune both its execution tiers, the in-memory "
+                 "scheduler and the out-of-core block executor; got --engine %s)\n",
                  options.engine.c_str());
     return kExitUsage;
   }
@@ -1048,6 +1088,8 @@ int Run(const CliOptions& options) {
     FlexiWalkerOptions engine_options;
     engine_options.dispense = MakeDispense(options);
     engine_options.wavefront = options.wavefront;
+    engine_options.jit = options.jit_mode;
+    engine_options.jit_cache_dir = options.jit_cache_dir;
     engine_options.edge_cost_ratio = 4.0;
     OutOfCoreStats ooc_stats;
     std::printf("out-of-core   : %zu blocks of <= %zu bytes | cache %u blocks (%.2f MiB budget)\n",

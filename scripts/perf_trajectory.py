@@ -113,6 +113,11 @@ def main():
         # regression.
         ("net_configs", ("connections",),
          [("qps", True), ("p50_us", False), ("p99_us", False)]),
+        # Compiled-kernel sweep (bench_fig12_kernel_ablation): steps/sec down
+        # at the same workload + mode means either the interpreted baseline
+        # or the JIT-specialized kernel got slower.
+        ("jit_configs", ("workload", "mode"),
+         [("steps_per_sec", True)]),
     ]
     for section, keys, metrics in sweeps:
         prev_rows = index_by(prev_doc.get(section, []), keys)

@@ -26,6 +26,11 @@ bool CheckExpr(const WeightExpr& expr, BranchAnalysis& out) {
     case ExprKind::kAdd:
     case ExprKind::kMul:
       return CheckExpr(*expr.left, out) && CheckExpr(*expr.right, out);
+    case ExprKind::kAuxPow:
+    case ExprKind::kTimeDecay:
+      // Query-local scratch (q.aux) plus constants: nothing indexed is read,
+      // and the constant upper bound (alpha, resp. 1) needs no per-step flag.
+      return true;
     case ExprKind::kOpaque:
       return false;
   }
@@ -50,6 +55,8 @@ bool CheckStaticFactor(const WeightExpr& expr, int& property_weight_factors) {
     case ExprKind::kAdd:
     case ExprKind::kInvDegreePrev:
     case ExprKind::kMaxDegreeCurPrev:
+    case ExprKind::kAuxPow:     // depends on the walker's history via q.aux
+    case ExprKind::kTimeDecay:  // depends on the walker's arrival time
     case ExprKind::kOpaque:
       return false;
   }
@@ -67,8 +74,11 @@ bool IsFirstOrderExpr(const WeightExpr& expr) {
     case ExprKind::kAdd:
     case ExprKind::kMul:
       return IsFirstOrderExpr(*expr.left) && IsFirstOrderExpr(*expr.right);
+    case ExprKind::kTimeDecay:
+      return true;  // reads the current row's timestamps and q.aux only
     case ExprKind::kInvDegreePrev:
     case ExprKind::kMaxDegreeCurPrev:
+    case ExprKind::kAuxPow:  // q.aux here encodes prev-node repeat history
     case ExprKind::kOpaque:
       return false;
   }

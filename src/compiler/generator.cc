@@ -27,6 +27,13 @@ double EvalExpr(const WeightExpr& expr, double h_value, double inv_deg_cur,
     case ExprKind::kMul:
       return EvalExpr(*expr.left, h_value, inv_deg_cur, inv_deg_prev, max_deg) *
              EvalExpr(*expr.right, h_value, inv_deg_cur, inv_deg_prev, max_deg);
+    case ExprKind::kAuxPow:
+      // alpha^(1+aux) <= alpha for alpha in (0,1] and aux >= 0: the stored
+      // base is itself the tight upper bound (and the sum estimate).
+      return expr.value;
+    case ExprKind::kTimeDecay:
+      // exp(-lambda*(t[e]-aux)) <= 1 on time-respecting branches.
+      return 1.0;
     case ExprKind::kOpaque:
       return 0.0;
   }

@@ -1,0 +1,62 @@
+// The binary contract between the host engine and a JIT-compiled step
+// kernel (.so).
+//
+// An emitted kernel exports exactly two C symbols:
+//   uint32_t flexi_jit_abi_version()  — must return kJitAbiVersion;
+//   StepResult flexi_jit_step_v1(const JitStepState*, const WalkContext*,
+//                                const QueryState*, KernelRng*);
+// The host resolves both after dlopen and refuses the library on any
+// mismatch (counted as a `dlopen_failed` / `symbol_missing` fallback).
+//
+// Everything the program *shape* determines — the weight expression, the
+// folded branch structure, the sampler-selection strategy, whether the
+// static-table fast path applies — is baked into the generated source.
+// Everything that can change between runs of the same program — the
+// selector seed, the cost-model ratio/threshold, the per-batch static
+// tables, the counter sink — travels through JitStepState so that changing
+// a seed never forces a recompile and one cached .so serves every
+// configuration of its program.
+//
+// This header is included both by the host (to type the function pointer)
+// and by every emitted translation unit; keep it free of host-only
+// dependencies beyond the inline-only step headers.
+#ifndef FLEXIWALKER_SRC_COMPILER_JIT_ABI_H_
+#define FLEXIWALKER_SRC_COMPILER_JIT_ABI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/cost_model.h"
+#include "src/sampling/alias.h"
+#include "src/sampling/sampler.h"
+
+namespace flexi::jit {
+
+// Bumped whenever JitStepState, the symbol names, or the semantics of the
+// emitted code change incompatibly. Also folded into the cache key, so a
+// stale on-disk .so from an older build is never even dlopen'd.
+inline constexpr uint32_t kJitAbiVersion = 1;
+
+// Runtime parameters, fixed per (run, worker). Mutable pointees (counters)
+// are per-worker so the kernel stays data-race free without atomics.
+struct JitStepState {
+  uint64_t selector_seed = 0;
+  double edge_cost_ratio = 4.0;
+  uint32_t degree_threshold = 1000;
+  // Non-null only for static-table kernels; one table per graph node.
+  const std::vector<AliasTable>* static_tables = nullptr;
+  // Where the kernel's rjs/rvs choices are tallied; never null when the
+  // kernel is invoked.
+  SelectionCounters* counters = nullptr;
+};
+
+using JitStepFn = StepResult (*)(const JitStepState*, const WalkContext*,
+                                 const QueryState*, KernelRng*);
+using JitAbiVersionFn = uint32_t (*)();
+
+inline constexpr const char* kJitStepSymbol = "flexi_jit_step_v1";
+inline constexpr const char* kJitAbiVersionSymbol = "flexi_jit_abi_version";
+
+}  // namespace flexi::jit
+
+#endif  // FLEXIWALKER_SRC_COMPILER_JIT_ABI_H_

@@ -1,0 +1,448 @@
+#include "src/compiler/step_emitter.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace flexi::jit {
+namespace {
+
+// Exact double literal: hexfloat round-trips every finite value, so the
+// emitted kernel computes with bit-identical constants (a %g rendering
+// rides along as a comment for humans reading the cached .cc).
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string CommentDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// The multiplicative residual of one branch after stripping at most one
+// property-weight (h) factor. Only shapes whose interpreted WorkloadWeight
+// convention is pinned down are representable; everything else rejects.
+enum class FactorKind { kNone, kConst, kAuxPow, kTimeDecay };
+
+struct BranchShape {
+  CondKind cond = CondKind::kOtherwise;
+  double selectivity = -1.0;
+  bool uses_h = false;
+  FactorKind factor = FactorKind::kNone;
+  double value = 1.0;  // kConst literal / kAuxPow alpha / kTimeDecay lambda
+};
+
+bool IsAtom(const WeightExpr& e) {
+  return e.kind == ExprKind::kConst || e.kind == ExprKind::kPropertyWeight ||
+         e.kind == ExprKind::kAuxPow || e.kind == ExprKind::kTimeDecay;
+}
+
+bool ParseExpr(const WeightExpr& e, BranchShape& shape, std::string* reason) {
+  const WeightExpr* atoms[2] = {nullptr, nullptr};
+  int count = 0;
+  if (e.kind == ExprKind::kMul) {
+    if (e.left == nullptr || e.right == nullptr || !IsAtom(*e.left) || !IsAtom(*e.right)) {
+      *reason = "nested or non-atomic product: " + e.ToString();
+      return false;
+    }
+    atoms[0] = e.left.get();
+    atoms[1] = e.right.get();
+    count = 2;
+  } else if (IsAtom(e)) {
+    atoms[0] = &e;
+    count = 1;
+  } else {
+    *reason = "expression outside the emitter vocabulary: " + e.ToString();
+    return false;
+  }
+  for (int i = 0; i < count; ++i) {
+    const WeightExpr& atom = *atoms[i];
+    if (atom.kind == ExprKind::kPropertyWeight) {
+      if (shape.uses_h) {
+        *reason = "h^2 factor: " + e.ToString();
+        return false;
+      }
+      shape.uses_h = true;
+      continue;
+    }
+    if (shape.factor != FactorKind::kNone) {
+      *reason = "more than one scalar factor: " + e.ToString();
+      return false;
+    }
+    switch (atom.kind) {
+      case ExprKind::kConst:
+        shape.factor = FactorKind::kConst;
+        break;
+      case ExprKind::kAuxPow:
+        shape.factor = FactorKind::kAuxPow;
+        break;
+      case ExprKind::kTimeDecay:
+        shape.factor = FactorKind::kTimeDecay;
+        break;
+      default:
+        *reason = "expression outside the emitter vocabulary: " + e.ToString();
+        return false;
+    }
+    shape.value = atom.value;
+  }
+  return true;
+}
+
+// The value EvalExpr (generator.cc) assigns a branch's residual factor when
+// h is substituted away: the bound/sum helpers fold it with h_max / h_sum.
+double FactorBound(const BranchShape& shape) {
+  switch (shape.factor) {
+    case FactorKind::kNone:
+      return 1.0;
+    case FactorKind::kConst:
+      return shape.value;
+    case FactorKind::kAuxPow:
+      return shape.value;  // alpha^(1+aux) <= alpha for alpha in (0,1]
+    case FactorKind::kTimeDecay:
+      return 1.0;  // exp of a non-positive exponent
+  }
+  return 1.0;
+}
+
+// Guard layout recognized by the functor generator. Mirrors the workload
+// conventions: an optional first-step return, then exactly one terminal
+// guard group.
+struct GuardPlan {
+  const BranchShape* first_step = nullptr;
+  const BranchShape* post_equals_prev = nullptr;
+  const BranchShape* linked = nullptr;
+  const BranchShape* not_linked = nullptr;
+  const BranchShape* timestamp = nullptr;
+  const BranchShape* otherwise = nullptr;
+
+  bool needs_u() const { return post_equals_prev != nullptr || linked != nullptr; }
+};
+
+bool PlanGuards(const std::vector<BranchShape>& shapes, GuardPlan& plan, std::string* reason) {
+  size_t i = 0;
+  if (i < shapes.size() && shapes[i].cond == CondKind::kFirstStep) {
+    plan.first_step = &shapes[i++];
+  }
+  if (i < shapes.size() && shapes[i].cond == CondKind::kPostEqualsPrev) {
+    plan.post_equals_prev = &shapes[i++];
+  }
+  // Terminal group: otherwise | (linked, not-linked) | (timestamp, otherwise).
+  if (i + 1 == shapes.size() && shapes[i].cond == CondKind::kOtherwise) {
+    plan.otherwise = &shapes[i];
+  } else if (i + 2 == shapes.size() && shapes[i].cond == CondKind::kLinkedToPrev &&
+             shapes[i + 1].cond == CondKind::kNotLinkedToPrev) {
+    plan.linked = &shapes[i];
+    plan.not_linked = &shapes[i + 1];
+  } else if (i + 2 == shapes.size() && shapes[i].cond == CondKind::kTimestampAfterArrival &&
+             shapes[i + 1].cond == CondKind::kOtherwise) {
+    plan.timestamp = &shapes[i];
+    plan.otherwise = &shapes[i + 1];
+  } else {
+    *reason = "branch guard structure outside the emitter vocabulary";
+    return false;
+  }
+  if ((plan.post_equals_prev != nullptr || plan.linked != nullptr) && plan.first_step == nullptr) {
+    *reason = "prev-dependent guard without a first-step branch";
+    return false;
+  }
+  // kTimeDecay reads the edge timestamp relative to the arrival time; it is
+  // only meaningful (and only bounded by 1) on a time-respecting branch.
+  for (const BranchShape& shape : shapes) {
+    if (shape.factor == FactorKind::kTimeDecay && &shape != plan.timestamp) {
+      *reason = "time-decay factor outside a timestamp-after-arrival branch";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Emits the statements producing one branch's workload factor (float), the
+// convention-matched twin of the interpreted WorkloadWeight return.
+void EmitFactorReturn(std::ostringstream& out, const BranchShape& shape,
+                      const std::string& indent) {
+  switch (shape.factor) {
+    case FactorKind::kNone:
+      out << indent << "return 1.0f;\n";
+      break;
+    case FactorKind::kConst:
+      out << indent << "return static_cast<float>(" << HexDouble(shape.value) << " /* "
+          << CommentDouble(shape.value) << " */);\n";
+      break;
+    case FactorKind::kAuxPow:
+      out << indent << "ctx.mem().CountAlu(2);\n"
+          << indent << "return static_cast<float>(std::pow(" << HexDouble(shape.value) << " /* "
+          << CommentDouble(shape.value) << " */, 1.0 + static_cast<double>(q.aux)));\n";
+      break;
+    case FactorKind::kTimeDecay:
+      out << indent << "ctx.mem().CountAlu(2);\n"
+          << indent << "return static_cast<float>(std::exp(-" << HexDouble(shape.value) << " /* "
+          << CommentDouble(shape.value) << " */ *\n"
+          << indent << "    (static_cast<double>(ctx.graph->EdgeTimestamp(e)) - "
+          << "static_cast<double>(q.aux))));\n";
+      break;
+  }
+}
+
+// One term of the bound helper: EvalExpr with h -> `h_max`.
+std::string BoundTerm(const BranchShape& shape) {
+  double factor = FactorBound(shape);
+  std::string literal = HexDouble(factor) + " /* " + CommentDouble(factor) + " */";
+  if (!shape.uses_h) {
+    return literal;
+  }
+  if (shape.factor == FactorKind::kNone) {
+    return "h_max";
+  }
+  return "h_max * " + literal;
+}
+
+const char* StrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kCostModel:
+      return "cost-model";
+    case SelectionStrategy::kRandom:
+      return "random";
+    case SelectionStrategy::kDegreeThreshold:
+      return "degree-threshold";
+    case SelectionStrategy::kAlwaysRvs:
+      return "always-rvs";
+    case SelectionStrategy::kAlwaysRjs:
+      return "always-rjs";
+  }
+  return "unknown";
+}
+
+std::string EmitStaticTableKernel(const WeightProgram& program) {
+  std::ostringstream out;
+  out << "// Generated step kernel for workload '" << program.workload_name << "'\n"
+      << "// variant: cached static alias tables (O(1) per step)\n"
+      << "#include \"src/compiler/jit_abi.h\"\n\n"
+      << "extern \"C\" uint32_t flexi_jit_abi_version() { return flexi::jit::kJitAbiVersion; }\n\n"
+      << "extern \"C\" flexi::StepResult flexi_jit_step_v1(\n"
+      << "    const flexi::jit::JitStepState* state, const flexi::WalkContext* ctx,\n"
+      << "    const flexi::QueryState* q, flexi::KernelRng* rng) {\n"
+      << "  return flexi::CachedAliasStep(*ctx, *state->static_tables, *q, *rng);\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string EmitStepKernelSource(const WeightProgram& program, const StepKernelSpec& spec,
+                                 std::string* reject_reason) {
+  std::string local_reason;
+  std::string& reason = reject_reason != nullptr ? *reject_reason : local_reason;
+  reason.clear();
+
+  if (spec.use_static_tables) {
+    return EmitStaticTableKernel(program);
+  }
+  if (program.branches.empty()) {
+    reason = "empty program";
+    return {};
+  }
+  std::vector<BranchShape> shapes;
+  shapes.reserve(program.branches.size());
+  for (const WeightBranch& branch : program.branches) {
+    BranchShape shape;
+    shape.cond = branch.cond;
+    shape.selectivity = branch.selectivity;
+    if (!ParseExpr(branch.expr, shape, &reason)) {
+      return {};
+    }
+    shapes.push_back(shape);
+  }
+  GuardPlan plan;
+  if (!PlanGuards(shapes, plan, &reason)) {
+    return {};
+  }
+
+  const bool program_uses_h = [&] {
+    for (const BranchShape& shape : shapes) {
+      if (shape.uses_h) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  const bool need_max = spec.strategy != SelectionStrategy::kAlwaysRvs;
+  const bool need_sum = spec.strategy == SelectionStrategy::kCostModel;
+
+  std::ostringstream out;
+  out << "// Generated step kernel for workload '" << program.workload_name << "'\n"
+      << "// strategy: " << StrategyName(spec.strategy) << "\n"
+      << "#include <algorithm>\n"
+      << "#include <cmath>\n\n"
+      << "#include \"src/compiler/jit_abi.h\"\n"
+      << "#include \"src/sampling/step_inline.h\"\n"
+      << "#include \"src/simt/warp.h\"\n\n"
+      << "namespace {\n\n";
+
+  // --- The specialized transition-weight functor (Eq. 1: w * h). ---
+  out << "struct JitWeight {\n"
+      << "  const flexi::WalkContext& ctx;\n"
+      << "  const flexi::QueryState& q;\n\n"
+      << "  float Workload(uint32_t i) const {\n"
+      << "    (void)i;\n";
+  if (plan.first_step != nullptr) {
+    out << "    if (q.prev == flexi::kInvalidNode) {\n";
+    EmitFactorReturn(out, *plan.first_step, "      ");
+    out << "    }\n";
+  }
+  if (plan.needs_u()) {
+    out << "    const flexi::NodeId u = ctx.graph->Neighbor(q.cur, i);\n";
+  }
+  if (plan.post_equals_prev != nullptr) {
+    out << "    if (u == q.prev) {\n";
+    EmitFactorReturn(out, *plan.post_equals_prev, "      ");
+    out << "    }\n";
+  }
+  if (plan.linked != nullptr) {
+    out << "    ctx.mem().CountAlu(4);\n"
+        << "    if (ctx.graph->HasEdge(q.prev, u)) {\n";
+    EmitFactorReturn(out, *plan.linked, "      ");
+    out << "    }\n";
+    EmitFactorReturn(out, *plan.not_linked, "    ");
+  } else if (plan.timestamp != nullptr) {
+    out << "    const flexi::EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;\n"
+        << "    ctx.mem().CountAlu(1);\n"
+        << "    if (ctx.graph->EdgeTimestamp(e) > q.aux) {\n";
+    EmitFactorReturn(out, *plan.timestamp, "      ");
+    out << "    }\n";
+    EmitFactorReturn(out, *plan.otherwise, "    ");
+  } else {
+    EmitFactorReturn(out, *plan.otherwise, "    ");
+  }
+  out << "  }\n\n"
+      << "  float operator()(uint32_t i) const { return Workload(i) * ctx.H(q.cur, i); }\n"
+      << "};\n\n";
+
+  // --- get_weight_max(): the generated bound helper with the preprocess
+  // plan folded (charges replicated verbatim from GeneratedHelpers). ---
+  if (need_max) {
+    out << "double JitWeightMax(const flexi::WalkContext& ctx, const flexi::QueryState& q) {\n";
+    if (program_uses_h) {
+      out << "  double h_max = 1.0;\n"
+          << "  if (ctx.preprocessed != nullptr && !ctx.preprocessed->empty()) {\n"
+          << "    h_max = ctx.preprocessed->h_max[q.cur];\n"
+          << "    ctx.mem().LoadCoalesced(1, 2 * sizeof(float));\n"
+          << "  }\n";
+    } else {
+      out << "  (void)q;\n";
+    }
+    out << "  double best = 0.0;\n";
+    for (const BranchShape& shape : shapes) {
+      out << "  best = std::max(best, " << BoundTerm(shape) << ");\n"
+          << "  ctx.mem().CountAlu(2);\n";
+    }
+    out << "  return best * (1.0 + 1e-6);\n"
+        << "}\n\n";
+  }
+
+  // --- get_weight_sum(): the generated sum estimate, shares folded. ---
+  if (need_sum) {
+    double uniform_share = 1.0 / static_cast<double>(shapes.size());
+    out << "double JitWeightSum(const flexi::WalkContext& ctx, const flexi::QueryState& q) {\n"
+        << "  double degree = std::max<uint32_t>(ctx.graph->Degree(q.cur), 1);\n";
+    if (program_uses_h) {
+      out << "  double h_sum = 1.0;\n"
+          << "  const bool per_step_h = ctx.preprocessed != nullptr && "
+          << "!ctx.preprocessed->empty();\n"
+          << "  if (per_step_h) {\n"
+          << "    h_sum = ctx.preprocessed->h_sum[q.cur];\n"
+          << "  }\n";
+    }
+    out << "  double total = 0.0;\n";
+    for (const BranchShape& shape : shapes) {
+      double share = shape.selectivity >= 0.0 ? shape.selectivity : uniform_share;
+      double factor = FactorBound(shape);
+      std::string factor_literal =
+          HexDouble(factor) + " /* " + CommentDouble(factor) + " */";
+      out << "  {\n";
+      if (shape.uses_h) {
+        std::string with_h =
+            shape.factor == FactorKind::kNone ? "h_sum" : "h_sum * " + factor_literal;
+        out << "    double value = per_step_h ? " << with_h << " : " << factor_literal
+            << " * degree;\n";
+      } else {
+        out << "    double value = " << factor_literal << " * degree;\n";
+      }
+      out << "    total += " << HexDouble(share) << " /* " << CommentDouble(share)
+          << " */ * value;\n"
+          << "    ctx.mem().CountAlu(3);\n"
+          << "  }\n";
+    }
+    out << "  return total;\n"
+        << "}\n\n";
+  }
+
+  out << "}  // namespace\n\n"
+      << "extern \"C\" uint32_t flexi_jit_abi_version() { return flexi::jit::kJitAbiVersion; }\n\n"
+      << "extern \"C\" flexi::StepResult flexi_jit_step_v1(\n"
+      << "    const flexi::jit::JitStepState* state, const flexi::WalkContext* ctx_ptr,\n"
+      << "    const flexi::QueryState* q_ptr, flexi::KernelRng* rng_ptr) {\n"
+      << "  const flexi::WalkContext& ctx = *ctx_ptr;\n"
+      << "  const flexi::QueryState& q = *q_ptr;\n"
+      << "  flexi::KernelRng& rng = *rng_ptr;\n"
+      << "  // Ballot accounting (MakeFlexiStep): one collective per warp round.\n"
+      << "  if (q.step % flexi::kWarpSize == 0) {\n"
+      << "    ctx.mem().CountCollective(1);\n"
+      << "  }\n"
+      << "  const JitWeight weight{ctx, q};\n";
+  switch (spec.strategy) {
+    case SelectionStrategy::kAlwaysRvs:
+      out << "  ++state->counters->chose_rvs;\n"
+          << "  ctx.mem().CountCollective(2);\n"
+          << "  return flexi::ERvsJumpStepT(ctx, weight, q, rng);\n";
+      break;
+    case SelectionStrategy::kAlwaysRjs:
+      out << "  const double bound = JitWeightMax(ctx, q);\n"
+          << "  ++state->counters->chose_rjs;\n"
+          << "  return flexi::ERjsStepT(ctx, weight, q, rng, bound);\n";
+      break;
+    case SelectionStrategy::kRandom:
+      out << "  flexi::PhiloxStream selector_rng(state->selector_seed, q.query_id, "
+          << "/*offset=*/q.step);\n"
+          << "  const bool use_rjs = (selector_rng.Next() & 1u) != 0;\n"
+          << "  double bound = 0.0;\n"
+          << "  if (use_rjs) {\n"
+          << "    bound = JitWeightMax(ctx, q);\n"
+          << "    ++state->counters->chose_rjs;\n"
+          << "    return flexi::ERjsStepT(ctx, weight, q, rng, bound);\n"
+          << "  }\n"
+          << "  ++state->counters->chose_rvs;\n"
+          << "  ctx.mem().CountCollective(2);\n"
+          << "  return flexi::ERvsJumpStepT(ctx, weight, q, rng);\n";
+      break;
+    case SelectionStrategy::kDegreeThreshold:
+      out << "  if (ctx.graph->Degree(q.cur) >= state->degree_threshold) {\n"
+          << "    const double bound = JitWeightMax(ctx, q);\n"
+          << "    ++state->counters->chose_rjs;\n"
+          << "    return flexi::ERjsStepT(ctx, weight, q, rng, bound);\n"
+          << "  }\n"
+          << "  ++state->counters->chose_rvs;\n"
+          << "  ctx.mem().CountCollective(2);\n"
+          << "  return flexi::ERvsJumpStepT(ctx, weight, q, rng);\n";
+      break;
+    case SelectionStrategy::kCostModel:
+      out << "  const double bound = JitWeightMax(ctx, q);\n"
+          << "  const double sum = JitWeightSum(ctx, q);\n"
+          << "  ctx.mem().CountAlu(2);\n"
+          << "  // Eq. (11): prefer RJS when ratio * max^ < sum^.\n"
+          << "  if (bound > 0.0 && state->edge_cost_ratio * bound < sum) {\n"
+          << "    ++state->counters->chose_rjs;\n"
+          << "    return flexi::ERjsStepT(ctx, weight, q, rng, bound);\n"
+          << "  }\n"
+          << "  ++state->counters->chose_rvs;\n"
+          << "  ctx.mem().CountCollective(2);\n"
+          << "  return flexi::ERvsJumpStepT(ctx, weight, q, rng);\n";
+      break;
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace flexi::jit

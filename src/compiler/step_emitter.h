@@ -1,0 +1,46 @@
+// Flexi-Compiler step-kernel emitter: renders a WeightProgram plus a sampler
+// configuration into one self-contained C++ translation unit exporting the
+// jit_abi.h entry points.
+//
+// This is the CPU analogue of the paper's generated CUDA kernels: instead of
+// interpreting the program each step (virtual WorkloadWeight call, selector
+// strategy switch, branch-analysis loops in the bound/sum helpers), the
+// entire step is specialized at emit time — the weight expression is inlined
+// into the shared sampling templates (step_inline.h), the guard structure is
+// folded to straight-line branches, the selection strategy is chosen
+// statically, and the preprocess-plan flags become compile-time facts. The
+// emitted function must produce bit-identical paths AND bit-identical
+// device-model charges to the interpreted kernel; parity tests enforce both.
+#ifndef FLEXIWALKER_SRC_COMPILER_STEP_EMITTER_H_
+#define FLEXIWALKER_SRC_COMPILER_STEP_EMITTER_H_
+
+#include <string>
+
+#include "src/compiler/weight_expr.h"
+#include "src/runtime/cost_model.h"
+
+namespace flexi::jit {
+
+struct StepKernelSpec {
+  SelectionStrategy strategy = SelectionStrategy::kCostModel;
+  // True when the engine routes this workload through the cached alias
+  // tables (static transition program + cache_static_tables): the emitted
+  // kernel is then the O(1) table lookup and ignores the strategy.
+  bool use_static_tables = false;
+};
+
+// Returns the C++ source of the specialized kernel, or an empty string when
+// the program shape is outside the emitter's vocabulary (reason, suitable as
+// a metrics label / log line, is stored in *reject_reason). Unsupported
+// shapes are not an error — the caller falls back to the interpreted kernel,
+// exactly like the paper's §7.1 eRVS-only fallback.
+//
+// The emitter is deterministic: equal (program, spec) inputs produce
+// byte-identical source, which is what makes the content-hash .so cache
+// sound.
+std::string EmitStepKernelSource(const WeightProgram& program, const StepKernelSpec& spec,
+                                 std::string* reject_reason);
+
+}  // namespace flexi::jit
+
+#endif  // FLEXIWALKER_SRC_COMPILER_STEP_EMITTER_H_

@@ -42,6 +42,20 @@ WeightExpr WeightExpr::MaxDegreeCurPrev() {
   return e;
 }
 
+WeightExpr WeightExpr::AuxPow(double alpha) {
+  WeightExpr e;
+  e.kind = ExprKind::kAuxPow;
+  e.value = alpha;
+  return e;
+}
+
+WeightExpr WeightExpr::TimeDecay(double lambda) {
+  WeightExpr e;
+  e.kind = ExprKind::kTimeDecay;
+  e.value = lambda;
+  return e;
+}
+
 WeightExpr WeightExpr::Opaque() {
   WeightExpr e;
   e.kind = ExprKind::kOpaque;
@@ -87,6 +101,12 @@ std::string WeightExpr::ToString() const {
       break;
     case ExprKind::kMul:
       out << "(" << left->ToString() << " * " << right->ToString() << ")";
+      break;
+    case ExprKind::kAuxPow:
+      out << value << "^(1+aux)";
+      break;
+    case ExprKind::kTimeDecay:
+      out << "exp(-" << value << "*(t[e]-aux))";
       break;
     case ExprKind::kOpaque:
       out << "<opaque>";

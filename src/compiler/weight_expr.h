@@ -29,6 +29,8 @@ enum class ExprKind {
   kMaxDegreeCurPrev,  // max(d(v), d(v'))
   kAdd,               // left + right
   kMul,               // left * right
+  kAuxPow,            // value^(1 + aux) — aux is the walker's float scratch
+  kTimeDecay,         // exp(-value * (t[edge] - aux)) on timestamped edges
   kOpaque,            // anything the analyzer cannot reason about (§7.1)
 };
 
@@ -36,7 +38,7 @@ enum class ExprKind {
 // workload branch), so shared_ptr sharing keeps value semantics simple.
 struct WeightExpr {
   ExprKind kind = ExprKind::kConst;
-  double value = 0.0;  // for kConst
+  double value = 0.0;  // for kConst; base/rate for kAuxPow/kTimeDecay
   std::shared_ptr<const WeightExpr> left;
   std::shared_ptr<const WeightExpr> right;
 
@@ -45,6 +47,14 @@ struct WeightExpr {
   static WeightExpr InvDegreeCur();
   static WeightExpr InvDegreePrev();
   static WeightExpr MaxDegreeCurPrev();
+  // alpha^(1 + q.aux) with alpha in (0, 1]: the per-query aux slot counts
+  // consecutive repeats, so the factor is bounded above by alpha (the bound
+  // the helpers use — any aux >= 0 only shrinks it).
+  static WeightExpr AuxPow(double alpha);
+  // exp(-lambda * (t[e] - q.aux)) with lambda >= 0: on a time-respecting
+  // branch (kTimestampAfterArrival) the exponent is negative, so the factor
+  // is bounded above by 1.
+  static WeightExpr TimeDecay(double lambda);
   static WeightExpr Opaque();
   static WeightExpr Add(WeightExpr l, WeightExpr r);
   static WeightExpr Mul(WeightExpr l, WeightExpr r);

@@ -69,12 +69,6 @@ std::vector<AliasTable> BuildNodeAliasTables(const Graph& graph, unsigned thread
   return tables;
 }
 
-uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng) {
-  uint32_t slot = rng.Bounded(static_cast<uint32_t>(table.size()));
-  double u = rng.Uniform();
-  return u < table.prob[slot] ? slot : table.alias[slot];
-}
-
 StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
                      KernelRng& rng) {
   uint32_t degree = ctx.graph->Degree(q.cur);
@@ -100,19 +94,6 @@ StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const Query
     return result;
   }
   ctx.mem().LoadRandom(8);  // the 2D lookup hits one random table slot
-  result.index = SampleAliasTable(table, rng);
-  return result;
-}
-
-StepResult CachedAliasStep(const WalkContext& ctx, const std::vector<AliasTable>& tables,
-                           const QueryState& q, KernelRng& rng) {
-  StepResult result;
-  const AliasTable& table = tables[q.cur];
-  if (table.empty()) {  // degree 0, or every static weight was zero
-    result.dead_end = true;
-    return result;
-  }
-  ctx.mem().LoadRandom(8);  // one random slot: prob (4B) + alias (4B)
   result.index = SampleAliasTable(table, rng);
   return result;
 }

@@ -35,8 +35,14 @@ AliasTable BuildAliasTable(std::span<const float> weights);
 // unweighted graphs get uniform tables.
 std::vector<AliasTable> BuildNodeAliasTables(const Graph& graph, unsigned threads = 0);
 
-// Draws one index from the table (2 uniform draws).
-uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng);
+// Draws one index from the table (2 uniform draws). Inline so JIT-emitted
+// step sources (which #include this header) run the very same body as the
+// interpreted cached-alias path.
+inline uint32_t SampleAliasTable(const AliasTable& table, KernelRng& rng) {
+  uint32_t slot = rng.Bounded(static_cast<uint32_t>(table.size()));
+  double u = rng.Uniform();
+  return u < table.prob[slot] ? slot : table.alias[slot];
+}
 
 // One dynamic-walk step with per-step table construction, charging the scan,
 // the mean reduction, the table build traffic and the lookup.
@@ -49,9 +55,21 @@ StepResult AliasStep(const WalkContext& ctx, const WalkLogic& logic, const Query
 // proportional to the static property weights at every step
 // (IsStaticTransitionProgram); the FlexiWalker fast path
 // (FlexiWalkerOptions::cache_static_tables) routes DeepWalk-style served
-// workloads here. `tables` must hold one table per graph node.
-StepResult CachedAliasStep(const WalkContext& ctx, const std::vector<AliasTable>& tables,
-                           const QueryState& q, KernelRng& rng);
+// workloads here. `tables` must hold one table per graph node. Inline for
+// the same reason as SampleAliasTable: the emitted static-table kernel
+// hoists the per-batch table check and calls this body directly.
+inline StepResult CachedAliasStep(const WalkContext& ctx, const std::vector<AliasTable>& tables,
+                                  const QueryState& q, KernelRng& rng) {
+  StepResult result;
+  const AliasTable& table = tables[q.cur];
+  if (table.empty()) {  // degree 0, or every static weight was zero
+    result.dead_end = true;
+    return result;
+  }
+  ctx.mem().LoadRandom(8);  // one random slot: prob (4B) + alias (4B)
+  result.index = SampleAliasTable(table, rng);
+  return result;
+}
 
 }  // namespace flexi
 

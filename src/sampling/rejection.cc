@@ -6,65 +6,17 @@
 namespace flexi {
 namespace {
 
-// Shared trial loop; returns kNoIndex when the trial budget is exhausted.
-// Charging: the first trial pulls the node's adjacency line into cache
-// (full random transaction); subsequent trials on the same node hit that
-// line for the neighbor id, but on weighted graphs each trial still pays a
-// random load for its property weight — the weight array is too large for
-// spatial reuse. This is exactly why RJS degrades on weighted workloads
-// relative to unweighted ones (Fig. 3a vs 3b).
-uint32_t TrialLoop(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
-                   KernelRng& rng, double bound, uint32_t degree, uint64_t max_trials,
-                   RejectionStats* stats) {
-  bool weighted = ctx.graph->weighted();
-  for (uint64_t t = 0; t < max_trials; ++t) {
-    uint32_t x = rng.Bounded(degree);
-    double y = rng.Uniform() * bound;
-    if (t == 0) {
-      ChargeRandomEdgeLoad(ctx);
-    } else if (weighted) {
-      ctx.mem().LoadRandom(ctx.HBytes());
-    } else {
-      ctx.mem().CountAlu(2);  // cached adjacency probe
-    }
-    double w = logic.TransitionWeight(ctx, q, x);
-    if (stats != nullptr) {
-      ++stats->trials;
-    }
-    if (y < w) {
-      return x;
-    }
-  }
-  return kNoIndex;
-}
+// The interpreted weight functor: one virtual WorkloadWeight call plus the
+// h load per evaluation. The template bodies in step_inline.h consume it in
+// exactly the positions the pre-template kernels called TransitionWeight,
+// so this file is a pure delegation — paths and charges are unchanged.
+struct LogicWeight {
+  const WalkContext& ctx;
+  const WalkLogic& logic;
+  const QueryState& q;
 
-// Full-scan fallback: exact inversion, used when trials keep failing (tiny
-// acceptance area or an all-zero weight row).
-StepResult ScanFallback(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
-                        KernelRng& rng, uint32_t degree, RejectionStats* stats) {
-  if (stats != nullptr) {
-    ++stats->fallback_scans;
-  }
-  ChargeWeightScan(ctx, degree);
-  std::vector<double> prefix(degree);
-  double running = 0.0;
-  for (uint32_t i = 0; i < degree; ++i) {
-    running += logic.TransitionWeight(ctx, q, i);
-    prefix[i] = running;
-  }
-  StepResult result;
-  if (running <= 0.0) {
-    result.dead_end = true;
-    return result;
-  }
-  double target = rng.Uniform() * running;
-  uint32_t index = 0;
-  while (index + 1 < degree && prefix[index] <= target) {
-    ++index;
-  }
-  result.index = index;
-  return result;
-}
+  float operator()(uint32_t i) const { return logic.TransitionWeight(ctx, q, i); }
+};
 
 }  // namespace
 
@@ -77,6 +29,7 @@ StepResult RejectionStep(const WalkContext& ctx, const WalkLogic& logic, const Q
     result.dead_end = true;
     return result;
   }
+  LogicWeight weight{ctx, logic, q};
   double bound;
   if (known_max.has_value()) {
     bound = *known_max;
@@ -87,7 +40,7 @@ StepResult RejectionStep(const WalkContext& ctx, const WalkLogic& logic, const Q
     ctx.mem().CountCollective(5);
     double max_w = 0.0;
     for (uint32_t i = 0; i < degree; ++i) {
-      max_w = std::max(max_w, static_cast<double>(logic.TransitionWeight(ctx, q, i)));
+      max_w = std::max(max_w, static_cast<double>(weight(i)));
     }
     if (max_w <= 0.0) {
       result.dead_end = true;
@@ -96,34 +49,17 @@ StepResult RejectionStep(const WalkContext& ctx, const WalkLogic& logic, const Q
     bound = max_w;
   }
   uint64_t budget = std::max<uint64_t>(64, 8ull * degree);
-  uint32_t index = TrialLoop(ctx, logic, q, rng, bound, degree, budget, stats);
+  uint32_t index = TrialLoopT(ctx, weight, rng, bound, degree, budget, stats);
   if (index != kNoIndex) {
     result.index = index;
     return result;
   }
-  return ScanFallback(ctx, logic, q, rng, degree, stats);
+  return ScanFallbackT(ctx, weight, rng, degree, stats);
 }
 
 StepResult ERjsStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
                     KernelRng& rng, double bound, RejectionStats* stats) {
-  uint32_t degree = ctx.graph->Degree(q.cur);
-  StepResult result;
-  if (degree == 0 || bound <= 0.0) {
-    result.dead_end = (degree == 0);
-    if (degree != 0) {
-      // A zero bound with non-zero degree means the helper proved all
-      // weights are zero for this step.
-      result.dead_end = true;
-    }
-    return result;
-  }
-  uint64_t budget = std::max<uint64_t>(64, 8ull * degree);
-  uint32_t index = TrialLoop(ctx, logic, q, rng, bound, degree, budget, stats);
-  if (index != kNoIndex) {
-    result.index = index;
-    return result;
-  }
-  return ScanFallback(ctx, logic, q, rng, degree, stats);
+  return ERjsStepT(ctx, LogicWeight{ctx, logic, q}, q, rng, bound, stats);
 }
 
 }  // namespace flexi

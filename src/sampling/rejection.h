@@ -13,13 +13,9 @@
 #include <optional>
 
 #include "src/sampling/sampler.h"
+#include "src/sampling/step_inline.h"  // RejectionStats + the template bodies
 
 namespace flexi {
-
-struct RejectionStats {
-  uint64_t trials = 0;
-  uint64_t fallback_scans = 0;
-};
 
 // Baseline RJS step (NextDoor). If `known_max` is set (e.g. unweighted
 // Node2Vec where max w = max(1, 1/a, 1/b) is a compile-time constant), the

@@ -7,6 +7,18 @@
 #include "src/simt/warp.h"
 
 namespace flexi {
+namespace {
+
+// Interpreted weight functor for the templated kernels (see rejection.cc).
+struct LogicWeight {
+  const WalkContext& ctx;
+  const WalkLogic& logic;
+  const QueryState& q;
+
+  float operator()(uint32_t i) const { return logic.TransitionWeight(ctx, q, i); }
+};
+
+}  // namespace
 
 StepResult ReservoirStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
                          KernelRng& rng, ReservoirStats* stats) {
@@ -97,126 +109,7 @@ StepResult ERvsScanStep(const WalkContext& ctx, const WalkLogic& logic, const Qu
 
 StepResult ERvsJumpStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,
                         KernelRng& rng, ReservoirStats* stats) {
-  uint32_t degree = ctx.graph->Degree(q.cur);
-  StepResult result;
-  if (degree == 0) {
-    result.dead_end = true;
-    return result;
-  }
-  ChargeWeightScan(ctx, degree);
-
-  // Warp-strided execution (Fig. 4b). Lane l owns neighbors l, l+32, ...
-  // Iteration 1 computes one key per lane and reduces them to the shared
-  // global max key; each lane then jumps through its remaining neighbors
-  // conditioning on the best key it knows (>= the shared seed), and a final
-  // reduction picks the winner. A-ExpJ conditioning keeps the selection
-  // distribution exactly proportional to the weights (see DESIGN.md §4).
-  // Keys live in log space throughout: log k = log(u)/w̃ (all negative;
-  // larger means a better key), immune to pow() underflow.
-  uint32_t lanes = std::min<uint32_t>(degree, kWarpSize);
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-  struct LaneState {
-    double best_key = -std::numeric_limits<double>::infinity();  // log key
-    uint32_t best = kNoIndex;
-    uint32_t seed_index = kNoIndex;  // first positive-weight neighbor owned
-  };
-  std::vector<LaneState> lane_state(lanes);
-
-  // Iteration 1: seed keys. Each lane takes its first positive-weight
-  // neighbor; zero-weight neighbors never win.
-  for (uint32_t lane = 0; lane < lanes; ++lane) {
-    for (uint32_t i = lane; i < degree; i += lanes) {
-      double w = logic.TransitionWeight(ctx, q, i);
-      if (stats != nullptr) {
-        ++stats->neighbors_scanned;
-      }
-      if (w > 0.0) {
-        double key = -std::max(rng.Exponential(), 1e-300) / w;
-        ctx.mem().CountAlu(4);
-        if (stats != nullptr) {
-          ++stats->keys_generated;
-        }
-        lane_state[lane].best_key = key;
-        lane_state[lane].best = i;
-        lane_state[lane].seed_index = i;
-        break;
-      }
-    }
-  }
-  // Shared global max key after iteration 1 (warp reduce).
-  ctx.mem().CountCollective(5);
-  double global_key = kNegInf;
-  for (uint32_t lane = 0; lane < lanes; ++lane) {
-    global_key = std::max(global_key, lane_state[lane].best_key);
-  }
-  if (global_key == kNegInf) {
-    result.dead_end = true;  // every weight was zero
-    return result;
-  }
-
-  // Jump phase per lane, starting after the lane's seed neighbor.
-  for (uint32_t lane = 0; lane < lanes; ++lane) {
-    LaneState& state = lane_state[lane];
-    if (state.seed_index == kNoIndex) {
-      continue;  // lane owned only zero-weight neighbors
-    }
-    // Condition on the best key this lane can observe: the shared seed.
-    // With L = log(local max key) < 0, the jump threshold of Eq. (4) is
-    // T = log(u)/L = Exponential()/(-L).
-    double local_max = std::max(state.best_key, global_key);
-    double threshold = std::max(rng.Exponential(), 1e-300) / -local_max;
-    ctx.mem().CountAlu(3);
-    double cumulative = 0.0;
-    for (uint32_t i = state.seed_index + lanes; i < degree; i += lanes) {
-      double w = logic.TransitionWeight(ctx, q, i);
-      if (stats != nullptr) {
-        ++stats->neighbors_scanned;
-      }
-      ctx.mem().CountAlu(1);
-      if (w <= 0.0) {
-        continue;
-      }
-      cumulative += w;
-      if (cumulative >= threshold) {
-        // This neighbor's (implicit) key beats local_max: draw it from the
-        // conditional law Uniform(k^w, 1)^(1/w), i.e. in log space
-        // log k' = log(floor + U (1 - floor)) / w with floor = exp(L w).
-        double floor_u = std::exp(local_max * w);
-        double u = floor_u + rng.UniformOpen() * (1.0 - floor_u);
-        double key = std::log(std::min(u, 1.0)) / w;
-        if (key == 0.0) {
-          key = -1e-300;  // u rounded to 1: the best representable key
-        }
-        ctx.mem().CountAlu(8);
-        if (stats != nullptr) {
-          ++stats->keys_generated;
-        }
-        state.best_key = key;
-        state.best = i;
-        local_max = key;
-        threshold = std::max(rng.Exponential(), 1e-300) / -local_max;
-        cumulative = 0.0;
-      }
-    }
-  }
-
-  // Final reduction over lane maxima.
-  ctx.mem().CountCollective(5);
-  double best_key = kNegInf;
-  uint32_t best = kNoIndex;
-  for (uint32_t lane = 0; lane < lanes; ++lane) {
-    if (lane_state[lane].best_key > best_key) {
-      best_key = lane_state[lane].best_key;
-      best = lane_state[lane].best;
-    }
-  }
-  if (best == kNoIndex) {
-    result.dead_end = true;
-    return result;
-  }
-  result.index = best;
-  return result;
+  return ERvsJumpStepT(ctx, LogicWeight{ctx, logic, q}, q, rng, stats);
 }
 
 }  // namespace flexi

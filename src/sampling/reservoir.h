@@ -21,13 +21,9 @@
 #define FLEXIWALKER_SRC_SAMPLING_RESERVOIR_H_
 
 #include "src/sampling/sampler.h"
+#include "src/sampling/step_inline.h"  // ReservoirStats + the template bodies
 
 namespace flexi {
-
-struct ReservoirStats {
-  uint64_t keys_generated = 0;  // explicit key computations (RNG + pow)
-  uint64_t neighbors_scanned = 0;
-};
 
 // Baseline RVS step (FlowWalker).
 StepResult ReservoirStep(const WalkContext& ctx, const WalkLogic& logic, const QueryState& q,

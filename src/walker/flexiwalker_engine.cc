@@ -1,5 +1,8 @@
 #include "src/walker/flexiwalker_engine.h"
 
+#include <cstdio>
+
+#include "src/compiler/step_emitter.h"
 #include "src/sampling/rejection.h"
 #include "src/sampling/reservoir.h"
 #include "src/simt/warp.h"
@@ -56,6 +59,32 @@ FlexiPreparation PrepareFlexiWalker(const Graph& graph, const WalkLogic& logic,
     prep.static_tables = BuildNodeAliasTables(graph, options.host_threads);
     CostCounters delta = device.mem().counters() - before;
     prep.preprocess_sim_ms += device.profile().SimulatedMsFor(delta);
+  }
+
+  // --- Compiled step kernel (opt-in): specialize the whole step for this
+  // program + strategy and hand the source to the hash-keyed .so cache.
+  // Emitter rejects and every compile/load failure degrade silently to the
+  // interpreted kernel — paths are bit-identical either way, so a kernel
+  // that arrives mid-service can swap in without anyone noticing. ---
+  if (options.jit != jit::JitMode::kOff) {
+    jit::StepKernelSpec spec;
+    spec.strategy = options.strategy;
+    spec.use_static_tables = !prep.static_tables.empty();
+    std::string reject_reason;
+    std::string source = jit::EmitStepKernelSource(logic.program(), spec, &reject_reason);
+    if (source.empty()) {
+      jit::CountFallback("unsupported_program");
+    } else {
+      bool async = options.jit == jit::JitMode::kAuto;
+      prep.jit_kernel =
+          jit::KernelCache::Global().GetOrCompile(source, options.jit_cache_dir, async);
+      if (options.jit == jit::JitMode::kOn && !prep.jit_kernel->WaitReady()) {
+        std::fprintf(stderr,
+                     "flexiwalker: --jit on could not produce a compiled kernel (%s); "
+                     "running interpreted\n",
+                     prep.jit_kernel->fallback_reason().c_str());
+      }
+    }
   }
   return prep;
 }
@@ -132,13 +161,53 @@ WalkResult FlexiWalkerEngine::Run(const Graph& graph, const WalkLogic& logic,
 
   WalkResult result;
   SelectionCounters selection;
+  // Resolve the compiled kernel once per Run: the whole run executes either
+  // compiled or interpreted, never a mix (both produce identical paths, but
+  // a stable choice keeps the run's provenance simple).
+  jit::JitStepFn jit_fn = prep.jit_kernel != nullptr ? prep.jit_kernel->TryGet() : nullptr;
   if (!prep.static_tables.empty()) {
     // Static fast path: every step is an O(1) cached-table lookup; no
     // per-step selection happens, so the selection counters stay zero.
     const std::vector<AliasTable>* tables = &prep.static_tables;
-    result = scheduler.Run(graph, logic, starts, seed,
-                           [tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
-                                    KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); });
+    if (jit_fn != nullptr) {
+      jit::JitStepState jit_state;
+      jit_state.static_tables = tables;
+      const jit::JitStepState* st = &jit_state;
+      result = scheduler.Run(graph, logic, starts, seed,
+                             [jit_fn, st](const WalkContext& ctx, const WalkLogic&,
+                                          const QueryState& q, KernelRng& rng) {
+                               return jit_fn(st, &ctx, &q, &rng);
+                             });
+    } else {
+      result = scheduler.Run(graph, logic, starts, seed,
+                             [tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
+                                      KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); });
+    }
+  } else if (jit_fn != nullptr) {
+    // Compiled path: per-worker JitStepState mirrors the per-worker
+    // SamplerSelector of the interpreted path, so selection tallies stay
+    // contention-free and merge the same way.
+    uint64_t selector_seed = FlexiSelectorSeed(seed);
+    std::vector<SelectionCounters> jit_counters(scheduler.num_threads());
+    std::vector<jit::JitStepState> jit_states(scheduler.num_threads());
+    for (unsigned w = 0; w < scheduler.num_threads(); ++w) {
+      jit_states[w].selector_seed = selector_seed;
+      jit_states[w].edge_cost_ratio = prep.params.edge_cost_ratio;
+      jit_states[w].degree_threshold = prep.params.degree_threshold;
+      jit_states[w].counters = &jit_counters[w];
+    }
+    result = scheduler.RunWithWorkers(
+        graph, logic, starts, seed,
+        [&jit_states, jit_fn](unsigned worker, DeviceContext&) -> WorkerKernel {
+          const jit::JitStepState* st = &jit_states[worker];
+          return StepKernel([jit_fn, st](const WalkContext& ctx, const WalkLogic&,
+                                         const QueryState& q, KernelRng& rng) {
+            return jit_fn(st, &ctx, &q, &rng);
+          });
+        });
+    for (const SelectionCounters& counters : jit_counters) {
+      selection += counters;
+    }
   } else {
     std::vector<SamplerSelector> selectors(
         scheduler.num_threads(), SamplerSelector(options_.strategy, prep.params, &helpers_));

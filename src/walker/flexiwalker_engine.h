@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "src/compiler/generator.h"
+#include "src/compiler/jit.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/preprocess.h"
 #include "src/sampling/alias.h"
@@ -47,6 +48,17 @@ struct FlexiWalkerOptions {
   // 1 = walk-at-a-time. Any width leaves walk paths bit-identical; the
   // CLI's --wavefront flag lands here.
   uint32_t wavefront = 0;
+  // Compiled step kernels (src/compiler/jit.h): emit the workload's step as
+  // one specialized C++ function, compile it to a dlopen'd .so cached by
+  // program hash, and run it instead of the interpreted MakeFlexiStep body.
+  // Paths and cost counters are bit-identical either way (jit_test's parity
+  // matrix enforces it); kAuto compiles in the background and swaps in when
+  // ready, kOn blocks until the kernel is available (or falls back with a
+  // warning). Off by default. Any compile/load failure silently degrades to
+  // the interpreted kernel, counted in jit_fallbacks_total{reason=...}.
+  jit::JitMode jit = jit::JitMode::kOff;
+  // On-disk .so cache directory; empty = jit::DefaultCacheDir().
+  std::string jit_cache_dir;
 };
 
 // Everything FlexiWalker computes once per (graph, workload) before any
@@ -64,6 +76,10 @@ struct FlexiPreparation {
   // (options.cache_static_tables and a static program); empty otherwise.
   // Non-empty tables route every step through CachedAliasStep.
   std::vector<AliasTable> static_tables;
+  // The compiled step kernel (possibly still compiling, possibly failed);
+  // null when options.jit was kOff or the emitter rejected the program.
+  // Holding the preparation pins the dlopen'd code.
+  std::shared_ptr<jit::JitKernel> jit_kernel;
   // Simulated cost of the profiling / preprocessing phases (Table 3);
   // zero when the phase was skipped.
   double profile_sim_ms = 0.0;

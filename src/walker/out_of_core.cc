@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/compiler/analyzer.h"
+#include "src/compiler/step_emitter.h"
 #include "src/sampling/sampler.h"
 #include "src/walker/query_queue.h"
 #include "src/walker/worker_pool.h"
@@ -369,24 +370,71 @@ WalkResult RunFlexiWalkerOutOfCore(const BlockStore& store, const WalkLogic& log
   ooc.profile = options.device;
   ooc.preprocessed = preprocessed.empty() ? nullptr : &preprocessed;
 
+  // Compiled step kernel (same emit + cache the in-memory engine uses; the
+  // out-of-core driver never caches static tables, so the spec is always
+  // the dynamic variant). The kernel only sees the per-block WalkContext
+  // the driver hands every step, so block residency is transparent to it.
+  std::shared_ptr<jit::JitKernel> jit_kernel;
+  if (options.jit != jit::JitMode::kOff) {
+    jit::StepKernelSpec spec;
+    spec.strategy = options.strategy;
+    std::string reject_reason;
+    std::string source = jit::EmitStepKernelSource(logic.program(), spec, &reject_reason);
+    if (source.empty()) {
+      jit::CountFallback("unsupported_program");
+    } else {
+      bool async = options.jit == jit::JitMode::kAuto;
+      jit_kernel = jit::KernelCache::Global().GetOrCompile(source, options.jit_cache_dir, async);
+      if (options.jit == jit::JitMode::kOn) {
+        jit_kernel->WaitReady();
+      }
+    }
+  }
+  jit::JitStepFn jit_fn = jit_kernel != nullptr ? jit_kernel->TryGet() : nullptr;
+
   // One persistent selector per worker index, exactly like the in-memory
   // engine, so selection counters accumulate across block activations.
   SchedulerOptions resolve;
   resolve.num_threads = options.host_threads;
-  std::vector<SamplerSelector> selectors(WalkScheduler(resolve).num_threads(),
+  unsigned workers = WalkScheduler(resolve).num_threads();
+  std::vector<SamplerSelector> selectors(workers,
                                          SamplerSelector(options.strategy, params, &helpers));
   uint64_t selector_seed = FlexiSelectorSeed(seed);
 
-  WalkResult result = RunOutOfCore(
-      store, cache, logic, starts, seed,
-      [&selectors, selector_seed](unsigned worker, DeviceContext&) -> WorkerKernel {
-        return MakeFlexiStep(&selectors[worker], selector_seed);
-      },
-      ooc, stats);
-
+  WalkResult result;
   SelectionCounters selection;
-  for (const SamplerSelector& selector : selectors) {
-    selection += selector.counters();
+  if (jit_fn != nullptr) {
+    std::vector<SelectionCounters> jit_counters(workers);
+    std::vector<jit::JitStepState> jit_states(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      jit_states[w].selector_seed = selector_seed;
+      jit_states[w].edge_cost_ratio = params.edge_cost_ratio;
+      jit_states[w].degree_threshold = params.degree_threshold;
+      jit_states[w].counters = &jit_counters[w];
+    }
+    result = RunOutOfCore(
+        store, cache, logic, starts, seed,
+        [&jit_states, jit_fn](unsigned worker, DeviceContext&) -> WorkerKernel {
+          const jit::JitStepState* st = &jit_states[worker];
+          return StepKernel([jit_fn, st](const WalkContext& ctx, const WalkLogic&,
+                                         const QueryState& q, KernelRng& rng) {
+            return jit_fn(st, &ctx, &q, &rng);
+          });
+        },
+        ooc, stats);
+    for (const SelectionCounters& counters : jit_counters) {
+      selection += counters;
+    }
+  } else {
+    result = RunOutOfCore(
+        store, cache, logic, starts, seed,
+        [&selectors, selector_seed](unsigned worker, DeviceContext&) -> WorkerKernel {
+          return MakeFlexiStep(&selectors[worker], selector_seed);
+        },
+        ooc, stats);
+    for (const SamplerSelector& selector : selectors) {
+      selection += selector.counters();
+    }
   }
   result.selection = selection;
   result.preprocess_sim_ms = preprocess_sim_ms;

@@ -140,6 +140,16 @@ struct FlexiServingState {
   FlexiPreparation prep;
 };
 
+// Per-(batch, worker) state of a compiled step kernel: the runtime
+// parameters the .so reads, a private counter sink (pipelined batches would
+// otherwise race on shares), and a pin on the kernel so the dlopen'd code
+// outlives every in-flight step. Rides in the WorkerKernel keepalive.
+struct JitWorkerState {
+  jit::JitStepState state;
+  SelectionCounters counters;
+  std::shared_ptr<jit::JitKernel> pin;
+};
+
 }  // namespace
 
 std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const WalkLogic& logic,
@@ -174,12 +184,42 @@ std::unique_ptr<WalkService> MakeFlexiWalkerService(const Graph& graph, const Wa
   // The selector's ownership rides in the WorkerKernel keepalive — the
   // worker's drain loop pins it — so the per-step delegate stays a
   // non-allocating pointer capture.
+  // A compiled kernel finishing mid-service swaps in at the next batch: the
+  // factory polls TryGet() per call, and compiled vs interpreted steps are
+  // bit-identical, so the swap is invisible to clients.
   WorkerStepFactory factory = [raw, selector_seed, strategy = options.strategy](
                                   unsigned, DeviceContext&) -> WorkerKernel {
+    jit::JitStepFn jit_fn =
+        raw->prep.jit_kernel != nullptr ? raw->prep.jit_kernel->TryGet() : nullptr;
     if (!raw->prep.static_tables.empty()) {
       const std::vector<AliasTable>* tables = &raw->prep.static_tables;
+      if (jit_fn != nullptr) {
+        auto jit_state = std::make_shared<JitWorkerState>();
+        jit_state->state.static_tables = tables;
+        jit_state->pin = raw->prep.jit_kernel;
+        const jit::JitStepState* st = &jit_state->state;
+        return WorkerKernel(StepKernel([jit_fn, st](const WalkContext& ctx, const WalkLogic&,
+                                                    const QueryState& q, KernelRng& rng) {
+                              return jit_fn(st, &ctx, &q, &rng);
+                            }),
+                            jit_state);
+      }
       return StepKernel([tables](const WalkContext& ctx, const WalkLogic&, const QueryState& q,
                                  KernelRng& rng) { return CachedAliasStep(ctx, *tables, q, rng); });
+    }
+    if (jit_fn != nullptr) {
+      auto jit_state = std::make_shared<JitWorkerState>();
+      jit_state->state.selector_seed = selector_seed;
+      jit_state->state.edge_cost_ratio = raw->prep.params.edge_cost_ratio;
+      jit_state->state.degree_threshold = raw->prep.params.degree_threshold;
+      jit_state->state.counters = &jit_state->counters;
+      jit_state->pin = raw->prep.jit_kernel;
+      const jit::JitStepState* st = &jit_state->state;
+      return WorkerKernel(StepKernel([jit_fn, st](const WalkContext& ctx, const WalkLogic&,
+                                                  const QueryState& q, KernelRng& rng) {
+                            return jit_fn(st, &ctx, &q, &rng);
+                          }),
+                          jit_state);
     }
     auto selector = std::make_shared<SamplerSelector>(strategy, raw->prep.params,
                                                       &raw->prep.helpers);

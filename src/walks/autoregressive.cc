@@ -1,0 +1,46 @@
+#include "src/walks/autoregressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexi {
+
+AutoregressiveWalk::AutoregressiveWalk(double alpha, uint32_t length)
+    : alpha_(std::clamp(alpha, 1e-9, 1.0)), length_(length) {
+  program_.workload_name = "autoregressive";
+  // Backtracking decays as alpha^(1+r) where r = q.aux counts consecutive
+  // returns to the same node; all other transitions keep the base weight.
+  program_.branches = {
+      {CondKind::kFirstStep, WeightExpr::PropertyWeight(), -1.0},
+      {CondKind::kPostEqualsPrev,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::AuxPow(alpha_)), -1.0},
+      {CondKind::kOtherwise, WeightExpr::PropertyWeight(), -1.0},
+  };
+}
+
+float AutoregressiveWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                         uint32_t i) const {
+  if (q.prev == kInvalidNode) {
+    return 1.0f;
+  }
+  NodeId u = ctx.graph->Neighbor(q.cur, i);
+  if (u == q.prev) {
+    ctx.mem().CountAlu(2);
+    return static_cast<float>(std::pow(alpha_, 1.0 + static_cast<double>(q.aux)));
+  }
+  return 1.0f;
+}
+
+void AutoregressiveWalk::Update(const WalkContext& ctx, QueryState& q, NodeId next,
+                                uint32_t i) const {
+  (void)ctx;
+  (void)i;
+  // Extend the repeat run when the walker bounces straight back; any other
+  // move resets it.
+  q.aux = (next == q.prev) ? q.aux + 1.0f : 0.0f;
+  q.prev = q.cur;
+  q.cur = next;
+  ++q.step;
+}
+
+}  // namespace flexi

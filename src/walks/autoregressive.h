@@ -1,0 +1,36 @@
+// Autoregressive walk: the weight of stepping back to the node just visited
+// decays geometrically with the number of consecutive back-steps already
+// taken. The per-query aux slot counts the current repeat run r, and the
+// backtrack edge is weighted alpha^(1+r) (alpha in (0, 1]); every other edge
+// keeps weight 1. A second-order *and* history-accumulating workload: the
+// distribution depends not only on (prev, cur) but on how long the walker
+// has been oscillating — state no precomputation can capture, yet the DSL
+// expresses it with the kAuxPow term whose constant upper bound is alpha.
+#ifndef FLEXIWALKER_SRC_WALKS_AUTOREGRESSIVE_H_
+#define FLEXIWALKER_SRC_WALKS_AUTOREGRESSIVE_H_
+
+#include "src/walks/walk_logic.h"
+
+namespace flexi {
+
+class AutoregressiveWalk : public WalkLogic {
+ public:
+  AutoregressiveWalk(double alpha, uint32_t length);
+
+  std::string name() const override { return "autoregressive"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  void Update(const WalkContext& ctx, QueryState& q, NodeId next,
+              uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+ private:
+  double alpha_;
+  uint32_t length_;
+  WeightProgram program_;
+};
+
+}  // namespace flexi
+
+#endif  // FLEXIWALKER_SRC_WALKS_AUTOREGRESSIVE_H_

@@ -1,5 +1,7 @@
 #include "src/walks/temporal.h"
 
+#include <cmath>
+
 namespace flexi {
 
 TemporalWalk::TemporalWalk(uint32_t length) : length_(length) {
@@ -24,6 +26,38 @@ float TemporalWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
 
 void TemporalWalk::Update(const WalkContext& ctx, QueryState& q, NodeId next,
                           uint32_t i) const {
+  EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;
+  q.aux = ctx.graph->EdgeTimestamp(e);
+  q.prev = q.cur;
+  q.cur = next;
+  ++q.step;
+}
+
+TemporalDecayWalk::TemporalDecayWalk(double lambda, uint32_t length)
+    : lambda_(lambda < 0.0 ? 0.0 : lambda), length_(length) {
+  program_.workload_name = "temporal-decay";
+  program_.branches = {
+      {CondKind::kTimestampAfterArrival,
+       WeightExpr::Mul(WeightExpr::PropertyWeight(), WeightExpr::TimeDecay(lambda_)), 0.5},
+      {CondKind::kOtherwise, WeightExpr::Const(0.0), 0.5},
+  };
+}
+
+float TemporalDecayWalk::WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                                        uint32_t i) const {
+  EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;
+  ctx.mem().CountAlu(1);
+  if (!(ctx.graph->EdgeTimestamp(e) > q.aux)) {
+    return 0.0f;
+  }
+  ctx.mem().CountAlu(2);
+  return static_cast<float>(
+      std::exp(-lambda_ * (static_cast<double>(ctx.graph->EdgeTimestamp(e)) -
+                           static_cast<double>(q.aux))));
+}
+
+void TemporalDecayWalk::Update(const WalkContext& ctx, QueryState& q, NodeId next,
+                               uint32_t i) const {
   EdgeId e = ctx.graph->EdgesBegin(q.cur) + i;
   q.aux = ctx.graph->EdgeTimestamp(e);
   q.prev = q.cur;

@@ -31,6 +31,30 @@ class TemporalWalk : public WalkLogic {
   WeightProgram program_;
 };
 
+// Temporal walk with exponential recency bias: time-respecting edges are
+// weighted exp(-lambda * (t(v, u) - arrival_time)) instead of uniformly, so
+// the walker prefers edges that appear soon after it arrives (the "temporal
+// closeness" variant of CTDNE). Still fully dynamic — the decay factor
+// depends on the per-query arrival time — but the DSL captures it with the
+// kTimeDecay term, whose upper bound on a time-respecting branch is 1.
+class TemporalDecayWalk : public WalkLogic {
+ public:
+  TemporalDecayWalk(double lambda, uint32_t length);
+
+  std::string name() const override { return "temporal-decay"; }
+  uint32_t walk_length() const override { return length_; }
+  float WorkloadWeight(const WalkContext& ctx, const QueryState& q,
+                       uint32_t i) const override;
+  void Update(const WalkContext& ctx, QueryState& q, NodeId next,
+              uint32_t i) const override;
+  const WeightProgram& program() const override { return program_; }
+
+ private:
+  double lambda_;
+  uint32_t length_;
+  WeightProgram program_;
+};
+
 }  // namespace flexi
 
 #endif  // FLEXIWALKER_SRC_WALKS_TEMPORAL_H_

@@ -9,10 +9,12 @@
 #include "src/graph/generators.h"
 #include "src/rng/philox.h"
 #include "src/runtime/preprocess.h"
+#include "src/walks/autoregressive.h"
 #include "src/walks/deepwalk.h"
 #include "src/walks/metapath.h"
 #include "src/walks/node2vec.h"
 #include "src/walks/second_order_pr.h"
+#include "src/walks/temporal.h"
 
 namespace flexi {
 namespace {
@@ -281,6 +283,49 @@ TEST(StaticTransition, CurrentNodeScalesAreStaticButAdditiveMixesAreNot) {
   WeightProgram guarded;
   guarded.branches = {{CondKind::kFirstStep, WeightExpr::PropertyWeight(), 1.0}};
   EXPECT_FALSE(IsStaticTransitionProgram(guarded));
+}
+
+// --- Query-local scratch expressions (kAuxPow / kTimeDecay) ---
+
+TEST(Analyzer, ScratchExpressionsAnalyzeWithConstantBounds) {
+  // Both new atoms read only query-local state (q.aux), so the analyzer
+  // accepts them without raising any per-step flag: alpha^(1+aux) <= alpha
+  // for alpha <= 1, and exp(-lambda*dt) <= 1 on the guarded branch.
+  Generator generator;
+  EXPECT_TRUE(generator.Generate(AutoregressiveWalk(0.5, 8).program()).valid());
+  EXPECT_TRUE(generator.Generate(TemporalDecayWalk(0.1, 8).program()).valid());
+}
+
+TEST(Analyzer, TemporalDecayIsFirstOrderButAutoregressiveIsNot) {
+  // Temporal decay depends only on (cur, aux) — it runs out-of-core. The
+  // autoregressive walk branches on prev, so it stays in-memory.
+  EXPECT_TRUE(IsFirstOrderProgram(TemporalDecayWalk(0.1, 8).program()));
+  EXPECT_FALSE(IsFirstOrderProgram(AutoregressiveWalk(0.5, 8).program()));
+}
+
+TEST(StaticTransition, ScratchDependentProgramsAreNotStatic) {
+  EXPECT_FALSE(IsStaticTransitionProgram(AutoregressiveWalk(0.5, 8).program()));
+  EXPECT_FALSE(IsStaticTransitionProgram(TemporalDecayWalk(0.1, 8).program()));
+}
+
+TEST(WeightExpr, ScratchExpressionsRender) {
+  EXPECT_EQ(WeightExpr::AuxPow(0.5).ToString(), "0.5^(1+aux)");
+  EXPECT_EQ(WeightExpr::TimeDecay(0.25).ToString(), "exp(-0.25*(t[e]-aux))");
+}
+
+TEST_P(BoundSoundnessTest, Autoregressive) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 9});
+  AssignWeights(g, GetParam(), 1.5, 82);
+  AutoregressiveWalk walk(0.5, 8);
+  CheckBoundsOnGraph(g, walk);
+}
+
+TEST_P(BoundSoundnessTest, TemporalDecay) {
+  Graph g = GenerateRmat({9, 8, 0.57, 0.19, 0.19, 10});
+  AssignWeights(g, GetParam(), 1.5, 83);
+  AssignTimestamps(g, 10.0f, 84);
+  TemporalDecayWalk walk(0.1, 8);
+  CheckBoundsOnGraph(g, walk);
 }
 
 }  // namespace
