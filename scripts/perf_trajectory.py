@@ -7,9 +7,10 @@ Compares the dispensation sweep configs (matched on threads + mode: QPS down
 or p50/p99 up is a regression), the wavefront sweep configs (matched on
 threads + wavefront: steps/sec down is a regression), the out-of-core
 cache sweep (matched on cache_blocks: QPS/steps-per-sec down or
-peak-RSS up is a regression), and the event-loop serving sweep (matched on
-connections: QPS down or p50/p99 up is a regression) between the previous CI
-run's artifact and the current run. Sections absent from a document are
+peak-RSS up is a regression), the event-loop serving sweep (matched on
+connections: QPS down or p50/p99 up is a regression), and the deadline
+overload sweep (matched on deadline_us: goodput down is a regression)
+between the previous CI run's artifact and the current run. Sections absent from a document are
 skipped, so the same script diffs BENCH_scheduler.json, BENCH_outofcore.json,
 and BENCH_net.json alike. Regressions beyond the threshold are
 emitted as GitHub Actions ::warning:: annotations — the job is annotated,
@@ -113,6 +114,12 @@ def main():
         # regression.
         ("net_configs", ("connections",),
          [("qps", True), ("p50_us", False), ("p99_us", False)]),
+        # Deadline-shedding overload sweep (bench_net_serving): goodput —
+        # on-time completions per second at 2x capacity — down at the same
+        # deadline budget means the shedding stages stopped earning their
+        # keep.
+        ("deadline_configs", ("deadline_us",),
+         [("goodput_qps", True)]),
         # Compiled-kernel sweep (bench_fig12_kernel_ablation): steps/sec down
         # at the same workload + mode means either the interpreted baseline
         # or the JIT-specialized kernel got slower.

@@ -35,19 +35,26 @@ BatchCoalescer::BatchCoalescer(WalkService& service, Options options)
       &registry.GetHistogram(obs::WithLabel("flexi_coalescer_batch_queries", "workload", label));
   m_outstanding_ = &registry.GetGauge(
       obs::WithLabel("flexi_coalescer_outstanding_queries", "workload", label));
+  m_expired_flush_ = &registry.GetCounter(
+      obs::WithLabel("flexi_requests_deadline_exceeded_total", "stage", "flush"));
+  m_expired_run_ = &registry.GetCounter(
+      obs::WithLabel("flexi_requests_deadline_exceeded_total", "stage", "run"));
+  m_batches_cancelled_ = &registry.GetCounter("flexi_batches_cancelled_total");
   flusher_ = std::thread([this] { FlushLoop(); });
   completer_ = std::thread([this] { CompleteLoop(); });
 }
 
 BatchCoalescer::~BatchCoalescer() { Shutdown(); }
 
-bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place) {
-  return EnqueueLocked(starts, done, place, /*allow_block=*/true) == AdmitStatus::kAdmitted;
+bool BatchCoalescer::Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place,
+                             Deadline deadline) {
+  return EnqueueLocked(starts, done, place, deadline, /*allow_block=*/true) ==
+         AdmitStatus::kAdmitted;
 }
 
 BatchCoalescer::AdmitStatus BatchCoalescer::TryEnqueue(std::vector<NodeId>& starts, DoneFn& done,
-                                                       PlaceFn& place) {
-  return EnqueueLocked(starts, done, place, /*allow_block=*/false);
+                                                       PlaceFn& place, Deadline& deadline) {
+  return EnqueueLocked(starts, done, place, deadline, /*allow_block=*/false);
 }
 
 size_t BatchCoalescer::outstanding_queries() const {
@@ -56,7 +63,8 @@ size_t BatchCoalescer::outstanding_queries() const {
 }
 
 BatchCoalescer::AdmitStatus BatchCoalescer::EnqueueLocked(std::vector<NodeId>& starts, DoneFn& done,
-                                                          PlaceFn& place, bool allow_block) {
+                                                          PlaceFn& place, Deadline& deadline,
+                                                          bool allow_block) {
   size_t queries = starts.size();
   std::unique_lock<std::mutex> lock(mutex_);
   // Admission control. The idle special case (outstanding == 0) admits
@@ -122,7 +130,7 @@ BatchCoalescer::AdmitStatus BatchCoalescer::EnqueueLocked(std::vector<NodeId>& s
   if (pending_.empty()) {
     window_opened_ = now;
   }
-  pending_.push_back({std::move(starts), std::move(done), std::move(place)});
+  pending_.push_back({std::move(starts), std::move(done), std::move(place), std::move(deadline)});
   pending_queries_ += queries;
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   queries_admitted_.fetch_add(queries, std::memory_order_relaxed);
@@ -139,16 +147,56 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
                         std::make_move_iterator(pending_.begin() + request_count));
   pending_.erase(pending_.begin(), pending_.begin() + request_count);
 
+  // Flush-stage shedding: a member whose deadline already passed is dropped
+  // here — answered kDeadlineExceeded through its ExpireFn instead of
+  // burning scheduler time on rows nobody will read. stable_partition keeps
+  // the survivors in arrival order, so the (arrival order -> global id)
+  // mapping of every walked query is exactly what an unshed flush would
+  // have produced for the same survivors.
+  std::vector<PendingRequest> expired;
+  uint64_t now_us = obs::NowMicros();
+  auto lapsed = [now_us](const PendingRequest& request) {
+    return request.deadline.at_us != 0 && request.deadline.at_us <= now_us;
+  };
+  if (std::any_of(batch.requests.begin(), batch.requests.end(), lapsed)) {
+    auto keep = std::stable_partition(batch.requests.begin(), batch.requests.end(),
+                                      [&](const PendingRequest& r) { return !lapsed(r); });
+    expired.assign(std::make_move_iterator(keep), std::make_move_iterator(batch.requests.end()));
+    batch.requests.erase(keep, batch.requests.end());
+  }
   size_t queries = 0;
   for (const PendingRequest& request : batch.requests) {
     queries += request.starts.size();
   }
-  pending_queries_ -= queries;
+  size_t expired_queries = 0;
+  for (const PendingRequest& request : expired) {
+    expired_queries += request.starts.size();
+  }
+  pending_queries_ -= queries + expired_queries;
   inflight_queries_ += queries;
-  obs::MetricsRegistry::Global()
-      .GetCounter(FlushSeriesName(options_.metrics_label, reason))
-      .Add(1);
-  m_batch_queries_->Record(queries);
+  // Cooperative mid-run cancellation arms only when every surviving member
+  // carries a deadline — one deadline-free member means someone always
+  // wants the batch's rows, so it must run to completion.
+  if (!batch.requests.empty()) {
+    uint64_t max_deadline = 0;
+    for (const PendingRequest& request : batch.requests) {
+      if (request.deadline.at_us == 0) {
+        max_deadline = 0;
+        break;
+      }
+      max_deadline = std::max(max_deadline, request.deadline.at_us);
+    }
+    if (max_deadline != 0) {
+      batch.cancel = std::make_shared<std::atomic<bool>>(false);
+      batch.max_deadline_us = max_deadline;
+    }
+  }
+  if (!batch.requests.empty()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(FlushSeriesName(options_.metrics_label, reason))
+        .Add(1);
+    m_batch_queries_->Record(queries);
+  }
   obs::TraceRing& obs_trace = obs::TraceRing::Global();
   if (obs_trace.enabled()) {
     // The coalesce span: window open -> this flush. steady_clock and the
@@ -168,6 +216,27 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
   // cannot reorder submissions — the (arrival order -> global id) mapping
   // is pinned by the single-threaded flush order itself.
   lock.unlock();
+  if (!expired.empty()) {
+    m_expired_flush_->Add(expired.size());
+    m_outstanding_->Set(static_cast<int64_t>(outstanding_queries()));
+    cv_space_.notify_all();
+    for (PendingRequest& request : expired) {
+      if (request.deadline.expired) {
+        request.deadline.expired();
+      }
+    }
+    // The errors the ExpireFns corked need a flush. That normally rides the
+    // batch-complete hook, but this batch hasn't completed yet (and never
+    // will, when every member lapsed) — fire it now so the kDeadlineExceeded
+    // answers don't wait out a walk nobody shed ever joined.
+    if (on_batch_complete_) {
+      on_batch_complete_();
+    }
+  }
+  if (batch.requests.empty()) {
+    lock.lock();
+    return;
+  }
   WalkBatch walk_batch;
   walk_batch.starts.reserve(queries);
   for (const PendingRequest& request : batch.requests) {
@@ -197,7 +266,7 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
   batch.arena = std::make_shared<PathArena>(queries - placed_queries, stride);
   if (placed_queries == 0) {
     batch.placements.clear();
-    batch.future = service_.SubmitInto(std::move(walk_batch), batch.arena->view());
+    batch.future = service_.SubmitInto(std::move(walk_batch), batch.arena->view(), batch.cancel);
   } else {
     // Scattered layout: batch query id -> row pointer, placed requests into
     // their frames, the rest packed front-to-back in the fallback arena (in
@@ -218,7 +287,7 @@ void BatchCoalescer::FlushWithLock(std::unique_lock<std::mutex>& lock, size_t re
     view.stride = stride;
     view.rows = queries;
     view.row_ptrs = batch.row_ptrs.data();
-    batch.future = service_.SubmitInto(std::move(walk_batch), view);
+    batch.future = service_.SubmitInto(std::move(walk_batch), view, batch.cancel);
   }
   batch.submit_us = obs::NowMicros();
   lock.lock();
@@ -284,6 +353,28 @@ void BatchCoalescer::CompleteLoop() {
     }
     // Batches complete roughly FIFO; blocking on the oldest first keeps the
     // completer simple and, with pipelining, still overlaps execution.
+    //
+    // Mid-run cancellation: when the batch armed a token (every member
+    // deadlined), wait only until the last member's deadline; past that,
+    // nobody wants the rows, so set the token — the per-batch scheduler
+    // abandons at its next pass boundary — and answer every member through
+    // its ExpireFn. The future still resolves (the scheduler run returns
+    // normally, just truncated); paths of other, non-cancelled batches are
+    // untouched because cancellation never reorders anyone's Philox draws.
+    bool cancelled = false;
+    if (batch.cancel != nullptr) {
+      uint64_t now_us = obs::NowMicros();
+      auto deadline_tp = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(batch.max_deadline_us > now_us
+                                                       ? batch.max_deadline_us - now_us
+                                                       : 0);
+      if (batch.future.wait_until(deadline_tp) == std::future_status::timeout) {
+        batch.cancel->store(true, std::memory_order_relaxed);
+        cancelled = true;
+        m_batches_cancelled_->Add(1);
+        m_expired_run_->Add(batch.requests.size());
+      }
+    }
     BatchResult result;
     bool completed = true;
     obs::TraceRing& obs_trace = obs::TraceRing::Global();
@@ -309,6 +400,34 @@ void BatchCoalescer::CompleteLoop() {
       }
       m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
       cv_space_.notify_all();
+      continue;
+    }
+    if (cancelled) {
+      // Every member's deadline passed: answer them all kDeadlineExceeded
+      // (through the ExpireFn — DoneFn never runs for a shed request) and
+      // release their admission slots. The hook still fires so the error
+      // frames the ExpireFns corked actually reach the sockets.
+      size_t cancelled_queries = 0;
+      for (PendingRequest& request : batch.requests) {
+        cancelled_queries += request.starts.size();
+        if (request.deadline.expired) {
+          request.deadline.expired();
+        }
+      }
+      // Release the admission slots BEFORE the hook: the hook unparks
+      // connections, whose re-admission TryEnqueue must see the freed
+      // quota. The reverse order re-parks them against a full quota, and
+      // if this was the last in-flight batch no later hook ever rescues
+      // them — a permanently parked connection.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_queries_ -= cancelled_queries;
+        m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
+      }
+      cv_space_.notify_all();
+      if (on_batch_complete_) {
+        on_batch_complete_();
+      }
       continue;
     }
     uint64_t complete_start_us = obs_trace.enabled() ? obs::NowMicros() : 0;
@@ -342,15 +461,19 @@ void BatchCoalescer::CompleteLoop() {
     if (obs_trace.enabled()) {
       obs_trace.Record("complete", 0, 0, complete_start_us, obs::NowMicros());
     }
-    if (on_batch_complete_) {
-      on_batch_complete_();
-    }
+    // Slot release precedes the hook (same reasoning as the cancelled
+    // path): the hook's unparked connections retry admission immediately,
+    // and must not race a quota that still counts this batch — if this was
+    // the last in-flight batch, a lost retry here parks them forever.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       inflight_queries_ -= offset;
       m_outstanding_->Set(static_cast<int64_t>(pending_queries_ + inflight_queries_));
     }
     cv_space_.notify_all();
+    if (on_batch_complete_) {
+      on_batch_complete_();
+    }
   }
 }
 

@@ -121,6 +121,23 @@ class BatchCoalescer {
   // sockets — the server's response path).
   using DoneFn = std::function<void(RequestResult)>;
 
+  // Invoked — instead of DoneFn, never both — when the coalescer sheds an
+  // admitted request whose deadline lapsed: at flush (dropped from the
+  // batch before it is built) or mid-run (the whole batch was cancelled
+  // because every member's deadline passed). Runs off the coalescer lock on
+  // the flusher or completer thread; same reentrancy rules as DoneFn. The
+  // server's callback answers the client kDeadlineExceeded.
+  using ExpireFn = std::function<void()>;
+
+  // A request's deadline, given at Enqueue/TryEnqueue. `at_us` is absolute
+  // on the obs::NowMicros() timebase (the caller anchors the wire's
+  // relative budget at decode); 0 = no deadline, never shed. `expired` may
+  // be empty (shed silently).
+  struct Deadline {
+    uint64_t at_us = 0;
+    ExpireFn expired;
+  };
+
   // Optional, runs on the completer thread after every callback of one
   // batch has run. The WalkServer uses it to flush per-connection corked
   // response writes — a coalesced batch completing N requests on one
@@ -143,8 +160,15 @@ class BatchCoalescer {
   // policy with the bound exceeded, or the coalescer is shut down). `place`
   // optionally scatters the request's rows into caller-owned storage (see
   // Placement); requests with and without placements coalesce into the same
-  // batches.
-  bool Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place = nullptr);
+  // batches. `deadline` optionally bounds the request's life: a member
+  // whose deadline passes before its batch is built is dropped at flush
+  // (ExpireFn, not DoneFn), and a flushed batch whose *every* member
+  // carries a deadline is cancelled cooperatively once the last of them
+  // lapses (SchedulerOptions::cancel through WalkService::SubmitInto).
+  bool Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place, Deadline deadline);
+  bool Enqueue(std::vector<NodeId> starts, DoneFn done, PlaceFn place = nullptr) {
+    return Enqueue(std::move(starts), std::move(done), std::move(place), Deadline());
+  }
 
   // Non-blocking admission for callers that must never sleep — the epoll
   // event loop, whose thread multiplexes every connection. Identical to
@@ -162,7 +186,12 @@ class BatchCoalescer {
     kRejected,     // kReject overflow, or shut down — answer the client now
     kWouldBlock,   // kBlock overflow — park and retry after a completion
   };
-  AdmitStatus TryEnqueue(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place);
+  AdmitStatus TryEnqueue(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place,
+                         Deadline& deadline);
+  AdmitStatus TryEnqueue(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place) {
+    Deadline none;
+    return TryEnqueue(starts, done, place, none);
+  }
 
   // Pending + in-flight queries right now. Fault-injection tests assert
   // this drains to zero after torn connections — a dropped connection must
@@ -184,10 +213,19 @@ class BatchCoalescer {
     std::vector<NodeId> starts;
     DoneFn done;
     PlaceFn place;  // may be empty: rows fall back to the batch arena
+    Deadline deadline;  // at_us == 0: no deadline
   };
   struct InFlightBatch {
     std::future<BatchResult> future;
     uint64_t submit_us = 0;  // obs::NowMicros at SubmitInto — the "schedule" span start
+    // Cooperative cancellation, armed at flush only when every member
+    // carries a deadline (a deadline-free member still wants its rows):
+    // the completer waits on the future until `max_deadline_us` — the last
+    // member's deadline — then sets the token; the per-batch scheduler
+    // abandons the run at its next pass boundary and every member is
+    // answered through its ExpireFn. Null when any member is deadline-free.
+    std::shared_ptr<std::atomic<bool>> cancel;
+    uint64_t max_deadline_us = 0;
     std::vector<PendingRequest> requests;  // starts kept for slice offsets
     // The batch's fallback path storage for requests without a Placement:
     // the scheduler's workers write their rows directly into it
@@ -220,7 +258,7 @@ class BatchCoalescer {
   // Shared admission body: blocks on cv_space_ only when `allow_block`;
   // moves from the arguments only on kAdmitted.
   AdmitStatus EnqueueLocked(std::vector<NodeId>& starts, DoneFn& done, PlaceFn& place,
-                            bool allow_block);
+                            Deadline& deadline, bool allow_block);
 
   WalkService& service_;
   Options options_;
@@ -259,6 +297,13 @@ class BatchCoalescer {
   obs::Counter* m_would_block_ = nullptr;
   obs::Histogram* m_batch_queries_ = nullptr;
   obs::Gauge* m_outstanding_ = nullptr;
+  // Deadline shedding series (global — the stage label is the split that
+  // matters; workload attribution rides on the per-workload reject/admit
+  // series): requests shed at flush, requests shed mid-run, and batches
+  // cancelled cooperatively.
+  obs::Counter* m_expired_flush_ = nullptr;
+  obs::Counter* m_expired_run_ = nullptr;
+  obs::Counter* m_batches_cancelled_ = nullptr;
 
   std::thread flusher_;
   std::thread completer_;

@@ -32,6 +32,11 @@ struct ServerMetrics {
   obs::Counter& epollout_resumptions;
   obs::Counter& stats_requests;
   obs::Counter& unknown_workload;
+  // Pre-admission deadline sheds: expired at decode or while parked. The
+  // flush/run stages of the same family live in the BatchCoalescer, which
+  // owns those shed points.
+  obs::Counter& deadline_decode;
+  obs::Counter& draining_rejects;
 
   static ServerMetrics& Get() {
     static ServerMetrics* metrics = [] {
@@ -44,6 +49,9 @@ struct ServerMetrics {
           registry.GetCounter("flexi_server_epollout_resumptions_total"),
           registry.GetCounter("flexi_server_stats_requests_total"),
           registry.GetCounter("flexi_server_unknown_workload_total"),
+          registry.GetCounter(obs::WithLabel("flexi_requests_deadline_exceeded_total", "stage",
+                                             "decode")),
+          registry.GetCounter("flexi_server_draining_rejects_total"),
       };
     }();
     return *metrics;
@@ -209,6 +217,15 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
       SendError(conn, tag, code, message);
     }
   };
+  if (draining_.load(std::memory_order_acquire)) {
+    // BeginDrain: nothing new is admitted, whatever the request looks like.
+    // kDraining (not kShuttingDown) tells retry-capable clients the fleet
+    // is fine — go hit a healthy replica.
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().draining_rejects.Add(1);
+    send_error(WireErrorCode::kDraining, "server draining; no new requests are admitted");
+    return HandleStatus::kHandled;
+  }
   if (request.workload_id >= workloads_.size()) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     ServerMetrics::Get().unknown_workload.Add(1);
@@ -220,6 +237,26 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   Workload& workload = *workloads_[request.workload_id];
   workload.requests_received.fetch_add(1, std::memory_order_relaxed);
   workload.m_requests->Add(1);
+  // Deadline anchor: the wire carries a *relative* budget; pin it to this
+  // host's monotonic timebase here, at decode. The anchor is `recv_us` —
+  // when the bytes feeding the decoder left the socket — not this instant:
+  // a pipelined frame whose predecessors stalled in admission has already
+  // burned that wait out of its budget, and the shed below notices.
+  uint64_t deadline_at_us = 0;
+  if (request.deadline_us != 0) {
+    deadline_at_us = (conn->recv_us != 0 ? conn->recv_us : decode_us) + request.deadline_us;
+    if (deadline_at_us <= obs::NowMicros()) {
+      // Decode-stage shed: the budget lapsed before admission was even
+      // attempted. Cheapest possible reject — no callbacks were built, no
+      // quota was touched.
+      ServerMetrics::Get().deadline_decode.Add(1);
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      workload.m_rejected->Add(1);
+      send_error(WireErrorCode::kDeadlineExceeded, "deadline expired before admission");
+      return HandleStatus::kHandled;
+    }
+  }
   if (request.starts.size() > options_.max_request_starts) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -286,12 +323,26 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
     // connection)".
     conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
   };
+  // The admitted request's deadline, if it carries one: the coalescer sheds
+  // it at flush or cancels its batch mid-run once every member lapsed, and
+  // answers through this ExpireFn — which runs on the flusher/completer
+  // thread, so it corks (never sends inline) and settles the same
+  // pending_requests slot DoneFn would have.
+  BatchCoalescer::Deadline deadline;
+  if (deadline_at_us != 0) {
+    deadline.at_us = deadline_at_us;
+    deadline.expired = [this, conn, tag] {
+      CorkError(conn, tag, WireErrorCode::kDeadlineExceeded,
+                "deadline exceeded before completion");
+      conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
+    };
+  }
   conn->pending_requests.fetch_add(1, std::memory_order_acq_rel);
   if (loop == nullptr) {
     // Reader-thread mode: kBlock stalls this thread, which is this
     // connection's whole read side — TCP flow control does the rest.
-    bool admitted =
-        workload.coalescer->Enqueue(std::move(request.starts), std::move(done), std::move(place));
+    bool admitted = workload.coalescer->Enqueue(std::move(request.starts), std::move(done),
+                                                std::move(place), std::move(deadline));
     if (!admitted) {
       conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -305,7 +356,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   // Event mode: never block the loop. TryEnqueue moves from its arguments
   // only on admission, so a would-block keeps the request intact for
   // parking.
-  auto status = workload.coalescer->TryEnqueue(request.starts, done, place);
+  auto status = workload.coalescer->TryEnqueue(request.starts, done, place, deadline);
   if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
     // Register on the parked list *before* the re-try: a batch completing
     // between a failed admit and the registration would otherwise swap an
@@ -316,7 +367,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
       std::lock_guard<std::mutex> lock(workload.parked_mutex);
       workload.parked.push_back(conn);
     }
-    status = workload.coalescer->TryEnqueue(request.starts, done, place);
+    status = workload.coalescer->TryEnqueue(request.starts, done, place, deadline);
   }
   if (status == BatchCoalescer::AdmitStatus::kAdmitted) {
     return HandleStatus::kHandled;
@@ -334,7 +385,7 @@ WalkServer::HandleStatus WalkServer::HandleRequest(EventLoop* loop,
   // connection until the workload completes a batch.
   conn->parked =
       ParkedRequest{tag, request.workload_id, std::move(request.starts), std::move(done),
-                    std::move(place)};
+                    std::move(place), std::move(deadline)};
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
     if (conn->want_read) {
@@ -419,6 +470,7 @@ void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
     if (n <= 0) {
       break;  // peer closed, connection error, or Stop()'s SHUT_RD
     }
+    conn->recv_us = obs::NowMicros();  // deadline anchor for these frames
     decoder.Append(chunk.data(), static_cast<size_t>(n));
     for (;;) {
       WireFrame frame;
@@ -434,7 +486,8 @@ void WalkServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
         }
       }
       if (status == DecodeStatus::kMalformed ||
-          (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
+          (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2 &&
+           frame.type != FrameType::kRequestV3)) {
         frames_malformed_.fetch_add(1, std::memory_order_relaxed);
         ServerMetrics::Get().frames_malformed.Add(1);
         SendError(conn, 0, WireErrorCode::kMalformedFrame,
@@ -477,7 +530,29 @@ void WalkServer::EventLoopMain(size_t index) {
   std::vector<epoll_event> events(64);
   bool running = true;
   while (running) {
-    int n = ::epoll_wait(loop.epoll_fd, events.data(), static_cast<int>(events.size()), -1);
+    // A parked request's deadline can lapse with no socket event and no
+    // batch completion to notice it — bound the wait by the earliest parked
+    // deadline on this loop so the sweep below runs in time. No parked
+    // deadlines (the overwhelmingly common case) keeps the plain infinite
+    // wait.
+    uint64_t next_parked_deadline = 0;
+    for (auto& [fd, conn] : loop.conns) {
+      (void)fd;
+      if (conn->parked.has_value() && conn->parked->deadline.at_us != 0 &&
+          (next_parked_deadline == 0 || conn->parked->deadline.at_us < next_parked_deadline)) {
+        next_parked_deadline = conn->parked->deadline.at_us;
+      }
+    }
+    int timeout_ms = -1;
+    if (next_parked_deadline != 0) {
+      uint64_t now_us = obs::NowMicros();
+      timeout_ms = next_parked_deadline <= now_us
+                       ? 0
+                       : static_cast<int>(
+                             std::min<uint64_t>((next_parked_deadline - now_us) / 1000 + 1, 1000));
+    }
+    int n = ::epoll_wait(loop.epoll_fd, events.data(), static_cast<int>(events.size()),
+                         timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -537,6 +612,61 @@ void WalkServer::EventLoopMain(size_t index) {
           break;
       }
     }
+    if (next_parked_deadline != 0) {
+      SweepExpiredParked(loop);
+    }
+  }
+}
+
+void WalkServer::ResumeReads(EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  // Drain any frames decoded before the park, then resume reading the
+  // socket.
+  FrameProgress progress = ProcessFrames(loop, conn);
+  if (progress == FrameProgress::kNeedMore) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->want_read && !conn->peer_eof) {
+      conn->want_read = true;
+      UpdateInterestLocked(*conn);
+    }
+  }
+}
+
+void WalkServer::AnswerParkedExpired(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                                     ParkedRequest request) {
+  // The request was never admitted, so there is no quota slot to release —
+  // pre-admission expiry is the same "decode" stage as a shed in
+  // HandleRequest, just noticed later.
+  ServerMetrics::Get().deadline_decode.Add(1);
+  requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+  Workload& workload = *workloads_[request.workload_id];
+  workload.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+  workload.m_rejected->Add(1);
+  CorkErrorEvent(loop, conn, request.tag, WireErrorCode::kDeadlineExceeded,
+                 "deadline expired while parked for admission");
+  if (conn->open) {
+    ResumeReads(loop, conn);
+  }
+}
+
+void WalkServer::SweepExpiredParked(EventLoop& loop) {
+  uint64_t now_us = obs::NowMicros();
+  std::vector<std::shared_ptr<Connection>> lapsed;
+  for (auto& [fd, conn] : loop.conns) {
+    (void)fd;
+    if (conn->parked.has_value() && conn->parked->deadline.at_us != 0 &&
+        conn->parked->deadline.at_us <= now_us) {
+      lapsed.push_back(conn);
+    }
+  }
+  // Answer outside the map walk: resuming reads can decode more frames and
+  // tear the connection down, which mutates loop.conns.
+  for (auto& conn : lapsed) {
+    if (!conn->open || !conn->parked.has_value()) {
+      continue;
+    }
+    ParkedRequest request = std::move(*conn->parked);
+    conn->parked.reset();
+    AnswerParkedExpired(loop, conn, std::move(request));
   }
 }
 
@@ -760,7 +890,8 @@ WalkServer::FrameProgress WalkServer::ProcessFrames(EventLoop& loop,
       continue;
     }
     if (status == DecodeStatus::kMalformed ||
-        (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2)) {
+        (frame.type != FrameType::kRequest && frame.type != FrameType::kRequestV2 &&
+         frame.type != FrameType::kRequestV3)) {
       frames_malformed_.fetch_add(1, std::memory_order_relaxed);
       ServerMetrics::Get().frames_malformed.Add(1);
       CorkErrorEvent(loop, conn, 0, WireErrorCode::kMalformedFrame,
@@ -857,6 +988,7 @@ void WalkServer::ReadReady(EventLoop& loop, const std::shared_ptr<Connection>& c
       }
       return;
     }
+    conn->recv_us = obs::NowMicros();  // deadline anchor for these frames
     conn->decoder.Append(loop.chunk.data(), static_cast<size_t>(n));
     if (ProcessFrames(loop, conn) != FrameProgress::kNeedMore) {
       return;
@@ -870,15 +1002,23 @@ void WalkServer::HandleUnpark(EventLoop& loop, const std::shared_ptr<Connection>
   }
   ParkedRequest request = std::move(*conn->parked);
   conn->parked.reset();
+  if (request.deadline.at_us != 0 && request.deadline.at_us <= obs::NowMicros()) {
+    // Lapsed while parked: answer kDeadlineExceeded instead of admitting a
+    // walk whose requester already gave up.
+    AnswerParkedExpired(loop, conn, std::move(request));
+    return;
+  }
   Workload& workload = *workloads_[request.workload_id];
   conn->pending_requests.fetch_add(1, std::memory_order_acq_rel);
-  auto status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place);
+  auto status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place,
+                                               request.deadline);
   if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
     {
       std::lock_guard<std::mutex> lock(workload.parked_mutex);
       workload.parked.push_back(conn);
     }
-    status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place);
+    status = workload.coalescer->TryEnqueue(request.starts, request.done, request.place,
+                                            request.deadline);
     if (status == BatchCoalescer::AdmitStatus::kWouldBlock) {
       conn->pending_requests.fetch_sub(1, std::memory_order_acq_rel);
       conn->parked = std::move(request);
@@ -897,16 +1037,8 @@ void WalkServer::HandleUnpark(EventLoop& loop, const std::shared_ptr<Connection>
       return;
     }
   }
-  // Admitted (or rejected with the connection still up): drain any frames
-  // decoded before the park, then resume reading the socket.
-  FrameProgress progress = ProcessFrames(loop, conn);
-  if (progress == FrameProgress::kNeedMore) {
-    std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (!conn->want_read && !conn->peer_eof) {
-      conn->want_read = true;
-      UpdateInterestLocked(*conn);
-    }
-  }
+  // Admitted (or rejected with the connection still up): resume reading.
+  ResumeReads(loop, conn);
 }
 
 void WalkServer::ShutdownReads(EventLoop& loop) {
@@ -981,6 +1113,27 @@ void WalkServer::CorkResponse(const std::shared_ptr<Connection>& conn,
                               const WireResponseView& response) {
   auto frame = std::make_shared<std::vector<uint8_t>>();
   AppendResponseFrame(*frame, response);
+  ServerMetrics::Get().cork_bytes.Add(frame->size());
+  CorkEntry entry{frame->data(), frame->size(), std::move(frame)};
+  bool newly_dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->writable) {
+      return;
+    }
+    newly_dirty = conn->corked.empty();
+    conn->corked.push_back(std::move(entry));
+  }
+  if (newly_dirty) {
+    std::lock_guard<std::mutex> lock(corked_mutex_);
+    corked_connections_.push_back(conn);
+  }
+}
+
+void WalkServer::CorkError(const std::shared_ptr<Connection>& conn, uint64_t tag,
+                           WireErrorCode code, const std::string& message) {
+  auto frame = std::make_shared<std::vector<uint8_t>>();
+  AppendErrorFrame(*frame, {tag, code, message});
   ServerMetrics::Get().cork_bytes.Add(frame->size());
   CorkEntry entry{frame->data(), frame->size(), std::move(frame)};
   bool newly_dirty = false;
@@ -1076,6 +1229,52 @@ void WalkServer::FlushCorkedWrites() {
 // ---------------------------------------------------------------------------
 // Stop
 // ---------------------------------------------------------------------------
+
+void WalkServer::BeginDrain(std::chrono::milliseconds grace) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  uint64_t drain_start_us = obs::NowMicros();
+  if (started_ && !stopping_.load()) {
+    // Stop accepting. Connections keep reading — their new requests are
+    // answered kDraining by HandleRequest — and everything already admitted
+    // keeps completing through the still-running loops / reader threads.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    auto grace_deadline = std::chrono::steady_clock::now() + grace;
+    for (;;) {
+      bool busy = false;
+      for (auto& workload : workloads_) {
+        if (workload->coalescer->outstanding_queries() > 0) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) {
+        // Admitted queries are done; their responses may still be corked
+        // behind slow readers — those count as undrained work too.
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto& conn : connections_) {
+          std::lock_guard<std::mutex> wl(conn->write_mutex);
+          if (conn->writable && !conn->corked.empty()) {
+            busy = true;
+            break;
+          }
+        }
+      }
+      if (!busy || std::chrono::steady_clock::now() >= grace_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("flexi_drain_duration_ms")
+      .Set(static_cast<int64_t>((obs::NowMicros() - drain_start_us) / 1000));
+  // Grace spent (or nothing was left): the full teardown. Anything still
+  // running is now on Stop()'s much shorter leash — this is the hard stop.
+  Stop();
+}
 
 void WalkServer::Stop() {
   bool expected = false;

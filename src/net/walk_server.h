@@ -15,6 +15,14 @@
 //                        or the connection stops being read until a batch
 //                        completes (kBlock policy — TCP flow control pushes
 //                        the stall back to the client, never into the loop)
+//   expired deadline  -> kError/kDeadlineExceeded. A kRequestV3 deadline is
+//                        anchored to this host's clock at decode and shed
+//                        wherever it lapses: pre-admission (here or while
+//                        parked), at coalescer flush, or mid-run via
+//                        cooperative batch cancellation (docs/SERVING.md)
+//   draining          -> kError/kDraining for every request arriving after
+//                        BeginDrain(); work admitted before it still
+//                        completes and its responses still flow
 //   malformed frame   -> kError/kMalformedFrame, then the connection is
 //                        closed (the byte stream is desynced for good)
 //
@@ -52,6 +60,7 @@
 #define FLEXIWALKER_SRC_NET_WALK_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -125,6 +134,17 @@ class WalkServer {
   // are still written), then closes all connections. Idempotent.
   void Stop();
 
+  // Graceful drain: stops accepting connections and admitting requests —
+  // every request decoded after this call is answered kDraining — while
+  // work admitted before it keeps completing and its responses keep
+  // flowing. Waits up to `grace` for the admitted queries to finish and
+  // their bytes to leave the cork queues, then runs the full Stop()
+  // teardown (which hard-stops whatever the grace did not cover). The wait
+  // is recorded as the flexi_drain_duration_ms gauge. Idempotent; a later
+  // Stop() is a no-op. This is the SIGTERM path of the CLI's --listen mode.
+  void BeginDrain(std::chrono::milliseconds grace);
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   uint16_t port() const { return port_; }
   // Workload 0's coalescer (the constructor-service path).
   const BatchCoalescer& coalescer() const { return *workloads_[0]->coalescer; }
@@ -167,6 +187,11 @@ class WalkServer {
     std::vector<NodeId> starts;
     BatchCoalescer::DoneFn done;
     BatchCoalescer::PlaceFn place;
+    // Absolute deadline carried from decode. A parked request holds no
+    // admission slot, so expiry here (noticed by the loop's timed wait or
+    // at the next unpark attempt) just answers kDeadlineExceeded and
+    // resumes reading — nothing to release.
+    BatchCoalescer::Deadline deadline;
   };
 
   struct Connection {
@@ -191,7 +216,11 @@ class WalkServer {
     std::atomic<size_t> pending_requests{0};
 
     // Owner-thread-private state: the event thread's incremental decoder
-    // and park slot, or the reader thread's exit flag.
+    // and park slot, or the reader thread's exit flag. `recv_us` stamps the
+    // moment the bytes feeding the decoder left the socket — the deadline
+    // anchor for frames whose decode was delayed by earlier pipelined
+    // frames stalling in admission.
+    uint64_t recv_us = 0;
     FrameDecoder decoder;
     std::optional<ParkedRequest> parked;
     bool open = true;               // event loop: still in the conns map
@@ -265,6 +294,17 @@ class WalkServer {
 
   // ---- event mode ----
   void EventLoopMain(size_t index);
+  // Re-arms EPOLLIN after a park resolved (admitted, rejected, or expired):
+  // drains frames decoded before the park, then resumes socket reads.
+  void ResumeReads(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  // Answers a parked request whose deadline lapsed (kDeadlineExceeded,
+  // stage="decode" — it was never admitted) and resumes reading.
+  void AnswerParkedExpired(EventLoop& loop, const std::shared_ptr<Connection>& conn,
+                           ParkedRequest request);
+  // Expires every parked request on this loop whose deadline has passed;
+  // driven by the loop's timed epoll_wait so expiry is noticed even when no
+  // batch completion or socket event wakes the loop.
+  void SweepExpiredParked(EventLoop& loop);
   void AcceptReady(EventLoop& loop);
   void RegisterConnection(EventLoop& loop, const std::shared_ptr<Connection>& conn);
   void ReadReady(EventLoop& loop, const std::shared_ptr<Connection>& conn, uint32_t events);
@@ -297,6 +337,12 @@ class WalkServer {
   static bool ShouldRetireLocked(const Connection& conn);
 
   // ---- response path (both modes) ----
+  // Corks an error frame from any thread (the coalescer's flusher/completer
+  // — the deadline ExpireFn path) onto the shared dirty list; the batch-
+  // complete hook's FlushCorkedWrites pushes it out in both modes. Contrast
+  // CorkErrorEvent, which is loop-thread-only because it drains inline.
+  void CorkError(const std::shared_ptr<Connection>& conn, uint64_t tag, WireErrorCode code,
+                 const std::string& message);
   // Serializes a response frame into an owned buffer and corks it — the
   // fallback write path for responses whose rows were not placed (the
   // big-endian host case): one arena -> frame copy, then the shared flush.
@@ -328,6 +374,7 @@ class WalkServer {
   std::mutex corked_mutex_;  // guards the dirty list, not the cork buffers
   std::vector<std::shared_ptr<Connection>> corked_connections_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
 
   std::atomic<uint64_t> connections_accepted_{0};

@@ -83,17 +83,31 @@ const char* WireErrorCodeName(WireErrorCode code) {
       return "request too large";
     case WireErrorCode::kUnknownWorkload:
       return "unknown workload";
+    case WireErrorCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case WireErrorCode::kDraining:
+      return "draining";
   }
   return "unknown";
 }
 
 void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request) {
-  // The default workload travels as a v1 frame so old servers stay
-  // reachable; only an explicit non-zero routing needs the v2 layout.
-  FrameWriter frame(out, request.workload_id == 0 ? FrameType::kRequest : FrameType::kRequestV2);
+  // Oldest version that carries the request: the default workload with no
+  // deadline travels as a v1 frame so old servers stay reachable, explicit
+  // routing alone needs v2, and a deadline needs the v3 layout.
+  FrameType type = FrameType::kRequest;
+  if (request.deadline_us != 0) {
+    type = FrameType::kRequestV3;
+  } else if (request.workload_id != 0) {
+    type = FrameType::kRequestV2;
+  }
+  FrameWriter frame(out, type);
   PutU64(out, request.tag);
-  if (request.workload_id != 0) {
+  if (type != FrameType::kRequest) {
     PutU32(out, request.workload_id);
+  }
+  if (type == FrameType::kRequestV3) {
+    PutU64(out, request.deadline_us);
   }
   PutU32(out, static_cast<uint32_t>(request.starts.size()));
   for (NodeId start : request.starts) {
@@ -192,12 +206,15 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, W
   const uint8_t* body = data + kHeaderBytes;
   WireFrame frame;
   switch (body[0]) {
-    // v1 and v2 requests share one layout except for the u32 workload_id
-    // between tag and count; `extra` is that field's width.
+    // v1, v2, and v3 requests share one layout except for the fields
+    // between tag and count — v2 adds a u32 workload_id, v3 adds a u64
+    // deadline_us after it; `extra` is those fields' combined width.
     case static_cast<uint8_t>(FrameType::kRequest):
-    case static_cast<uint8_t>(FrameType::kRequestV2): {
-      bool v2 = body[0] == static_cast<uint8_t>(FrameType::kRequestV2);
-      size_t extra = v2 ? 4 : 0;
+    case static_cast<uint8_t>(FrameType::kRequestV2):
+    case static_cast<uint8_t>(FrameType::kRequestV3): {
+      bool v2 = body[0] != static_cast<uint8_t>(FrameType::kRequest);
+      bool v3 = body[0] == static_cast<uint8_t>(FrameType::kRequestV3);
+      size_t extra = (v2 ? 4 : 0) + (v3 ? 8 : 0);
       if (payload < 13 + extra) {
         return DecodeStatus::kMalformed;
       }
@@ -208,6 +225,7 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, size_t max_payload, W
       frame.type = static_cast<FrameType>(body[0]);
       frame.request.tag = GetU64(body + 1);
       frame.request.workload_id = v2 ? GetU32(body + 9) : 0;
+      frame.request.deadline_us = v3 ? GetU64(body + 13) : 0;
       frame.request.starts.resize(count);
       for (uint64_t i = 0; i < count; ++i) {
         frame.request.starts[i] = GetU32(body + 13 + extra + i * 4);

@@ -12,6 +12,8 @@
 //              count * u32 start nodes
 //   kStatsRequest  u8 type | u64 tag
 //   kStatsResponse u8 type | u64 tag | u32 text_len | text bytes
+//   kRequestV3 u8 type | u64 tag | u32 workload_id | u64 deadline_us |
+//              u32 count | count * u32 start nodes
 //
 // kStatsRequest/kStatsResponse are the telemetry scrape: the server answers
 // with its MetricsRegistry rendered in Prometheus text exposition format
@@ -27,6 +29,16 @@
 // workload), and a client targeting workload 0 emits v1 frames so it keeps
 // working against v1-only servers. There is no v2 response — responses and
 // errors are already workload-agnostic, matched by tag.
+//
+// kRequestV3 is the wire v3 request: v2 plus a u64 deadline_us — the
+// request's *relative* latency budget in microseconds (0 = no deadline; the
+// sender's clock never crosses the wire). The server converts it to an
+// absolute monotonic deadline the moment the frame decodes and sheds the
+// request — answering kDeadlineExceeded — at decode, at coalescer flush, or
+// cooperatively mid-walk, whichever catches it first (docs/SERVING.md,
+// "Deadlines, retries, and drain"). Same per-frame negotiation as v2: a
+// client only emits v3 when a deadline is set, so deadline-free traffic is
+// byte-identical to wire v2 and old servers never see the new type.
 //
 // The tag is a client-chosen correlation id echoed back verbatim, so one
 // connection can pipeline many requests and match responses arriving in any
@@ -67,6 +79,7 @@ enum class FrameType : uint8_t {
   kRequestV2 = 4,  // v1 + explicit u32 workload_id after the tag
   kStatsRequest = 5,   // telemetry scrape probe (tag only)
   kStatsResponse = 6,  // Prometheus text payload, matched by tag
+  kRequestV3 = 7,  // v2 + u64 deadline_us (relative budget) after workload_id
 };
 
 enum class WireErrorCode : uint32_t {
@@ -76,6 +89,8 @@ enum class WireErrorCode : uint32_t {
   kShuttingDown = 4,      // server stopping; request not accepted
   kRequestTooLarge = 5,   // more starts than the server's per-request cap
   kUnknownWorkload = 6,   // v2 workload_id with no registered workload
+  kDeadlineExceeded = 7,  // the request's deadline_us budget lapsed before completion
+  kDraining = 8,          // server draining (BeginDrain); retry against a healthy replica
 };
 
 const char* WireErrorCodeName(WireErrorCode code);
@@ -84,6 +99,11 @@ struct WireRequest {
   uint64_t tag = 0;
   uint32_t workload_id = 0;  // 0 = default workload; decoded v1 frames leave it 0
   std::vector<NodeId> starts;
+  // Relative latency budget in microseconds; 0 = no deadline (v1/v2 frames
+  // leave it 0). The receiver anchors it to its own monotonic clock at
+  // decode time — absolute timestamps never cross the wire. (Declared after
+  // `starts` so pre-v3 {tag, workload_id, starts} initializers stay valid.)
+  uint64_t deadline_us = 0;
 };
 
 struct WireResponse {
@@ -124,8 +144,9 @@ struct WireResponseView {
 // Serializers append one complete frame to `out` (which may already hold
 // earlier frames — batching writes per send() is the normal pattern).
 // AppendRequestFrame picks the oldest wire version that can carry the
-// request: workload_id == 0 emits a v1 kRequest (decodable by any server),
-// anything else a kRequestV2.
+// request: workload_id == 0 and no deadline emits a v1 kRequest (decodable
+// by any server), a non-zero workload_id alone a kRequestV2, and any
+// deadline_us a kRequestV3.
 void AppendRequestFrame(std::vector<uint8_t>& out, const WireRequest& request);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponseView& response);
 void AppendResponseFrame(std::vector<uint8_t>& out, const WireResponse& response);

@@ -133,6 +133,16 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
     WorkerKernel kernel = make_step(w, device);  // keepalive lives to end of drain
     const StepKernel step = kernel.step;
 
+    // Cooperative cancellation check, evaluated at pass/claim boundaries
+    // only (see SchedulerOptions::cancel) — one relaxed load when armed,
+    // constant-false when not. Never consulted mid-walk between draws, so a
+    // query either runs its steps exactly as an uncancelled run would or is
+    // never launched.
+    const std::atomic<bool>* cancel = options_.cancel;
+    auto cancelled = [cancel] {
+      return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+    };
+
     // Worker-local telemetry, folded into the registry exactly once per
     // worker body (RAII so every drain-loop exit path flushes). Purely
     // observational: no effect on dispensation order or Philox draws.
@@ -200,16 +210,17 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
     if (length == 0) {
       // Degenerate walks: every query is just its start node.
       WalkSlot slot;
-      while (launch(slot)) {
+      while (!cancelled() && launch(slot)) {
       }
       return;
     }
     if (width == 1) {
       // Walk-at-a-time: one slot run to completion per claim. With a single
       // walk in flight there is no other slot's work to hide prefetch
-      // latency behind, so no span staging happens here.
+      // latency behind, so no span staging happens here. The cancellation
+      // boundary is the claim: a launched walk always runs to completion.
       WalkSlot slot;
-      while (launch(slot)) {
+      while (!cancelled() && launch(slot)) {
         while (advance(slot)) {
         }
       }
@@ -225,6 +236,12 @@ WalkResult WalkScheduler::RunWithWorkersInto(const Graph& graph, const WalkLogic
       ++active;
     }
     while (active > 0) {
+      if (cancelled()) {
+        // Abandon mid-flight walks where they stand: their rows are never
+        // delivered (the caller set the token because every requester gave
+        // up), and no other query's draws depend on theirs.
+        break;
+      }
       ++local.passes;
       // One pass: each live slot stages the following slot's adjacency +
       // weight spans (whose row offsets the previous pass prefetched) and

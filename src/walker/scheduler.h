@@ -30,6 +30,7 @@
 #ifndef FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 #define FLEXIWALKER_SRC_WALKER_SCHEDULER_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <functional>
@@ -168,6 +169,16 @@ struct SchedulerOptions {
   // Read-only per-run data shared by all workers' WalkContexts.
   const PreprocessedData* preprocessed = nullptr;
   const Int8WeightStore* int8_weights = nullptr;
+  // Cooperative cancellation: when non-null and set, workers stop claiming
+  // and advancing walks at the next pass boundary — once per wavefront pass
+  // in batched mode, per claimed walk at width 1 — so a batch whose every
+  // requester gave up stops burning CPU mid-run. Cancellation truncates
+  // *delivery* only, never randomness: every query still draws from its own
+  // Philox subsequence in per-query order, so any query that does complete
+  // (and every query of a non-cancelled run) is bit-identical to an
+  // uncancelled execution. The serving stack points this at the flushed
+  // batch's deadline token (batch_coalescer.h); one-shot Runs leave it null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class WalkScheduler {

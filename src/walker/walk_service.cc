@@ -43,10 +43,12 @@ std::future<BatchResult> WalkService::Submit(WalkBatch batch) {
   return SubmitInto(std::move(batch), PathArenaView{});
 }
 
-std::future<BatchResult> WalkService::SubmitInto(WalkBatch batch, PathArenaView out) {
+std::future<BatchResult> WalkService::SubmitInto(WalkBatch batch, PathArenaView out,
+                                                 std::shared_ptr<const std::atomic<bool>> cancel) {
   Pending pending;
   pending.batch = std::move(batch);
   pending.out = out;
+  pending.cancel = std::move(cancel);
   std::future<BatchResult> future = pending.promise.get_future();
   // A mismatched arena would have scheduler workers writing past the
   // caller's allocation; fail the future on the submitting thread instead
@@ -91,6 +93,7 @@ void WalkService::ServeLoop() {
     }
     SchedulerOptions batch_options = options_.scheduler;
     batch_options.query_id_offset = pending.first_query_id;
+    batch_options.cancel = pending.cancel.get();
     WalkScheduler scheduler(batch_options);
     BatchResult result;
     if (pending.out.empty()) {

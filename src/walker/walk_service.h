@@ -90,7 +90,16 @@ class WalkService {
   // its arena. This is the zero-copy serving path: the BatchCoalescer
   // allocates one PathArena per flushed batch and hands per-request slices
   // of it to the response writer.
-  std::future<BatchResult> SubmitInto(WalkBatch batch, PathArenaView out);
+  //
+  // `cancel` optionally arms cooperative cancellation for this batch: the
+  // per-batch scheduler polls it at pass boundaries and abandons the run
+  // when it reads true (SchedulerOptions::cancel). The token must outlive
+  // the returned future; the future still resolves (with whatever rows the
+  // walk wrote before stopping — the caller set the token because nobody
+  // wants them). Global query ids are consumed at Submit either way, so a
+  // cancelled batch never shifts a later batch's Philox subsequences.
+  std::future<BatchResult> SubmitInto(WalkBatch batch, PathArenaView out,
+                                      std::shared_ptr<const std::atomic<bool>> cancel = nullptr);
 
   // Stops accepting new batches, drains everything already queued, and joins
   // the dispatchers. Idempotent; the destructor calls it.
@@ -113,6 +122,7 @@ class WalkService {
   struct Pending {
     WalkBatch batch;
     PathArenaView out;  // empty => the batch allocates its own walk.paths
+    std::shared_ptr<const std::atomic<bool>> cancel;  // null => not cancellable
     uint64_t first_query_id = 0;
     uint64_t batch_index = 0;
     std::promise<BatchResult> promise;

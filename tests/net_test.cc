@@ -1110,6 +1110,87 @@ void ExpectOutstandingDrains(const BatchCoalescer& coalescer,
   SUCCEED();
 }
 
+TEST(WalkServerFaults, DeadlineExpiryWhileParkedAnswersAndDrains) {
+  BatchCoalescer::Options coalescer;
+  coalescer.max_outstanding_queries = 8;
+  coalescer.overflow = BatchCoalescer::OverflowPolicy::kBlock;
+  // A long window keeps the first request pending — holding every admission
+  // slot — so the deadlined second request parks on the event loop, and its
+  // budget lapses while parked, long before the window would flush.
+  ServedStack stack(/*coalesce_ms=*/200.0, /*pipeline_depth=*/1, coalescer);
+  WalkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()));
+  std::future<WalkClient::Result> admitted = client.Submit(Range(0, 8));
+  std::future<WalkClient::Result> parked =
+      client.Submit({1}, /*workload_id=*/0, /*deadline_us=*/30'000);
+  try {
+    parked.get();
+    FAIL() << "the parked request's deadline lapsed; it must not complete";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kDeadlineExceeded);
+  }
+  // The admitted batch is untouched by the shed, and nothing leaks: a
+  // parked request holds no admission slot, so its expiry must leave the
+  // coalescer's accounting exactly balanced.
+  EXPECT_EQ(admitted.get().num_queries, 8u);
+  client.Close();
+  ExpectOutstandingDrains(stack.server->coalescer());
+}
+
+TEST(WalkServerFaults, ClientRetriesRideOutServerRestart) {
+  Graph graph = CoalescerGraph();
+  Node2VecWalk walk{2.0, 0.5, 12};
+  FlexiWalkerOptions engine_options;
+  engine_options.edge_cost_ratio = 4.0;
+  engine_options.host_threads = 4;
+  auto make_server = [&graph](WalkService& service, uint16_t port) {
+    WalkServer::Options options;
+    options.port = port;
+    options.backlog = 64;
+    options.coalescer.max_delay_ms = 0.5;
+    return std::make_unique<WalkServer>(service, graph.num_nodes(), options);
+  };
+  auto first_service = MakeFlexiWalkerService(graph, walk, engine_options, /*seed=*/99, 1);
+  auto first_server = make_server(*first_service, /*port=*/0);
+  std::string error;
+  ASSERT_TRUE(first_server->Start(&error)) << error;
+  uint16_t port = first_server->port();
+
+  WalkClient::Options client_options;
+  client_options.connect_timeout_ms = 1000;
+  client_options.max_retries = 8;
+  client_options.backoff.base_ms = 20;
+  client_options.backoff.max_ms = 100;
+  WalkClient client(client_options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port));
+  EXPECT_EQ(client.Walk({3}).num_queries, 1u);
+
+  // Tear the server down mid-session and bring a fresh one up on the same
+  // port a beat later: the next Walk sees a dead connection, then refused
+  // connects, and must ride the gap on reconnect + backoff alone.
+  first_server->Stop();
+  first_server.reset();
+  first_service->Shutdown();
+  std::unique_ptr<WalkService> second_service;
+  std::unique_ptr<WalkServer> second_server;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    second_service = MakeFlexiWalkerService(graph, walk, engine_options, /*seed=*/99, 1);
+    second_server = make_server(*second_service, port);
+    std::string restart_error;
+    EXPECT_TRUE(second_server->Start(&restart_error)) << restart_error;
+  });
+  WalkClient::Result result = client.Walk({3});
+  restarter.join();
+  EXPECT_EQ(result.num_queries, 1u);
+  ASSERT_FALSE(result.paths.empty());
+  EXPECT_EQ(result.paths[0], 3u);
+  EXPECT_GE(client.retries_attempted(), 1u);
+  client.Close();
+  second_server->Stop();
+  second_service->Shutdown();
+}
+
 TEST(WalkServerFaults, DisconnectMidRequestFrameIsCleanlyDropped) {
   ServedStack stack(/*coalesce_ms=*/0.2, /*pipeline_depth=*/1);
   for (int round = 0; round < 8; ++round) {
